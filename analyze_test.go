@@ -1,0 +1,88 @@
+package sopr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeRules(t *testing.T) {
+	db := openPaperDB(t)
+	db.MustExec(`
+		create rule mgr_cascade when deleted from emp
+		then delete from emp where dept_no in
+		     (select dept_no from dept where mgr_no in (select emp_no from deleted emp));
+		     delete from dept where mgr_no in (select emp_no from deleted emp)
+		end;
+		create rule cut when updated emp.salary
+		then update emp set dept_no = 1
+		end;
+		create rule raise when updated emp.salary
+		then update emp set dept_no = 2
+		end
+	`)
+	rep := db.AnalyzeRules()
+	found := false
+	for _, s := range rep.SelfLoops {
+		if s == "mgr_cascade" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("self-loop missed: %+v", rep)
+	}
+	if len(rep.Conflicts) == 0 {
+		t.Errorf("cut/raise conflict missed: %+v", rep)
+	}
+	warnings := rep.Warnings()
+	if len(warnings) == 0 {
+		t.Fatal("no warnings rendered")
+	}
+	joined := strings.Join(warnings, "\n")
+	if !strings.Contains(joined, "mgr_cascade") || !strings.Contains(joined, "selection order") {
+		t.Errorf("warnings: %v", warnings)
+	}
+
+	// Declaring a priority removes the conflict warning.
+	db.MustExec(`create rule priority cut before raise`)
+	rep = db.AnalyzeRules()
+	if len(rep.Conflicts) != 0 {
+		t.Errorf("conflict persists after priority: %+v", rep.Conflicts)
+	}
+}
+
+func TestAnalyzeCleanRules(t *testing.T) {
+	db := openPaperDB(t)
+	db.MustExec(`
+		create rule cascade when deleted from dept
+		then delete from emp where dept_no in (select dept_no from deleted dept)
+		end
+	`)
+	rep := db.AnalyzeRules()
+	if len(rep.SelfLoops) != 0 || len(rep.Cycles) != 0 || len(rep.Conflicts) != 0 {
+		t.Errorf("clean rule set flagged: %+v", rep)
+	}
+	if len(rep.Warnings()) != 0 {
+		t.Errorf("warnings for clean set: %v", rep.Warnings())
+	}
+}
+
+func TestAnalyzeCycleAndExternal(t *testing.T) {
+	db := Open()
+	db.MustExec(`create table a (x int); create table b (x int)`)
+	db.RegisterProcedure("p", func(*ProcContext) error { return nil })
+	db.MustExec(`
+		create rule ping when inserted into a then insert into b values (1) end;
+		create rule pong when inserted into b then insert into a values (1) end;
+		create rule ext when inserted into a then call p end
+	`)
+	rep := db.AnalyzeRules()
+	if len(rep.Cycles) != 1 || len(rep.Cycles[0]) != 2 {
+		t.Errorf("cycle: %+v", rep.Cycles)
+	}
+	if len(rep.ExternalActions) != 1 || rep.ExternalActions[0] != "ext" {
+		t.Errorf("external: %+v", rep.ExternalActions)
+	}
+	if len(rep.Edges) == 0 {
+		t.Error("edges missing")
+	}
+}

@@ -1,0 +1,202 @@
+// Command soprsh is an interactive shell for the set-oriented production
+// rules engine: type SQL and rule-language statements terminated by ';',
+// and meta-commands starting with '.'.
+//
+//	$ go run ./cmd/soprsh
+//	sopr> create table t (a int);
+//	sopr> create rule r when inserted into t then delete from t where a < 0 end;
+//	sopr> insert into t values (1), (-2);
+//	rule r fired [I:0 D:1 U:0 S:0]
+//	sopr> select * from t;
+//	a
+//	-
+//	1
+//
+// Meta-commands: .tables  .rules  .analyze  .trace on|off  .help  .quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sopr"
+)
+
+func main() {
+	selectTriggers := flag.Bool("select-triggers", false, "enable Section 5.1 select-triggered rules")
+	maxTransitions := flag.Int("max-transitions", 0, "runaway guard: max rule transitions per transaction (0 = default)")
+	flag.Parse()
+
+	var opts []sopr.Option
+	if *selectTriggers {
+		opts = append(opts, sopr.WithSelectTriggers())
+	}
+	if *maxTransitions > 0 {
+		opts = append(opts, sopr.WithMaxRuleTransitions(*maxTransitions))
+	}
+	db := sopr.Open(opts...)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1024*1024), 1024*1024)
+	interactive := isInteractive()
+	var buf strings.Builder
+	prompt := func() {
+		if interactive {
+			if buf.Len() == 0 {
+				fmt.Print("sopr> ")
+			} else {
+				fmt.Print("  ... ")
+			}
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if !meta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			run(db, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+	if buf.Len() > 0 {
+		run(db, buf.String())
+	}
+}
+
+func isInteractive() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func run(db *sopr.DB, src string) {
+	res, err := db.Exec(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	for _, f := range res.Firings {
+		fmt.Printf("rule %s fired %s\n", f.Rule, f.Effect)
+	}
+	if res.RolledBack {
+		fmt.Printf("transaction ROLLED BACK by rule %q\n", res.RollbackRule)
+	}
+	for _, q := range res.Results {
+		fmt.Println(q)
+		fmt.Printf("(%d row(s))\n", len(q.Data))
+	}
+}
+
+// meta handles dot-commands; it returns false to quit.
+func meta(db *sopr.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return false
+	case ".tables":
+		for _, t := range db.Tables() {
+			fmt.Println(t)
+		}
+	case ".rules":
+		for _, r := range db.Rules() {
+			fmt.Println(r)
+		}
+	case ".analyze":
+		rep := db.AnalyzeRules()
+		warnings := rep.Warnings()
+		if len(warnings) == 0 {
+			fmt.Println("no warnings")
+		}
+		for _, w := range warnings {
+			fmt.Println("warning:", w)
+		}
+		for _, e := range rep.Edges {
+			fmt.Printf("may trigger: %s -> %s\n", e[0], e[1])
+		}
+	case ".stats":
+		s := db.Stats()
+		fmt.Printf("committed=%d rolled_back=%d external_transitions=%d rule_considerations=%d rule_firings=%d\n",
+			s.Committed, s.RolledBack, s.ExternalTransitions, s.RuleConsiderations, s.RuleFirings)
+	case ".dump":
+		if len(fields) == 2 {
+			f, err := os.Create(fields[1])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return true
+			}
+			defer f.Close()
+			if err := db.Dump(f); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				fmt.Println("dumped to", fields[1])
+			}
+			return true
+		}
+		if err := db.Dump(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	case ".load":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: .load FILE")
+			return true
+		}
+		f, err := os.Open(fields[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return true
+		}
+		defer f.Close()
+		if err := db.Load(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Println("loaded", fields[1])
+		}
+	case ".trace":
+		if len(fields) == 2 && fields[1] == "on" {
+			db.OnTrace(func(ev sopr.TraceEvent) {
+				switch ev.Kind {
+				case sopr.TraceExternalTransition:
+					fmt.Printf("-- external transition %s\n", ev.Effect)
+				case sopr.TraceRuleConsidered:
+					fmt.Printf("-- consider %s (condition=%v) %s\n", ev.Rule, ev.CondHeld, ev.Effect)
+				case sopr.TraceRuleFired:
+					fmt.Printf("-- fire %s %s\n", ev.Rule, ev.Effect)
+				case sopr.TraceRollback:
+					fmt.Printf("-- rollback by %s\n", ev.Rule)
+				case sopr.TraceCommit:
+					fmt.Println("-- commit")
+				}
+			})
+			fmt.Println("trace on")
+		} else {
+			db.OnTrace(nil)
+			fmt.Println("trace off")
+		}
+	case ".help":
+		fmt.Println(`statements end with ';' and may span lines
+meta-commands:
+  .tables          list tables
+  .rules           list rules
+  .analyze         static rule analysis (Section 6)
+  .stats           cumulative engine counters
+  .trace on|off    show the Figure 1 algorithm's steps
+  .dump [FILE]     write a script recreating the database
+  .load FILE       execute a dump script
+  .quit            exit`)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown meta-command %s (try .help)\n", fields[0])
+	}
+	return true
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"sopr"
+)
+
+// capture redirects os.Stdout around fn and returns what was printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		b.ReadFrom(r)
+		done <- b.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func shellDB(t *testing.T) *sopr.DB {
+	t.Helper()
+	db := sopr.Open()
+	db.MustExec(`create table t (a int)`)
+	db.MustExec(`create rule r when inserted into t then delete from t where a < 0 end`)
+	return db
+}
+
+func TestRunStatement(t *testing.T) {
+	db := shellDB(t)
+	out := capture(t, func() { run(db, `insert into t values (1), (-2);`) })
+	if !strings.Contains(out, "rule r fired") {
+		t.Errorf("firing not reported: %q", out)
+	}
+	out = capture(t, func() { run(db, `select * from t;`) })
+	if !strings.Contains(out, "1 row(s)") {
+		t.Errorf("row count missing: %q", out)
+	}
+}
+
+func TestRunRollbackReported(t *testing.T) {
+	db := shellDB(t)
+	db.MustExec(`create rule guard when inserted into t
+		if exists (select * from inserted t where a = 13) then rollback`)
+	out := capture(t, func() { run(db, `insert into t values (13);`) })
+	if !strings.Contains(out, "ROLLED BACK") || !strings.Contains(out, "guard") {
+		t.Errorf("rollback not reported: %q", out)
+	}
+}
+
+func TestRunError(t *testing.T) {
+	db := shellDB(t)
+	// Errors go to stderr; stdout stays clean and the shell keeps going.
+	out := capture(t, func() { run(db, `select * from nosuch;`) })
+	if strings.Contains(out, "nosuch") {
+		t.Errorf("error leaked to stdout: %q", out)
+	}
+}
+
+func TestMetaCommands(t *testing.T) {
+	db := shellDB(t)
+	cases := []struct {
+		cmd  string
+		want string
+	}{
+		{".tables", "t"},
+		{".rules", "r"},
+		{".analyze", "no warnings"},
+		{".stats", "committed="},
+		{".help", ".dump"},
+		{".nosuchcmd", ""}, // error on stderr, nothing on stdout
+	}
+	for _, c := range cases {
+		out := capture(t, func() {
+			if !meta(db, c.cmd) {
+				t.Errorf("%s terminated the shell", c.cmd)
+			}
+		})
+		if c.want != "" && !strings.Contains(out, c.want) {
+			t.Errorf("%s output %q missing %q", c.cmd, out, c.want)
+		}
+	}
+	if meta(db, ".quit") {
+		t.Error(".quit should terminate")
+	}
+	if meta(db, ".exit") {
+		t.Error(".exit should terminate")
+	}
+}
+
+func TestMetaTrace(t *testing.T) {
+	db := shellDB(t)
+	out := capture(t, func() {
+		meta(db, ".trace on")
+		run(db, `insert into t values (-5);`)
+		meta(db, ".trace off")
+	})
+	for _, frag := range []string{"trace on", "external transition", "fire r", "commit", "trace off"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("trace output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMetaDumpLoad(t *testing.T) {
+	db := shellDB(t)
+	db.MustExec(`insert into t values (7)`)
+	dir := t.TempDir()
+	file := dir + "/dump.sql"
+	out := capture(t, func() { meta(db, ".dump "+file) })
+	if !strings.Contains(out, "dumped to") {
+		t.Fatalf("dump: %q", out)
+	}
+	db2 := sopr.Open()
+	out = capture(t, func() { meta(db2, ".load "+file) })
+	if !strings.Contains(out, "loaded") {
+		t.Fatalf("load: %q", out)
+	}
+	if db2.MustQuery(`select a from t`).Data[0][0] != int64(7) {
+		t.Error("loaded data wrong")
+	}
+	// Dump to stdout.
+	out = capture(t, func() { meta(db, ".dump") })
+	if !strings.Contains(out, "CREATE TABLE t") {
+		t.Errorf("stdout dump: %q", out)
+	}
+	// Load usage / missing file errors stay off stdout.
+	capture(t, func() { meta(db, ".load") })
+	capture(t, func() { meta(db, ".load /nonexistent/nope.sql") })
+}

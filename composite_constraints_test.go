@@ -1,0 +1,131 @@
+package sopr
+
+import (
+	"strings"
+	"testing"
+)
+
+func compositeDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	db.MustExec(`
+		create table region (country varchar, city varchar, pop int);
+		create table office (name varchar, country varchar, city varchar);
+	`)
+	db.MustExec(`insert into region values ('us', 'sf', 800), ('us', 'ny', 8000), ('de', 'muc', 1500)`)
+	return db
+}
+
+func TestCompositeForeignKey(t *testing.T) {
+	db := compositeDB(t)
+	fk := ForeignKeyComposite("office_region", "office",
+		[]string{"country", "city"}, "region", []string{"country", "city"}, CascadeDelete)
+	if err := db.AddConstraint(fk); err != nil {
+		t.Fatal(err)
+	}
+	// Valid reference.
+	res := db.MustExec(`insert into office values ('hq', 'us', 'sf')`)
+	if res.RolledBack {
+		t.Fatal("valid composite reference rejected")
+	}
+	// Key exists only as a pair: ('us','muc') has both halves present in
+	// some row, but not together.
+	res = db.MustExec(`insert into office values ('bad', 'us', 'muc')`)
+	if !res.RolledBack {
+		t.Error("cross-pair reference accepted")
+	}
+	// All-NULL key = no reference, allowed.
+	res = db.MustExec(`insert into office values ('nowhere', null, null)`)
+	if res.RolledBack {
+		t.Error("all-NULL composite key rejected")
+	}
+	// Partially NULL key rejected.
+	res = db.MustExec(`insert into office values ('half', 'us', null)`)
+	if !res.RolledBack {
+		t.Error("partially NULL composite key accepted")
+	}
+	// Updating one key column to break the pair rolls back.
+	res = db.MustExec(`update office set city = 'muc' where name = 'hq'`)
+	if !res.RolledBack {
+		t.Error("FK-breaking update accepted")
+	}
+	// Cascade on parent delete removes matching children only.
+	db.MustExec(`insert into office values ('branch', 'us', 'ny')`)
+	res = db.MustExec(`delete from region where city = 'sf'`)
+	if res.RolledBack {
+		t.Fatal("cascade rolled back")
+	}
+	rows := db.MustQuery(`select name from office where country is not null order by name`)
+	if len(rows.Data) != 1 || rows.Data[0][0] != "branch" {
+		t.Errorf("after cascade: %v", rows.Data)
+	}
+}
+
+func TestCompositeForeignKeyRestrictAndSetNull(t *testing.T) {
+	db := compositeDB(t)
+	if err := db.AddConstraint(ForeignKeyComposite("fk", "office",
+		[]string{"country", "city"}, "region", []string{"country", "city"}, RestrictDelete)); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`insert into office values ('hq', 'us', 'sf')`)
+	if res := db.MustExec(`delete from region where city = 'sf'`); !res.RolledBack {
+		t.Error("restrict did not roll back")
+	}
+	if res := db.MustExec(`delete from region where city = 'muc'`); res.RolledBack {
+		t.Error("unreferenced parent delete rolled back")
+	}
+
+	db2 := compositeDB(t)
+	if err := db2.AddConstraint(ForeignKeyComposite("fk", "office",
+		[]string{"country", "city"}, "region", []string{"country", "city"}, SetNullDelete)); err != nil {
+		t.Fatal(err)
+	}
+	db2.MustExec(`insert into office values ('hq', 'us', 'sf')`)
+	if res := db2.MustExec(`delete from region where city = 'sf'`); res.RolledBack {
+		t.Fatal("set-null rolled back")
+	}
+	rows := db2.MustQuery(`select country, city from office where name = 'hq'`)
+	if rows.Data[0][0] != nil || rows.Data[0][1] != nil {
+		t.Errorf("set-null: %v", rows.Data)
+	}
+}
+
+func TestUniqueColumns(t *testing.T) {
+	db := compositeDB(t)
+	if err := db.AddConstraint(UniqueColumns("region_key", "region", "country", "city")); err != nil {
+		t.Fatal(err)
+	}
+	if res := db.MustExec(`insert into region values ('us', 'sf', 1)`); !res.RolledBack {
+		t.Error("duplicate composite key accepted")
+	}
+	if res := db.MustExec(`insert into region values ('us', 'muc', 1)`); res.RolledBack {
+		t.Error("fresh pair rejected")
+	}
+	// Updates re-check.
+	if res := db.MustExec(`update region set city = 'ny' where city = 'sf'`); !res.RolledBack {
+		t.Error("update to duplicate pair accepted")
+	}
+	// NULL in any key column exempts the row.
+	if res := db.MustExec(`insert into region values ('us', null, 1), ('us', null, 2)`); res.RolledBack {
+		t.Error("NULL-keyed rows rejected")
+	}
+}
+
+func TestCompositeCompileErrors(t *testing.T) {
+	if _, err := CompileConstraint(ForeignKeyComposite("x", "c", []string{"a"}, "p", []string{"k1", "k2"}, CascadeDelete)); err == nil {
+		t.Error("mismatched key lengths accepted")
+	}
+	if _, err := CompileConstraint(ForeignKeyComposite("x", "c", nil, "p", nil, CascadeDelete)); err == nil {
+		t.Error("empty key lists accepted")
+	}
+	if _, err := CompileConstraint(UniqueColumns("x", "t")); err == nil {
+		t.Error("empty unique column list accepted")
+	}
+	if _, err := CompileConstraint(UniqueColumns("x", "t", "a b")); err == nil {
+		t.Error("bad identifier accepted")
+	}
+	stmts, err := CompileConstraint(UniqueColumns("k", "t", "a", "b"))
+	if err != nil || len(stmts) != 1 || !strings.Contains(stmts[0], "group by a, b") {
+		t.Errorf("compile: %v %v", stmts, err)
+	}
+}

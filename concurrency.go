@@ -1,0 +1,77 @@
+package sopr
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The paper's model of system execution is a single stream of operation
+// blocks — "multiple users, concurrent processing, and failures are all
+// transparent" (Section 2.1) — so DB itself is not safe for concurrent use.
+// SynchronizedDB serializes a DB behind a mutex for callers that want to
+// share one database between goroutines; each Exec call remains one
+// operation block, so rule semantics are unchanged: concurrent Execs are
+// simply interleaved as a stream of transactions.
+type SynchronizedDB struct {
+	mu sync.Mutex
+	db *DB
+}
+
+// Synchronized wraps a DB for concurrent use. The wrapped DB must not be
+// used directly afterwards.
+func Synchronized(db *DB) *SynchronizedDB {
+	return &SynchronizedDB{db: db}
+}
+
+// Exec runs a script as one serialized operation block.
+func (s *SynchronizedDB) Exec(src string) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Exec(src)
+}
+
+// Query evaluates a SELECT under the lock.
+func (s *SynchronizedDB) Query(src string) (*Rows, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Query(src)
+}
+
+// Stats returns counters under the lock.
+func (s *SynchronizedDB) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Stats()
+}
+
+// Dump serializes the database under the lock.
+func (s *SynchronizedDB) Dump(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Dump(w)
+}
+
+// TraceTo writes a human-readable line per rule-processing event to w
+// (the same format the soprsh `.trace on` command uses). Pass nil to stop
+// tracing. It is a convenience over OnTrace.
+func (db *DB) TraceTo(w io.Writer) {
+	if w == nil {
+		db.OnTrace(nil)
+		return
+	}
+	db.OnTrace(func(ev TraceEvent) {
+		switch ev.Kind {
+		case TraceExternalTransition:
+			fmt.Fprintf(w, "-- external transition %s\n", ev.Effect)
+		case TraceRuleConsidered:
+			fmt.Fprintf(w, "-- consider %s (condition=%v) %s\n", ev.Rule, ev.CondHeld, ev.Effect)
+		case TraceRuleFired:
+			fmt.Fprintf(w, "-- fire %s %s\n", ev.Rule, ev.Effect)
+		case TraceRollback:
+			fmt.Fprintf(w, "-- rollback by %s\n", ev.Rule)
+		case TraceCommit:
+			fmt.Fprintf(w, "-- commit\n")
+		}
+	})
+}

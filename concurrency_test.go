@@ -1,0 +1,98 @@
+package sopr
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSynchronizedDB(t *testing.T) {
+	db := Open()
+	db.MustExec(`create table t (id int, v int)`)
+	db.MustExec(`
+		create rule nonneg when inserted into t
+		if exists (select * from inserted t where v < 0)
+		then rollback
+	`)
+	sdb := Synchronized(db)
+
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := w*perWorker + i
+				v := id % 5
+				if id%10 == 0 {
+					v = -1 // every tenth insert is rejected by the rule
+				}
+				if _, err := sdb.Exec(fmt.Sprintf(`insert into t values (%d, %d)`, id, v)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rows, err := sdb.Query(`select count(*) from t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(workers*perWorker - workers*perWorker/10)
+	if rows.Data[0][0] != want {
+		t.Errorf("count = %v, want %d", rows.Data[0][0], want)
+	}
+	s := sdb.Stats()
+	if s.Committed != want || s.RolledBack != int64(workers*perWorker/10) {
+		t.Errorf("stats: %+v", s)
+	}
+	var b strings.Builder
+	if err := sdb.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "CREATE TABLE t") {
+		t.Error("dump through wrapper")
+	}
+}
+
+func TestTraceTo(t *testing.T) {
+	db := Open()
+	db.MustExec(`create table t (a int)`)
+	db.MustExec(`create rule r when inserted into t then delete from t where a < 0 end`)
+	var b strings.Builder
+	db.TraceTo(&b)
+	db.MustExec(`insert into t values (-1)`)
+	out := b.String()
+	for _, frag := range []string{"external transition", "consider r", "fire r", "commit"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("trace missing %q:\n%s", frag, out)
+		}
+	}
+	db.TraceTo(nil)
+	n := len(b.String())
+	db.MustExec(`insert into t values (2)`)
+	if len(b.String()) != n {
+		t.Error("tracing not stopped")
+	}
+	// Rollback events traced too.
+	db.MustExec(`create rule g when deleted from t then rollback`)
+	var b2 strings.Builder
+	db.TraceTo(&b2)
+	db.MustExec(`delete from t`)
+	if !strings.Contains(b2.String(), "rollback by g") {
+		t.Errorf("rollback trace: %q", b2.String())
+	}
+}

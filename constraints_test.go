@@ -1,0 +1,210 @@
+package sopr
+
+import (
+	"strings"
+	"testing"
+)
+
+func constraintDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	db.MustExec(`
+		create table dept (dept_no int, mgr_no int);
+		create table emp (name varchar, emp_no int, salary float, dept_no int);
+	`)
+	db.MustExec(`insert into dept values (1, 10), (2, 20)`)
+	return db
+}
+
+func TestForeignKeyCascade(t *testing.T) {
+	db := constraintDB(t)
+	fk := ForeignKey("emp_dept", "emp", "dept_no", "dept", "dept_no", CascadeDelete)
+	if err := db.AddConstraint(fk); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`insert into emp values ('a', 1, 10, 1), ('b', 2, 10, 2)`)
+
+	// Orphan insert rolls back.
+	res := db.MustExec(`insert into emp values ('x', 3, 10, 99)`)
+	if !res.RolledBack {
+		t.Error("orphan insert not rolled back")
+	}
+	// NULL FK is allowed.
+	res = db.MustExec(`insert into emp values ('n', 4, 10, null)`)
+	if res.RolledBack {
+		t.Error("NULL FK rejected")
+	}
+	// Re-pointing to a missing parent rolls back.
+	res = db.MustExec(`update emp set dept_no = 77 where emp_no = 1`)
+	if !res.RolledBack {
+		t.Error("orphan update not rolled back")
+	}
+	// Parent delete cascades.
+	res = db.MustExec(`delete from dept where dept_no = 1`)
+	if res.RolledBack {
+		t.Fatal("cascade rolled back")
+	}
+	if db.MustQuery(`select count(*) from emp where dept_no = 1`).Data[0][0] != int64(0) {
+		t.Error("cascade delete failed")
+	}
+	// Updating a referenced parent key rolls back.
+	res = db.MustExec(`update dept set dept_no = 5 where dept_no = 2`)
+	if !res.RolledBack {
+		t.Error("referenced key update not rolled back")
+	}
+	// Dropping the constraint removes enforcement.
+	if err := db.DropConstraint(fk); err != nil {
+		t.Fatal(err)
+	}
+	res = db.MustExec(`insert into emp values ('x', 9, 10, 99)`)
+	if res.RolledBack {
+		t.Error("constraint still enforced after drop")
+	}
+}
+
+func TestForeignKeyRestrictAndSetNull(t *testing.T) {
+	db := constraintDB(t)
+	if err := db.AddConstraint(ForeignKey("fk", "emp", "dept_no", "dept", "dept_no", RestrictDelete)); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`insert into emp values ('a', 1, 10, 1)`)
+	res := db.MustExec(`delete from dept where dept_no = 1`)
+	if !res.RolledBack {
+		t.Error("restrict did not roll back")
+	}
+	// Unreferenced parent can go.
+	res = db.MustExec(`delete from dept where dept_no = 2`)
+	if res.RolledBack {
+		t.Error("restrict rolled back unreferenced delete")
+	}
+
+	db2 := constraintDB(t)
+	if err := db2.AddConstraint(ForeignKey("fk", "emp", "dept_no", "dept", "dept_no", SetNullDelete)); err != nil {
+		t.Fatal(err)
+	}
+	db2.MustExec(`insert into emp values ('a', 1, 10, 1)`)
+	res = db2.MustExec(`delete from dept where dept_no = 1`)
+	if res.RolledBack {
+		t.Fatal("set-null rolled back")
+	}
+	if db2.MustQuery(`select dept_no from emp where emp_no = 1`).Data[0][0] != nil {
+		t.Error("FK not set to NULL")
+	}
+}
+
+func TestCheckConstraint(t *testing.T) {
+	db := constraintDB(t)
+	if err := db.AddConstraint(Check("pay", "emp", "salary >= 0 and salary <= 1000000")); err != nil {
+		t.Fatal(err)
+	}
+	res := db.MustExec(`insert into emp values ('ok', 1, 500, 1)`)
+	if res.RolledBack {
+		t.Error("valid row rejected")
+	}
+	res = db.MustExec(`insert into emp values ('bad', 2, -1, 1)`)
+	if !res.RolledBack {
+		t.Error("negative salary accepted")
+	}
+	res = db.MustExec(`update emp set salary = 2000000 where emp_no = 1`)
+	if !res.RolledBack {
+		t.Error("out-of-range update accepted")
+	}
+	if db.MustQuery(`select salary from emp`).Data[0][0] != 500.0 {
+		t.Error("state corrupted")
+	}
+}
+
+func TestUniqueConstraint(t *testing.T) {
+	db := constraintDB(t)
+	if err := db.AddConstraint(UniqueColumn("u", "emp", "emp_no")); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`insert into emp values ('a', 1, 10, 1)`)
+	res := db.MustExec(`insert into emp values ('b', 1, 10, 1)`)
+	if !res.RolledBack {
+		t.Error("duplicate accepted")
+	}
+	res = db.MustExec(`insert into emp values ('b', 2, 10, 1)`)
+	if res.RolledBack {
+		t.Error("distinct value rejected")
+	}
+	// Two NULLs are fine.
+	db.MustExec(`create table t (a int)`)
+	if err := db.AddConstraint(UniqueColumn("tn", "t", "a")); err != nil {
+		t.Fatal(err)
+	}
+	res = db.MustExec(`insert into t values (null), (null)`)
+	if res.RolledBack {
+		t.Error("multiple NULLs rejected")
+	}
+}
+
+func TestMaintainAggregate(t *testing.T) {
+	db := constraintDB(t)
+	db.MustExec(`create table totals (dept_no int, total float)`)
+	if err := db.AddConstraint(MaintainAggregate("payroll", "totals", "emp", "dept_no", "sum", "salary")); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`insert into emp values ('a', 1, 100, 1), ('b', 2, 50, 1), ('c', 3, 70, 2)`)
+	rows := db.MustQuery(`select dept_no, total from totals order by dept_no`)
+	if len(rows.Data) != 2 || rows.Data[0][1] != 150.0 || rows.Data[1][1] != 70.0 {
+		t.Fatalf("totals after insert: %v", rows.Data)
+	}
+	db.MustExec(`update emp set salary = 200 where emp_no = 1`)
+	rows = db.MustQuery(`select total from totals where dept_no = 1`)
+	if rows.Data[0][0] != 250.0 {
+		t.Errorf("totals after update: %v", rows.Data)
+	}
+	db.MustExec(`delete from emp where dept_no = 1`)
+	rows = db.MustQuery(`select dept_no from totals order by dept_no`)
+	if len(rows.Data) != 1 || rows.Data[0][0] != int64(2) {
+		t.Errorf("totals after delete: %v", rows.Data)
+	}
+}
+
+func TestAddConstraintErrors(t *testing.T) {
+	db := constraintDB(t)
+	// Bad identifiers surface compile errors.
+	if err := db.AddConstraint(Check("bad name", "emp", "true")); err == nil {
+		t.Error("invalid constraint name accepted")
+	}
+	// Unknown table surfaces install errors and rolls back partial rules.
+	err := db.AddConstraint(ForeignKey("fk", "nosuch", "a", "dept", "dept_no", CascadeDelete))
+	if err == nil {
+		t.Fatal("constraint on missing table accepted")
+	}
+	if !strings.Contains(err.Error(), "installing constraint") {
+		t.Errorf("error: %v", err)
+	}
+	if len(db.Rules()) != 0 {
+		t.Errorf("partial rules left installed: %v", db.Rules())
+	}
+	// CompileConstraint exposes the generated SQL.
+	stmts, err := CompileConstraint(Check("c", "emp", "salary >= 0"))
+	if err != nil || len(stmts) != 1 || !strings.Contains(stmts[0], "create rule c_domain") {
+		t.Errorf("CompileConstraint: %v, %v", stmts, err)
+	}
+	// DropConstraint on a never-added constraint errors.
+	if err := db.DropConstraint(Check("ghost", "emp", "true")); err == nil {
+		t.Error("dropping missing constraint succeeded")
+	}
+}
+
+func TestConstraintsCompose(t *testing.T) {
+	// Multiple constraints interact: cascade delete keeps the aggregate
+	// fresh through rule cascading.
+	db := constraintDB(t)
+	db.MustExec(`create table totals (dept_no int, total float)`)
+	if err := db.AddConstraint(ForeignKey("fk", "emp", "dept_no", "dept", "dept_no", CascadeDelete)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddConstraint(MaintainAggregate("agg", "totals", "emp", "dept_no", "sum", "salary")); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`insert into emp values ('a', 1, 100, 1), ('b', 2, 60, 2)`)
+	db.MustExec(`delete from dept where dept_no = 1`)
+	rows := db.MustQuery(`select dept_no, total from totals order by dept_no`)
+	if len(rows.Data) != 1 || rows.Data[0][0] != int64(2) || rows.Data[0][1] != 60.0 {
+		t.Errorf("composed constraints: %v", rows.Data)
+	}
+}

@@ -1,0 +1,133 @@
+package sopr
+
+// Cross-feature interaction tests: combinations of extensions that could
+// plausibly conflict.
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelectTriggersWithProcessRulesAndRollback — Section 5.1 selections,
+// a 5.3 triggering point, and a rollback guard in one transaction.
+func TestSelectTriggersWithProcessRulesAndRollback(t *testing.T) {
+	db := Open(WithSelectTriggers())
+	db.MustExec(`
+		create table secrets (k varchar);
+		create table audit (n int)
+	`)
+	db.MustExec(`
+		create rule watch when selected secrets
+		then insert into audit values (1)
+		end;
+		create rule limit_reads when inserted into audit
+		if (select count(*) from audit) > 2
+		then rollback
+	`)
+	db.MustExec(`insert into secrets values ('a'), ('b')`)
+	// Two reads are fine.
+	db.MustExec(`select * from secrets`)
+	db.MustExec(`select * from secrets`)
+	if db.MustQuery(`select count(*) from audit`).Data[0][0] != int64(2) {
+		t.Fatal("audit count")
+	}
+	// The third read trips the guard: the whole transaction — including
+	// the audit insert — rolls back, and the read's results are still
+	// returned (the query ran before the rollback).
+	res := db.MustExec(`select * from secrets`)
+	if !res.RolledBack || res.RollbackRule != "limit_reads" {
+		t.Fatalf("expected rollback: %+v", res)
+	}
+	if len(res.Results) != 1 || len(res.Results[0].Data) != 2 {
+		t.Errorf("query results: %+v", res.Results)
+	}
+	if db.MustQuery(`select count(*) from audit`).Data[0][0] != int64(2) {
+		t.Error("rolled-back audit entry persisted")
+	}
+}
+
+// TestCompositeConstraintsSurviveDumpLoad — constraint-generated rules are
+// plain rules, so dump/load preserves multi-column enforcement.
+func TestCompositeConstraintsSurviveDumpLoad(t *testing.T) {
+	db := Open()
+	db.MustExec(`
+		create table region (country varchar, city varchar);
+		create table office (name varchar, country varchar, city varchar)
+	`)
+	db.MustExec(`insert into region values ('us', 'sf')`)
+	if err := db.AddConstraint(ForeignKeyComposite("loc", "office",
+		[]string{"country", "city"}, "region", []string{"country", "city"}, RestrictDelete)); err != nil {
+		t.Fatal(err)
+	}
+	script, err := db.DumpString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := Open()
+	if err := db2.LoadString(script); err != nil {
+		t.Fatalf("load: %v\n%s", err, script)
+	}
+	if res := db2.MustExec(`insert into office values ('x', 'us', 'nope')`); !res.RolledBack {
+		t.Error("composite FK not enforced after load")
+	}
+	db2.MustExec(`insert into office values ('x', 'us', 'sf')`)
+	if res := db2.MustExec(`delete from region`); !res.RolledBack {
+		t.Error("restrict not enforced after load")
+	}
+}
+
+// TestConstraintPlusUserRulePriorities — user rules can be prioritized
+// against constraint-generated rules by their generated names.
+func TestConstraintPlusUserRulePriorities(t *testing.T) {
+	db := Open()
+	db.MustExec(`
+		create table t (a int);
+		create table trace (who varchar)
+	`)
+	if err := db.AddConstraint(Check("nonneg", "t", "a >= 0")); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`
+		create rule logger when inserted into t
+		then insert into trace values ('logger')
+		end;
+		create rule priority nonneg_domain before logger
+	`)
+	// Violation: the guard wins before the logger runs, so no trace row
+	// survives (and none was written: rollback precedes logger).
+	res := db.MustExec(`insert into t values (-1)`)
+	if !res.RolledBack {
+		t.Fatal("check not enforced")
+	}
+	if db.MustQuery(`select count(*) from trace`).Data[0][0] != int64(0) {
+		t.Error("logger output survived rollback")
+	}
+	// Valid insert: guard condition false, logger runs.
+	db.MustExec(`insert into t values (5)`)
+	if db.MustQuery(`select count(*) from trace`).Data[0][0] != int64(1) {
+		t.Error("logger did not run")
+	}
+}
+
+// TestPreparedWithTrace — prepared execution emits the same trace events
+// as textual execution.
+func TestPreparedWithTrace(t *testing.T) {
+	db := Open()
+	db.MustExec(`create table t (a int)`)
+	db.MustExec(`create rule r when inserted into t then delete from t where a < 0 end`)
+	var b1, b2 strings.Builder
+	stmt, err := db.Prepare(`insert into t values (-1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.TraceTo(&b1)
+	if _, err := stmt.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	db.TraceTo(&b2)
+	db.MustExec(`insert into t values (-1)`)
+	db.TraceTo(nil)
+	if b1.String() != b2.String() {
+		t.Errorf("prepared trace differs:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}

@@ -1,0 +1,27 @@
+package sopr
+
+import (
+	"io"
+	"strings"
+)
+
+// Dump writes a SQL script recreating the database: schemas, data (before
+// the rules, so reloading does not fire them), rule definitions, priorities
+// and deactivations. Rules whose actions call external procedures are
+// emitted but need the procedures registered before the script is loaded.
+func (db *DB) Dump(w io.Writer) error { return db.eng.Dump(w) }
+
+// DumpString is Dump into a string.
+func (db *DB) DumpString() (string, error) {
+	var b strings.Builder
+	if err := db.Dump(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Load executes a dump script against this database.
+func (db *DB) Load(r io.Reader) error { return db.eng.Load(r) }
+
+// LoadString is Load from a string.
+func (db *DB) LoadString(src string) error { return db.eng.Load(strings.NewReader(src)) }

@@ -1,0 +1,161 @@
+package sopr
+
+import (
+	"strings"
+	"testing"
+)
+
+// populateForDump builds a database with schema, data (including NULLs,
+// strings needing escaping, floats, booleans), rules, a priority, and a
+// deactivated rule.
+func populateForDump(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	db.MustExec(`
+		create table emp (name varchar, emp_no int not null, salary float, dept_no int);
+		create table dept (dept_no int, mgr_no int);
+		create table flags (label varchar, onoff boolean);
+	`)
+	db.MustExec(`
+		insert into emp values ('o''hara', 1, 95000.5, 1), ('sue', 2, null, null);
+		insert into dept values (1, 1);
+		insert into flags values ('a', true), ('b', false)
+	`)
+	db.MustExec(`
+		create rule cascade when deleted from dept
+		then delete from emp where dept_no in (select dept_no from deleted dept)
+		end;
+		create rule guard when updated emp.salary
+		if exists (select * from new updated emp.salary where salary < 0)
+		then rollback;
+		create rule sleeper when inserted into flags then delete from flags end;
+		create rule priority guard before cascade;
+		deactivate rule sleeper
+	`)
+	return db
+}
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	db := populateForDump(t)
+	script, err := db.DumpString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"CREATE TABLE emp", "CREATE TABLE dept", "CREATE TABLE flags",
+		"'o''hara'", "NULL", "TRUE", "FALSE",
+		"CREATE RULE cascade", "CREATE RULE guard", "ROLLBACK",
+		"CREATE RULE PRIORITY guard BEFORE cascade",
+		"DEACTIVATE RULE sleeper",
+	} {
+		if !strings.Contains(script, frag) {
+			t.Errorf("dump missing %q:\n%s", frag, script)
+		}
+	}
+	// Data must appear before the first rule so loading does not fire
+	// rules.
+	if strings.Index(script, "INSERT INTO") > strings.Index(script, "CREATE RULE") {
+		t.Error("dump emits rules before data")
+	}
+
+	// Load into a fresh database and compare observable state.
+	db2 := Open()
+	if err := db2.LoadString(script); err != nil {
+		t.Fatalf("load: %v\n%s", err, script)
+	}
+	for _, q := range []string{
+		`select count(*) from emp`,
+		`select count(*) from dept`,
+		`select name from emp order by emp_no`,
+		`select salary from emp order by emp_no`,
+		`select label, onoff from flags order by label`,
+	} {
+		a := db.MustQuery(q)
+		b := db2.MustQuery(q)
+		if len(a.Data) != len(b.Data) {
+			t.Fatalf("%s: %v vs %v", q, a.Data, b.Data)
+		}
+		for i := range a.Data {
+			for j := range a.Data[i] {
+				if a.Data[i][j] != b.Data[i][j] {
+					t.Errorf("%s row %d col %d: %v vs %v", q, i, j, a.Data[i][j], b.Data[i][j])
+				}
+			}
+		}
+	}
+	if got, want := strings.Join(db2.Rules(), ","), strings.Join(db.Rules(), ","); got != want {
+		t.Errorf("rules after load: %s, want %s", got, want)
+	}
+
+	// Behavior round-trips: cascade still works, guard still rolls back,
+	// sleeper stays deactivated, priority survives.
+	res := db2.MustExec(`update emp set salary = -5 where emp_no = 1`)
+	if !res.RolledBack || res.RollbackRule != "guard" {
+		t.Errorf("guard after load: %+v", res)
+	}
+	res = db2.MustExec(`insert into flags values ('c', true)`)
+	if len(res.Firings) != 0 {
+		t.Error("deactivated rule fired after load")
+	}
+	db2.MustExec(`delete from dept`)
+	if db2.MustQuery(`select count(*) from emp where dept_no = 1`).Data[0][0] != int64(0) {
+		t.Error("cascade after load failed")
+	}
+
+	// A dump of the loaded database is stable (fixpoint), modulo the
+	// changes we just made — so compare dumps taken before mutation.
+	db3 := Open()
+	if err := db3.LoadString(script); err != nil {
+		t.Fatal(err)
+	}
+	script3, err := db3.DumpString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if script3 != script {
+		t.Errorf("dump not stable across load:\n--- first ---\n%s\n--- second ---\n%s", script, script3)
+	}
+}
+
+func TestDumpEmptyDatabase(t *testing.T) {
+	db := Open()
+	s, err := db.DumpString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(s) != "" {
+		t.Errorf("empty dump: %q", s)
+	}
+	db2 := Open()
+	if err := db2.LoadString(s); err != nil {
+		t.Errorf("loading empty dump: %v", err)
+	}
+}
+
+func TestDumpManyRowsBatches(t *testing.T) {
+	db := Open()
+	db.MustExec(`create table t (a int)`)
+	var b strings.Builder
+	b.WriteString("insert into t values ")
+	for i := 0; i < 1200; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(1)")
+	}
+	db.MustExec(b.String())
+	script, err := db.DumpString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(script, "INSERT INTO t"); n != 3 {
+		t.Errorf("batches: %d, want 3 (500+500+200)", n)
+	}
+	db2 := Open()
+	if err := db2.LoadString(script); err != nil {
+		t.Fatal(err)
+	}
+	if db2.MustQuery(`select count(*) from t`).Data[0][0] != int64(1200) {
+		t.Error("row count after load")
+	}
+}

@@ -1,0 +1,82 @@
+package sopr_test
+
+import (
+	"fmt"
+
+	"sopr"
+)
+
+// ExampleOpen shows the paper's Example 3.1: cascaded-delete referential
+// integrity via a set-oriented production rule.
+func ExampleOpen() {
+	db := sopr.Open()
+	db.MustExec(`create table emp (name varchar, emp_no int, salary float, dept_no int)`)
+	db.MustExec(`create table dept (dept_no int, mgr_no int)`)
+	db.MustExec(`
+		create rule cascade when deleted from dept
+		then delete from emp where dept_no in (select dept_no from deleted dept)
+		end`)
+	db.MustExec(`
+		insert into emp values ('ann', 1, 100, 7), ('bob', 2, 90, 7), ('cay', 3, 80, 8);
+		insert into dept values (7, 1), (8, 3)`)
+
+	res := db.MustExec(`delete from dept where dept_no = 7`)
+	fmt.Println("firings:", len(res.Firings), res.Firings[0].Rule)
+	fmt.Println(db.MustQuery(`select name from emp order by name`))
+	// Output:
+	// firings: 1 cascade
+	// name
+	// ----
+	// cay
+}
+
+// ExampleDB_AddConstraint compiles a declarative CHECK constraint into a
+// production rule with a ROLLBACK action ([CW90] facility).
+func ExampleDB_AddConstraint() {
+	db := sopr.Open()
+	db.MustExec(`create table emp (name varchar, emp_no int, salary float, dept_no int)`)
+	if err := db.AddConstraint(sopr.Check("pay", "emp", "salary >= 0")); err != nil {
+		panic(err)
+	}
+	res := db.MustExec(`insert into emp values ('bad', 1, -5, 1)`)
+	fmt.Println("rolled back:", res.RolledBack, "by", res.RollbackRule)
+	// Output:
+	// rolled back: true by pay_domain
+}
+
+// ExampleDB_OnTrace observes the Figure 1 algorithm's steps.
+func ExampleDB_OnTrace() {
+	db := sopr.Open()
+	db.MustExec(`create table t (a int)`)
+	db.MustExec(`create rule r when inserted into t then delete from t where a < 0 end`)
+	db.OnTrace(func(ev sopr.TraceEvent) {
+		if ev.Kind == sopr.TraceRuleFired {
+			fmt.Println("fired", ev.Rule, ev.Effect)
+		}
+	})
+	db.MustExec(`insert into t values (1), (-2), (-3)`)
+	// The rule's set-oriented action deletes both negative rows at once.
+	// Output:
+	// fired r [I:0 D:2 U:0 S:0]
+}
+
+// ExampleDB_Query shows transition tables carrying old and new values
+// (paper Example 3.2 pattern).
+func ExampleDB_Query() {
+	db := sopr.Open()
+	db.MustExec(`create table emp (name varchar, salary float)`)
+	db.MustExec(`create table raises (name varchar, old_sal float, new_sal float)`)
+	db.MustExec(`
+		create rule log_raises when updated emp.salary
+		then insert into raises
+		     (select o.name, o.salary, n.salary
+		      from old updated emp.salary o, new updated emp.salary n
+		      where o.name = n.name)
+		end`)
+	db.MustExec(`insert into emp values ('ann', 1000)`)
+	db.MustExec(`update emp set salary = salary * 1.1`)
+	rows := db.MustQuery(`select name, old_sal, new_sal from raises`)
+	fmt.Println(rows.Data[0])
+	// Output:
+	// [ann 1000 1100]
+}

@@ -1,0 +1,74 @@
+// Integrity demonstrates the constraint-compilation facility of Section 6
+// (developed in [CW90]): declarative constraints — foreign keys, domain
+// checks, uniqueness, derived aggregates — are compiled into sets of
+// production rules that enforce them, including via ROLLBACK actions.
+//
+//	go run ./examples/integrity
+package main
+
+import (
+	"fmt"
+
+	"sopr"
+)
+
+func main() {
+	db := sopr.Open()
+	db.MustExec(`
+		create table dept (dept_no int, mgr_no int);
+		create table emp (name varchar, emp_no int not null, salary float, dept_no int);
+		create table payroll (dept_no int, total float);
+	`)
+
+	constraintsToAdd := []struct {
+		label string
+		c     sopr.Constraint
+	}{
+		{"emp.dept_no → dept.dept_no (cascade delete)",
+			sopr.ForeignKey("emp_dept", "emp", "dept_no", "dept", "dept_no", sopr.CascadeDelete)},
+		{"salaries must lie in [0, 1M]",
+			sopr.Check("pay_range", "emp", "salary >= 0 and salary <= 1000000")},
+		{"employee numbers are unique",
+			sopr.UniqueColumn("emp_no_uniq", "emp", "emp_no")},
+		{"payroll(dept_no, total) mirrors sum(salary) by department",
+			sopr.MaintainAggregate("payroll_sum", "payroll", "emp", "dept_no", "sum", "salary")},
+	}
+	for _, x := range constraintsToAdd {
+		stmts, err := sopr.CompileConstraint(x.c)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("constraint %q compiles to %d rule(s)\n", x.label, len(stmts))
+		if err := db.AddConstraint(x.c); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("\ninstalled rules:", db.Rules())
+
+	db.MustExec(`insert into dept values (1, 10), (2, 20)`)
+	db.MustExec(`insert into emp values ('ann', 1, 80000, 1), ('bob', 2, 60000, 1), ('cay', 3, 75000, 2)`)
+
+	fmt.Println("\nderived payroll table (maintained by a rule):")
+	fmt.Println(db.MustQuery(`select dept_no, total from payroll order by dept_no`))
+
+	show := func(label string, script string) {
+		res := db.MustExec(script)
+		verdict := "committed"
+		if res.RolledBack {
+			verdict = fmt.Sprintf("ROLLED BACK by rule %q", res.RollbackRule)
+		}
+		fmt.Printf("%-46s → %s\n", label, verdict)
+	}
+
+	fmt.Println("\nattempting violations:")
+	show("insert employee into missing dept 99", `insert into emp values ('eve', 4, 50000, 99)`)
+	show("negative salary", `insert into emp values ('neg', 5, -10, 1)`)
+	show("duplicate employee number", `insert into emp values ('dup', 1, 50000, 1)`)
+	show("re-point referenced dept key", `update dept set dept_no = 7 where dept_no = 1`)
+	show("legal raise for ann", `update emp set salary = 90000 where emp_no = 1`)
+
+	fmt.Println("\ncascade: deleting dept 1 removes its employees and refreshes payroll")
+	db.MustExec(`delete from dept where dept_no = 1`)
+	fmt.Println(db.MustQuery(`select name, dept_no from emp order by emp_no`))
+	fmt.Println(db.MustQuery(`select dept_no, total from payroll order by dept_no`))
+}

@@ -1,0 +1,102 @@
+// Inventory is an active-database scenario (the paper's introduction cites
+// condition monitoring and expert systems as motivating uses): a warehouse
+// where set-oriented rules reorder stock, audit price changes through an
+// external procedure (Section 5.2), and use PROCESS RULES triggering points
+// (Section 5.3) to interleave rule processing inside one transaction.
+//
+//	go run ./examples/inventory
+package main
+
+import (
+	"fmt"
+
+	"sopr"
+)
+
+func main() {
+	db := sopr.Open()
+	db.MustExec(`
+		create table stock  (sku varchar, qty int, price float, reorder_at int, reorder_qty int);
+		create table orders (sku varchar, qty int);
+		create table price_log (sku varchar, old_price float, new_price float);
+	`)
+
+	// Rule 1 — automatic reordering. Set-oriented: one firing covers every
+	// SKU that fell below its threshold in the transition, and the action
+	// is a single set-oriented insert.
+	db.MustExec(`
+		create rule reorder when updated stock.qty
+		then insert into orders
+		     (select sku, reorder_qty from new updated stock.qty
+		      where qty < reorder_at
+		        and sku not in (select sku from orders))
+		end
+	`)
+
+	// Rule 2 — a guard: stock can never go negative; violating
+	// transactions are rolled back in full (Section 4.2 rollback actions).
+	db.MustExec(`
+		create rule no_negative when updated stock.qty
+		if exists (select * from new updated stock.qty where qty < 0)
+		then rollback
+	`)
+
+	// Rule 3 — price auditing through an external procedure: the Go
+	// callback reads the rule's old/new transition tables and writes an
+	// audit trail.
+	db.RegisterProcedure("audit_prices", func(ctx *sopr.ProcContext) error {
+		rows, err := ctx.Query(`
+			select o.sku, o.price, n.price
+			from old updated stock.price o, new updated stock.price n
+			where o.sku = n.sku`)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows.Data {
+			if err := ctx.Exec(fmt.Sprintf(
+				`insert into price_log values ('%s', %v, %v)`, r[0], r[1], r[2])); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	db.MustExec(`create rule price_audit when updated stock.price then call audit_prices end`)
+
+	db.MustExec(`
+		insert into stock values
+			('bolt',   100, 0.10, 20, 200),
+			('nut',     50, 0.05, 20, 500),
+			('washer',  30, 0.02, 25, 300)
+	`)
+
+	fmt.Println("initial stock:")
+	fmt.Println(db.MustQuery(`select sku, qty, price from stock order by sku`))
+
+	// One business transaction: a big shipment draws down three SKUs, then
+	// a triggering point processes rules mid-transaction, then prices move.
+	fmt.Println("\nshipping 85 bolts, 35 nuts, 5 washers; then repricing (one transaction):")
+	res := db.MustExec(`
+		update stock set qty = qty - 85 where sku = 'bolt';
+		update stock set qty = qty - 35 where sku = 'nut';
+		update stock set qty = qty - 5 where sku = 'washer';
+		process rules;
+		update stock set price = price * 1.10 where sku in ('bolt', 'nut')
+	`)
+	for _, f := range res.Firings {
+		fmt.Printf("  fired %-12s %s\n", f.Rule, f.Effect)
+	}
+
+	fmt.Println("\nautomatic reorders (bolt and nut fell below threshold; washer did not):")
+	fmt.Println(db.MustQuery(`select sku, qty from orders order by sku`))
+
+	fmt.Println("\nprice audit trail (written by the external procedure):")
+	fmt.Println(db.MustQuery(`select sku, old_price, new_price from price_log order by sku`))
+
+	// Guard rule: drawing below zero rolls the whole transaction back.
+	fmt.Println("\nattempting to ship 1000 washers:")
+	res = db.MustExec(`update stock set qty = qty - 1000 where sku = 'washer'`)
+	if res.RolledBack {
+		fmt.Printf("  rolled back by rule %q; stock unchanged:\n", res.RollbackRule)
+	}
+	fmt.Println(db.MustQuery(`select sku, qty from stock where sku = 'washer'`))
+}

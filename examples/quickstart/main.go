@@ -1,0 +1,52 @@
+// Quickstart: define a table, a set-oriented production rule, and watch it
+// fire once for a whole set of changes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"sopr"
+)
+
+func main() {
+	db := sopr.Open()
+
+	db.MustExec(`
+		create table emp (name varchar, emp_no int not null, salary float, dept_no int);
+		create table dept (dept_no int, mgr_no int);
+	`)
+
+	// Example 3.1 of the paper: "cascaded delete" referential integrity.
+	// Whenever departments are deleted, delete all their employees — in one
+	// set-oriented action, no matter how many departments went away.
+	db.MustExec(`
+		create rule cascade
+		when deleted from dept
+		then delete from emp
+		     where dept_no in (select dept_no from deleted dept)
+		end
+	`)
+
+	db.MustExec(`
+		insert into emp values
+			('jane', 1, 95000, 1), ('mary', 2, 70000, 1),
+			('jim',  3, 60000, 2), ('bill', 4, 25000, 2),
+			('sam',  5, 40000, 3);
+		insert into dept values (1, 1), (2, 3), (3, 5)
+	`)
+
+	fmt.Println("before:")
+	fmt.Println(db.MustQuery(`select name, dept_no from emp order by emp_no`))
+
+	// One operation block deletes two departments; the rule fires once and
+	// removes all four affected employees together.
+	res := db.MustExec(`delete from dept where dept_no in (1, 2)`)
+	for _, f := range res.Firings {
+		fmt.Printf("\nrule %q fired, transition effect %s\n", f.Rule, f.Effect)
+	}
+
+	fmt.Println("\nafter:")
+	fmt.Println(db.MustQuery(`select name, dept_no from emp order by emp_no`))
+}

@@ -1,0 +1,100 @@
+// Registrar is a larger case study in the spirit of the one the paper
+// cites ([CW90]): a university registrar database where several interacting
+// rule sets — compiled constraints, hand-written set-oriented rules with
+// priorities, a waitlist-promotion cascade, and a derived statistics table —
+// cooperate inside single transactions.
+//
+//	go run ./examples/registrar
+package main
+
+import (
+	"fmt"
+
+	"sopr"
+)
+
+func main() {
+	db := sopr.Open()
+	db.MustExec(`
+		create table student (sid int not null, name varchar, year int);
+		create table course  (cid varchar, capacity int);
+		create table enrolled (sid int, cid varchar);
+		create table waitlist (sid int, cid varchar, pos int);
+		create table stats (cid varchar, n int);
+	`)
+
+	// Compiled constraints (Section 6 facility): enrollments must point at
+	// real students and courses; course sizes are derived data.
+	for _, c := range []sopr.Constraint{
+		sopr.ForeignKey("enr_student", "enrolled", "sid", "student", "sid", sopr.CascadeDelete),
+		sopr.UniqueColumn("student_id", "student", "sid"),
+		sopr.Check("year_range", "student", "year >= 1 and year <= 4"),
+		sopr.MaintainAggregate("class_size", "stats", "enrolled", "cid", "count", "sid"),
+	} {
+		if err := db.AddConstraint(c); err != nil {
+			panic(err)
+		}
+	}
+
+	// Hand-written rules. capacity_guard rejects transactions that
+	// over-fill any course; it must be considered before promotions, so
+	// it gets priority.
+	db.MustExec(`
+		create rule capacity_guard when inserted into enrolled
+		if exists (select e.cid from enrolled e, course c
+		           where e.cid = c.cid
+		           group by e.cid, c.capacity
+		           having count(*) > c.capacity)
+		then rollback
+	`)
+	// When students drop a course, promote the head of its waitlist:
+	// set-oriented — one firing handles every course that lost students.
+	db.MustExec(`
+		create rule promote when deleted from enrolled
+		then insert into enrolled
+		     (select w.sid, w.cid from waitlist w
+		      where w.cid in (select cid from deleted enrolled)
+		        and w.pos = (select min(pos) from waitlist w2 where w2.cid = w.cid));
+		     delete from waitlist
+		     where sid in (select sid from enrolled)
+		       and cid in (select cid from enrolled e where e.sid = waitlist.sid)
+		end;
+		create rule priority capacity_guard before promote
+	`)
+
+	db.MustExec(`
+		insert into student values (1,'ana',1), (2,'ben',2), (3,'cyn',3), (4,'dan',4), (5,'eve',2);
+		insert into course values ('db', 2), ('os', 3);
+		insert into enrolled values (1,'db'), (2,'db'), (3,'os');
+		insert into waitlist values (4,'db',1), (5,'db',2)
+	`)
+
+	fmt.Println("class sizes (derived table, maintained by a rule):")
+	fmt.Println(db.MustQuery(`select cid, n from stats order by cid`))
+
+	fmt.Println("\nover-enrolling 'db' beyond capacity 2 is rolled back:")
+	res := db.MustExec(`insert into enrolled values (4, 'db')`)
+	fmt.Printf("  → rolled back by %q: %v\n", res.RollbackRule, res.RolledBack)
+
+	fmt.Println("\nana drops 'db' — the waitlist head (dan) is auto-promoted:")
+	res = db.MustExec(`delete from enrolled where sid = 1 and cid = 'db'`)
+	for _, f := range res.Firings {
+		fmt.Printf("  fired %-24s %s\n", f.Rule, f.Effect)
+	}
+	fmt.Println(db.MustQuery(`select e.sid, s.name, e.cid from enrolled e, student s where e.sid = s.sid order by e.cid, e.sid`))
+	fmt.Println(db.MustQuery(`select sid, cid, pos from waitlist order by pos`))
+
+	fmt.Println("\ndeleting student ben cascades through the FK, promotes eve, refreshes stats:")
+	db.MustExec(`delete from student where sid = 2`)
+	fmt.Println(db.MustQuery(`select e.sid, s.name, e.cid from enrolled e, student s where e.sid = s.sid order by e.cid, e.sid`))
+	fmt.Println(db.MustQuery(`select cid, n from stats order by cid`))
+
+	fmt.Println("\nstatic analysis of the installed rule set:")
+	warnings := db.AnalyzeRules().Warnings()
+	if len(warnings) == 0 {
+		fmt.Println("  (no warnings)")
+	}
+	for _, w := range warnings {
+		fmt.Println("  warning:", w)
+	}
+}

@@ -1,0 +1,63 @@
+package sopr_test
+
+// Smoke tests: every example program must build and run to completion.
+// They use `go run` so the examples are exercised exactly as the README
+// instructs.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, name string, wantFrags ...string) {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./examples/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", name, err, out)
+	}
+	for _, frag := range wantFrags {
+		if !strings.Contains(string(out), frag) {
+			t.Errorf("example %s output missing %q:\n%s", name, frag, out)
+		}
+	}
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	runExample(t, "quickstart", `rule "cascade" fired`, "[I:0 D:4 U:0 S:0]", "sam")
+}
+
+func TestExamplePayroll(t *testing.T) {
+	runExample(t, "payroll",
+		"fire     salary_watch",
+		"fire     mgr_cascade",
+		"may trigger itself",
+		"commit")
+}
+
+func TestExampleIntegrity(t *testing.T) {
+	runExample(t, "integrity",
+		`ROLLED BACK by rule "emp_dept_child_check"`,
+		`ROLLED BACK by rule "pay_range_domain"`,
+		`ROLLED BACK by rule "emp_no_uniq_unique"`,
+		"committed")
+}
+
+func TestExampleInventory(t *testing.T) {
+	runExample(t, "inventory",
+		"fired reorder",
+		"fired price_audit",
+		`rolled back by rule "no_negative"`)
+}
+
+func TestExampleClosure(t *testing.T) {
+	runExample(t, "closure", "cdg", "fra", "svo", "triggering cycle")
+}
+
+func TestExampleRegistrar(t *testing.T) {
+	runExample(t, "registrar",
+		`rolled back by "capacity_guard"`,
+		"fired promote",
+		"eve")
+}

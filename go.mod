@@ -1,0 +1,3 @@
+module sopr
+
+go 1.22

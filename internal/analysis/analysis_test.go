@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"sopr/internal/sqlast"
+	"sopr/internal/sqlparse"
+)
+
+func def(t *testing.T, src string) RuleDef {
+	t.Helper()
+	st, err := sqlparse.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	cr := st.(*sqlast.CreateRule)
+	return RuleDef{Name: cr.Name, Preds: cr.Preds, Condition: cr.Condition, Action: cr.Action}
+}
+
+func TestSelfLoopDetection(t *testing.T) {
+	// Example 4.1's recursive rule self-triggers: delete from emp in the
+	// action, deleted from emp in the predicate.
+	rep := Analyze([]RuleDef{def(t, `
+		create rule mgr_cascade when deleted from emp
+		then delete from emp where dept_no in
+		     (select dept_no from dept where mgr_no in (select emp_no from deleted emp));
+		     delete from dept where mgr_no in (select emp_no from deleted emp)
+		end`)}, nil)
+	if len(rep.SelfLoops) != 1 || rep.SelfLoops[0] != "mgr_cascade" {
+		t.Errorf("self-loops: %v", rep.SelfLoops)
+	}
+	if len(rep.Cycles) != 0 {
+		t.Errorf("single self-loop is not a multi-rule cycle: %v", rep.Cycles)
+	}
+}
+
+func TestNoFalseSelfLoop(t *testing.T) {
+	// Example 3.1's cascade writes emp but listens to dept: no self-loop.
+	rep := Analyze([]RuleDef{def(t, `
+		create rule cascade when deleted from dept
+		then delete from emp where dept_no in (select dept_no from deleted dept)
+		end`)}, nil)
+	if len(rep.SelfLoops) != 0 {
+		t.Errorf("false self-loop: %v", rep.SelfLoops)
+	}
+	if len(rep.Edges) != 0 {
+		t.Errorf("false edges: %v", rep.Edges)
+	}
+}
+
+func TestTwoRuleCycle(t *testing.T) {
+	defs := []RuleDef{
+		def(t, `create rule ping when inserted into a then insert into b values (1) end`),
+		def(t, `create rule pong when inserted into b then insert into a values (1) end`),
+	}
+	rep := Analyze(defs, nil)
+	if len(rep.Cycles) != 1 || !reflect.DeepEqual(rep.Cycles[0], []string{"ping", "pong"}) {
+		t.Errorf("cycles: %v", rep.Cycles)
+	}
+	wantEdges := []Edge{{From: "ping", To: "pong"}, {From: "pong", To: "ping"}}
+	if !reflect.DeepEqual(rep.Edges, wantEdges) {
+		t.Errorf("edges: %v", rep.Edges)
+	}
+}
+
+func TestAcyclicChainNoCycle(t *testing.T) {
+	defs := []RuleDef{
+		def(t, `create rule a when inserted into t1 then insert into t2 values (1) end`),
+		def(t, `create rule b when inserted into t2 then insert into t3 values (1) end`),
+		def(t, `create rule c when inserted into t3 then delete from t4 end`),
+	}
+	rep := Analyze(defs, nil)
+	if len(rep.Cycles) != 0 || len(rep.SelfLoops) != 0 {
+		t.Errorf("chain flagged: cycles=%v selfloops=%v", rep.Cycles, rep.SelfLoops)
+	}
+	if len(rep.Edges) != 2 {
+		t.Errorf("edges: %v", rep.Edges)
+	}
+}
+
+func TestUpdateColumnPrecision(t *testing.T) {
+	// An action updating only t.a must not be flagged as triggering a rule
+	// watching t.b, but must trigger whole-table and t.a watchers.
+	defs := []RuleDef{
+		def(t, `create rule writer when inserted into src then update t set a = 1 end`),
+		def(t, `create rule watch_b when updated t.b then delete from log end`),
+		def(t, `create rule watch_a when updated t.a then delete from log end`),
+		def(t, `create rule watch_t when updated t then delete from log end`),
+	}
+	rep := Analyze(defs, nil)
+	want := []Edge{{From: "writer", To: "watch_a"}, {From: "writer", To: "watch_t"}}
+	if !reflect.DeepEqual(rep.Edges, want) {
+		t.Errorf("edges: %v, want %v", rep.Edges, want)
+	}
+}
+
+func TestConflictDetection(t *testing.T) {
+	// Both rules trigger on the same event and write the same table with
+	// no declared order: the final state depends on selection order.
+	defs := []RuleDef{
+		def(t, `create rule cut when updated emp.salary then update emp set salary = 1 end`),
+		def(t, `create rule raise when updated emp.salary then update emp set salary = 2 end`),
+	}
+	rep := Analyze(defs, nil)
+	if len(rep.Conflicts) != 1 || rep.Conflicts[0] != [2]string{"cut", "raise"} {
+		t.Errorf("conflicts: %v", rep.Conflicts)
+	}
+	// A declared priority silences the warning.
+	higher := func(a, b string) bool { return a == "cut" && b == "raise" }
+	rep = Analyze(defs, higher)
+	if len(rep.Conflicts) != 0 {
+		t.Errorf("ordered pair still flagged: %v", rep.Conflicts)
+	}
+}
+
+func TestNoConflictDisjointRules(t *testing.T) {
+	// Different trigger tables: cannot be co-triggered by one change.
+	defs := []RuleDef{
+		def(t, `create rule a when inserted into t1 then delete from x end`),
+		def(t, `create rule b when inserted into t2 then delete from x end`),
+	}
+	rep := Analyze(defs, nil)
+	if len(rep.Conflicts) != 0 {
+		t.Errorf("disjoint rules flagged: %v", rep.Conflicts)
+	}
+	// Same trigger but non-interfering actions: no conflict.
+	defs = []RuleDef{
+		def(t, `create rule a when inserted into t then delete from x end`),
+		def(t, `create rule b when inserted into t then delete from y end`),
+	}
+	rep = Analyze(defs, nil)
+	if len(rep.Conflicts) != 0 {
+		t.Errorf("non-interfering rules flagged: %v", rep.Conflicts)
+	}
+}
+
+func TestConflictViaReadWrite(t *testing.T) {
+	// b reads what a writes (condition subquery on x): order matters.
+	defs := []RuleDef{
+		def(t, `create rule a when inserted into t then insert into x values (1) end`),
+		def(t, `create rule b when inserted into t
+		        if exists (select * from x) then delete from y end`),
+	}
+	rep := Analyze(defs, nil)
+	if len(rep.Conflicts) != 1 {
+		t.Errorf("read-write conflict missed: %v", rep.Conflicts)
+	}
+}
+
+func TestColumnDisjointUpdatePredsNoOverlap(t *testing.T) {
+	// updated t.a and updated t.b cannot be satisfied by the same
+	// single-column write... but CAN be co-triggered by one block updating
+	// both. The analysis treats distinct columns as non-overlapping (a
+	// documented approximation favoring fewer false positives).
+	defs := []RuleDef{
+		def(t, `create rule a when updated t.a then delete from x end`),
+		def(t, `create rule b when updated t.b then delete from x end`),
+	}
+	rep := Analyze(defs, nil)
+	if len(rep.Conflicts) != 0 {
+		t.Errorf("column-disjoint rules flagged: %v", rep.Conflicts)
+	}
+}
+
+func TestExternalActionsReported(t *testing.T) {
+	defs := []RuleDef{
+		def(t, `create rule a when inserted into t then call audit end`),
+	}
+	rep := Analyze(defs, nil)
+	if len(rep.ExternalActions) != 1 || rep.ExternalActions[0] != "a" {
+		t.Errorf("external actions: %v", rep.ExternalActions)
+	}
+}
+
+func TestRollbackActionNoWrites(t *testing.T) {
+	defs := []RuleDef{
+		def(t, `create rule guard when inserted into t then rollback`),
+		def(t, `create rule watch when inserted into t then insert into t values (1) end`),
+	}
+	rep := Analyze(defs, nil)
+	for _, e := range rep.Edges {
+		if e.From == "guard" {
+			t.Errorf("rollback rule has outgoing edge: %v", e)
+		}
+	}
+	// watch self-loops (inserts into its own trigger table).
+	if len(rep.SelfLoops) != 1 || rep.SelfLoops[0] != "watch" {
+		t.Errorf("self-loops: %v", rep.SelfLoops)
+	}
+}
+
+func TestThreeRuleCycleSCC(t *testing.T) {
+	defs := []RuleDef{
+		def(t, `create rule r1 when inserted into a then insert into b values (1) end`),
+		def(t, `create rule r2 when inserted into b then insert into c values (1) end`),
+		def(t, `create rule r3 when inserted into c then insert into a values (1) end`),
+		def(t, `create rule out when inserted into a then delete from z end`),
+	}
+	rep := Analyze(defs, nil)
+	if len(rep.Cycles) != 1 || len(rep.Cycles[0]) != 3 {
+		t.Errorf("cycles: %v", rep.Cycles)
+	}
+}

@@ -1,0 +1,159 @@
+// Package catalog maintains the database schema: the set of named tables,
+// each with a fixed list of named, typed columns. The paper (Section 2)
+// assumes a fixed schema of named tables with named, typed columns; for
+// convenience we allow tables to be created and dropped between
+// transactions, but not during rule processing.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sopr/internal/value"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type value.Kind
+	// NotNull, if set, rejects NULL assignments to this column. It is a
+	// storage-level convenience; the paper enforces richer constraints via
+	// production rules (see internal/constraints).
+	NotNull bool
+}
+
+// Table describes the schema of one table.
+type Table struct {
+	Name    string
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewTable builds a table schema, validating column names.
+func NewTable(name string, cols []Column) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: empty table name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: table %q has no columns", name)
+	}
+	t := &Table{Name: strings.ToLower(name), byName: make(map[string]int, len(cols))}
+	for _, c := range cols {
+		cn := strings.ToLower(c.Name)
+		if cn == "" {
+			return nil, fmt.Errorf("catalog: table %q has an unnamed column", name)
+		}
+		if _, dup := t.byName[cn]; dup {
+			return nil, fmt.Errorf("catalog: table %q has duplicate column %q", name, cn)
+		}
+		if c.Type == value.KindNull {
+			return nil, fmt.Errorf("catalog: column %q of table %q has NULL type", cn, name)
+		}
+		t.byName[cn] = len(t.Columns)
+		t.Columns = append(t.Columns, Column{Name: cn, Type: c.Type, NotNull: c.NotNull})
+	}
+	return t, nil
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	i, ok := t.byName[strings.ToLower(name)]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// HasColumn reports whether the table has the named column.
+func (t *Table) HasColumn(name string) bool { return t.ColumnIndex(name) >= 0 }
+
+// NumColumns returns the number of columns.
+func (t *Table) NumColumns() int { return len(t.Columns) }
+
+// ColumnNames returns the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// String renders the schema as a CREATE TABLE statement.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE ")
+	b.WriteString(t.Name)
+	b.WriteString(" (")
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Catalog is the set of defined tables. It is not safe for concurrent
+// mutation; the engine serializes access (the paper's model is
+// single-stream: "multiple users, concurrent processing, and failures are
+// all transparent").
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create adds a table schema. It fails if the name is taken.
+func (c *Catalog) Create(t *Table) error {
+	if _, ok := c.tables[t.Name]; ok {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Drop removes a table schema. It fails if the table does not exist.
+func (c *Catalog) Drop(name string) error {
+	n := strings.ToLower(name)
+	if _, ok := c.tables[n]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, n)
+	return nil
+}
+
+// Lookup returns the named table schema, or an error.
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Has reports whether the named table exists.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.tables[strings.ToLower(name)]
+	return ok
+}
+
+// Names returns the sorted table names.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

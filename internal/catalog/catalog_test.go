@@ -1,0 +1,124 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"sopr/internal/value"
+)
+
+func mustTable(t *testing.T, name string, cols []Column) *Table {
+	t.Helper()
+	tab, err := NewTable(name, cols)
+	if err != nil {
+		t.Fatalf("NewTable(%q): %v", name, err)
+	}
+	return tab
+}
+
+func empCols() []Column {
+	return []Column{
+		{Name: "name", Type: value.KindString},
+		{Name: "emp_no", Type: value.KindInt, NotNull: true},
+		{Name: "salary", Type: value.KindFloat},
+		{Name: "dept_no", Type: value.KindInt},
+	}
+}
+
+func TestNewTable(t *testing.T) {
+	tab := mustTable(t, "EMP", empCols())
+	if tab.Name != "emp" {
+		t.Errorf("table name not lowercased: %q", tab.Name)
+	}
+	if tab.NumColumns() != 4 {
+		t.Errorf("NumColumns = %d", tab.NumColumns())
+	}
+	if i := tab.ColumnIndex("SALARY"); i != 2 {
+		t.Errorf("ColumnIndex(SALARY) = %d, want 2 (case-insensitive)", i)
+	}
+	if tab.ColumnIndex("missing") != -1 {
+		t.Error("ColumnIndex(missing) should be -1")
+	}
+	if !tab.HasColumn("emp_no") || tab.HasColumn("nope") {
+		t.Error("HasColumn wrong")
+	}
+	want := []string{"name", "emp_no", "salary", "dept_no"}
+	got := tab.ColumnNames()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ColumnNames[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewTableErrors(t *testing.T) {
+	if _, err := NewTable("", empCols()); err == nil {
+		t.Error("empty table name accepted")
+	}
+	if _, err := NewTable("t", nil); err == nil {
+		t.Error("zero columns accepted")
+	}
+	if _, err := NewTable("t", []Column{{Name: "", Type: value.KindInt}}); err == nil {
+		t.Error("unnamed column accepted")
+	}
+	if _, err := NewTable("t", []Column{
+		{Name: "a", Type: value.KindInt},
+		{Name: "A", Type: value.KindInt},
+	}); err == nil {
+		t.Error("duplicate column (case-insensitive) accepted")
+	}
+	if _, err := NewTable("t", []Column{{Name: "a", Type: value.KindNull}}); err == nil {
+		t.Error("NULL-typed column accepted")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := mustTable(t, "emp", empCols())
+	s := tab.String()
+	for _, frag := range []string{"CREATE TABLE emp", "name VARCHAR", "emp_no INTEGER NOT NULL", "salary FLOAT"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestCatalogCRUD(t *testing.T) {
+	c := New()
+	emp := mustTable(t, "emp", empCols())
+	if err := c.Create(emp); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := c.Create(emp); err == nil {
+		t.Error("duplicate Create accepted")
+	}
+	if !c.Has("EMP") {
+		t.Error("Has is not case-insensitive")
+	}
+	got, err := c.Lookup("Emp")
+	if err != nil || got != emp {
+		t.Errorf("Lookup: %v, %v", got, err)
+	}
+	if _, err := c.Lookup("dept"); err == nil {
+		t.Error("Lookup of missing table should error")
+	}
+	dept := mustTable(t, "dept", []Column{
+		{Name: "dept_no", Type: value.KindInt},
+		{Name: "mgr_no", Type: value.KindInt},
+	})
+	if err := c.Create(dept); err != nil {
+		t.Fatalf("Create dept: %v", err)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "dept" || names[1] != "emp" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := c.Drop("emp"); err != nil {
+		t.Errorf("Drop: %v", err)
+	}
+	if err := c.Drop("emp"); err == nil {
+		t.Error("double Drop accepted")
+	}
+	if c.Has("emp") {
+		t.Error("dropped table still present")
+	}
+}

@@ -1,0 +1,161 @@
+package constraints
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CompositeUnique enforces uniqueness of a multi-column key (rows where any
+// key column is NULL are exempt, mirroring SQL UNIQUE semantics).
+type CompositeUnique struct {
+	Name    string
+	Table   string
+	Columns []string
+}
+
+// RuleNames implements Constraint.
+func (c CompositeUnique) RuleNames() []string { return []string{c.Name + "_unique"} }
+
+// Compile implements Constraint.
+func (c CompositeUnique) Compile() ([]string, error) {
+	ids := append([]string{c.Name, c.Table}, c.Columns...)
+	if err := identOK(ids...); err != nil {
+		return nil, err
+	}
+	if len(c.Columns) == 0 {
+		return nil, fmt.Errorf("constraints: composite unique %q has no columns", c.Name)
+	}
+	var preds, notNull []string
+	preds = append(preds, "inserted into "+c.Table)
+	for _, col := range c.Columns {
+		preds = append(preds, fmt.Sprintf("updated %s.%s", c.Table, col))
+		notNull = append(notNull, col+" is not null")
+	}
+	cols := strings.Join(c.Columns, ", ")
+	return []string{fmt.Sprintf(`create rule %s_unique
+when %s
+if exists (select %s from %s
+           where %s
+           group by %s having count(*) > 1)
+then rollback`,
+		c.Name,
+		strings.Join(preds, " or "),
+		cols, c.Table,
+		strings.Join(notNull, " and "),
+		cols)}, nil
+}
+
+// CompositeForeignKey enforces referential integrity over a multi-column
+// key: child.(FK1..FKn) → parent.(PK1..PKn). Rows whose key columns are all
+// NULL are exempt ("no reference"); partially-NULL keys are rejected.
+type CompositeForeignKey struct {
+	Name     string
+	Child    string
+	FK       []string
+	Parent   string
+	PK       []string
+	OnDelete DeleteAction
+}
+
+// RuleNames implements Constraint.
+func (c CompositeForeignKey) RuleNames() []string {
+	return []string{c.Name + "_child_check", c.Name + "_parent_delete"}
+}
+
+// Compile implements Constraint.
+func (c CompositeForeignKey) Compile() ([]string, error) {
+	ids := append([]string{c.Name, c.Child, c.Parent}, c.FK...)
+	ids = append(ids, c.PK...)
+	if err := identOK(ids...); err != nil {
+		return nil, err
+	}
+	if len(c.FK) == 0 || len(c.FK) != len(c.PK) {
+		return nil, fmt.Errorf("constraints: composite FK %q: key column lists must be non-empty and equal length", c.Name)
+	}
+	var out []string
+
+	// Helper fragments, all relative to a child binding "ch" or a
+	// transition-table binding.
+	match := func(childBind, parentBind string) string {
+		var conds []string
+		for i := range c.FK {
+			conds = append(conds, fmt.Sprintf("%s.%s = %s.%s", parentBind, c.PK[i], childBind, c.FK[i]))
+		}
+		return strings.Join(conds, " and ")
+	}
+	allNull := func(bind string) string {
+		var conds []string
+		for _, f := range c.FK {
+			conds = append(conds, fmt.Sprintf("%s.%s is null", bind, f))
+		}
+		return strings.Join(conds, " and ")
+	}
+
+	// (1) Child-side check: for inserts and for updates of any FK column,
+	// every affected row must either have an all-NULL key or match a
+	// parent row. A violating row is one that is not all-NULL and has no
+	// matching parent (this also rejects partially-NULL keys, since NULL
+	// comparisons cannot match).
+	preds := []string{"inserted into " + c.Child}
+	for _, f := range c.FK {
+		preds = append(preds, fmt.Sprintf("updated %s.%s", c.Child, f))
+	}
+	var violations []string
+	violations = append(violations, fmt.Sprintf(
+		`exists (select * from inserted %s ch
+         where not (%s)
+           and not exists (select * from %s p where %s))`,
+		c.Child, allNull("ch"), c.Parent, match("ch", "p")))
+	for _, f := range c.FK {
+		violations = append(violations, fmt.Sprintf(
+			`exists (select * from new updated %s.%s ch
+         where not (%s)
+           and not exists (select * from %s p where %s))`,
+			c.Child, f, allNull("ch"), c.Parent, match("ch", "p")))
+	}
+	out = append(out, fmt.Sprintf(`create rule %s_child_check
+when %s
+if %s
+then rollback`,
+		c.Name, strings.Join(preds, " or "), strings.Join(violations, "\nor ")))
+
+	// (2) Parent-side delete handling via a correlated EXISTS over the
+	// deleted parent rows.
+	delMatch := func(childBind string) string {
+		var conds []string
+		for i := range c.FK {
+			conds = append(conds, fmt.Sprintf("d.%s = %s.%s", c.PK[i], childBind, c.FK[i]))
+		}
+		return strings.Join(conds, " and ")
+	}
+	switch c.OnDelete {
+	case Cascade:
+		out = append(out, fmt.Sprintf(`create rule %s_parent_delete
+when deleted from %s
+then delete from %s ch
+     where exists (select * from deleted %s d where %s)
+end`,
+			c.Name, c.Parent, c.Child, c.Parent, delMatch("ch")))
+	case Restrict:
+		out = append(out, fmt.Sprintf(`create rule %s_parent_delete
+when deleted from %s
+if exists (select * from %s ch
+           where exists (select * from deleted %s d where %s))
+then rollback`,
+			c.Name, c.Parent, c.Child, c.Parent, delMatch("ch")))
+	case SetNull:
+		var sets []string
+		for _, f := range c.FK {
+			sets = append(sets, f+" = null")
+		}
+		out = append(out, fmt.Sprintf(`create rule %s_parent_delete
+when deleted from %s
+then update %s ch set %s
+     where exists (select * from deleted %s d where %s)
+end`,
+			c.Name, c.Parent, c.Child, strings.Join(sets, ", "), c.Parent, delMatch("ch")))
+	default:
+		return nil, fmt.Errorf("constraints: unknown delete action %d", int(c.OnDelete))
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+// Package constraints implements the higher-level facility sketched in
+// Section 6 of the paper (and developed in the companion work [CW90],
+// "Deriving production rules for constraint maintenance"): users state
+// integrity constraints in a non-procedural form and the system translates
+// them into sets of lower-level production rules that maintain the
+// constraints.
+//
+// Each constraint compiles to one or more CREATE RULE statements in the
+// paper's rule language; the caller installs them with the engine. Rule
+// names are derived from the constraint name so that a constraint can be
+// dropped as a unit.
+package constraints
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Constraint is any integrity constraint compilable to production rules.
+type Constraint interface {
+	// RuleNames lists the names of the generated rules.
+	RuleNames() []string
+	// Compile returns the CREATE RULE (and CREATE RULE PRIORITY)
+	// statements implementing the constraint.
+	Compile() ([]string, error)
+}
+
+// DeleteAction selects referential-integrity behavior when referenced
+// parent rows are deleted [IBM88 terminology, as in the paper's
+// Example 3.1].
+type DeleteAction int
+
+// Delete actions.
+const (
+	// Cascade deletes the referencing child rows (Example 3.1's "cascaded
+	// delete" method).
+	Cascade DeleteAction = iota
+	// Restrict rolls back any transaction that would orphan child rows.
+	Restrict
+	// SetNull sets the referencing columns to NULL.
+	SetNull
+)
+
+// ReferentialIntegrity enforces child.FK → parent.PK:
+//
+//   - inserting or re-pointing a child row whose FK matches no parent PK
+//     rolls the transaction back;
+//   - deleting parent rows applies OnDelete (cascade / restrict / set
+//     null);
+//   - updating a parent's PK is restricted (rolled back when referenced) —
+//     cascading key updates cannot pair old and new values in the rule
+//     language without a second immutable key, as [CW90] also observes.
+type ReferentialIntegrity struct {
+	Name     string // constraint name; rule names derive from it
+	Child    string
+	FK       string
+	Parent   string
+	PK       string
+	OnDelete DeleteAction
+}
+
+// RuleNames implements Constraint.
+func (c ReferentialIntegrity) RuleNames() []string {
+	return []string{c.Name + "_child_check", c.Name + "_parent_delete", c.Name + "_parent_key"}
+}
+
+// Compile implements Constraint.
+func (c ReferentialIntegrity) Compile() ([]string, error) {
+	if err := identOK(c.Name, c.Child, c.FK, c.Parent, c.PK); err != nil {
+		return nil, err
+	}
+	var out []string
+
+	// (1) Child-side check: INSERT into child, or UPDATE of child.FK, must
+	// reference an existing parent (NULL FK means "no reference").
+	out = append(out, fmt.Sprintf(`create rule %s_child_check
+when inserted into %s or updated %s.%s
+if exists (select * from inserted %s
+           where %s is not null
+             and %s not in (select %s from %s))
+or exists (select * from new updated %s.%s
+           where %s is not null
+             and %s not in (select %s from %s))
+then rollback`,
+		c.Name,
+		c.Child, c.Child, c.FK,
+		c.Child, c.FK, c.FK, c.PK, c.Parent,
+		c.Child, c.FK, c.FK, c.FK, c.PK, c.Parent))
+
+	// (2) Parent-side delete handling.
+	switch c.OnDelete {
+	case Cascade:
+		out = append(out, fmt.Sprintf(`create rule %s_parent_delete
+when deleted from %s
+then delete from %s
+     where %s in (select %s from deleted %s)
+end`,
+			c.Name, c.Parent, c.Child, c.FK, c.PK, c.Parent))
+	case Restrict:
+		out = append(out, fmt.Sprintf(`create rule %s_parent_delete
+when deleted from %s
+if exists (select * from %s
+           where %s in (select %s from deleted %s))
+then rollback`,
+			c.Name, c.Parent, c.Child, c.FK, c.PK, c.Parent))
+	case SetNull:
+		out = append(out, fmt.Sprintf(`create rule %s_parent_delete
+when deleted from %s
+then update %s set %s = null
+     where %s in (select %s from deleted %s)
+end`,
+			c.Name, c.Parent, c.Child, c.FK, c.FK, c.PK, c.Parent))
+	default:
+		return nil, fmt.Errorf("constraints: unknown delete action %d", int(c.OnDelete))
+	}
+
+	// (3) Parent key updates: restrict when the old key is referenced.
+	out = append(out, fmt.Sprintf(`create rule %s_parent_key
+when updated %s.%s
+if exists (select * from %s
+           where %s in (select %s from old updated %s.%s))
+then rollback`,
+		c.Name, c.Parent, c.PK, c.Child, c.FK, c.PK, c.Parent, c.PK))
+	return out, nil
+}
+
+// Domain enforces a row-level predicate over a table: every inserted or
+// updated row must satisfy Check (an SQL predicate over the table's
+// columns); violations roll the transaction back.
+type Domain struct {
+	Name  string
+	Table string
+	Check string
+}
+
+// RuleNames implements Constraint.
+func (c Domain) RuleNames() []string { return []string{c.Name + "_domain"} }
+
+// Compile implements Constraint.
+func (c Domain) Compile() ([]string, error) {
+	if err := identOK(c.Name, c.Table); err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(c.Check) == "" {
+		return nil, fmt.Errorf("constraints: domain %q has an empty check", c.Name)
+	}
+	return []string{fmt.Sprintf(`create rule %s_domain
+when inserted into %s or updated %s
+if exists (select * from inserted %s where not (%s))
+or exists (select * from new updated %s where not (%s))
+then rollback`,
+		c.Name,
+		c.Table, c.Table,
+		c.Table, c.Check,
+		c.Table, c.Check)}, nil
+}
+
+// Unique enforces uniqueness of a column's non-NULL values.
+type Unique struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+// RuleNames implements Constraint.
+func (c Unique) RuleNames() []string { return []string{c.Name + "_unique"} }
+
+// Compile implements Constraint.
+func (c Unique) Compile() ([]string, error) {
+	if err := identOK(c.Name, c.Table, c.Column); err != nil {
+		return nil, err
+	}
+	return []string{fmt.Sprintf(`create rule %s_unique
+when inserted into %s or updated %s.%s
+if exists (select %s from %s
+           where %s is not null
+           group by %s having count(*) > 1)
+then rollback`,
+		c.Name,
+		c.Table, c.Table, c.Column,
+		c.Column, c.Table,
+		c.Column,
+		c.Column)}, nil
+}
+
+// Aggregate maintains a derived table Target(GroupCol, total) holding
+// Agg(AggCol) of Source grouped by GroupCol — the "maintenance of derived
+// data" use that the paper's introduction (citing [Esw76]) motivates. The
+// generated rule recomputes the summary whenever the source changes; since
+// it writes only the target, it does not retrigger itself.
+type Aggregate struct {
+	Name     string
+	Target   string // two-column table: (group, total)
+	Source   string
+	GroupCol string
+	Agg      string // sum, avg, min, max, count
+	AggCol   string
+}
+
+// RuleNames implements Constraint.
+func (c Aggregate) RuleNames() []string { return []string{c.Name + "_refresh"} }
+
+// Compile implements Constraint.
+func (c Aggregate) Compile() ([]string, error) {
+	if err := identOK(c.Name, c.Target, c.Source, c.GroupCol, c.Agg, c.AggCol); err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(c.Agg) {
+	case "sum", "avg", "min", "max", "count":
+	default:
+		return nil, fmt.Errorf("constraints: unsupported aggregate %q", c.Agg)
+	}
+	return []string{fmt.Sprintf(`create rule %s_refresh
+when inserted into %s or deleted from %s or updated %s
+then delete from %s;
+     insert into %s (select %s, %s(%s) from %s group by %s)
+end`,
+		c.Name,
+		c.Source, c.Source, c.Source,
+		c.Target,
+		c.Target, c.GroupCol, c.Agg, c.AggCol, c.Source, c.GroupCol)}, nil
+}
+
+// identOK rejects empty or non-identifier strings (a safety net: the
+// generated SQL re-parses through the normal parser, but clear errors here
+// beat parser errors later).
+func identOK(ids ...string) error {
+	for _, id := range ids {
+		if id == "" {
+			return fmt.Errorf("constraints: empty identifier")
+		}
+		for i, r := range id {
+			ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || (i > 0 && r >= '0' && r <= '9')
+			if !ok {
+				return fmt.Errorf("constraints: invalid identifier %q", id)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package constraints
+
+import (
+	"strings"
+	"testing"
+
+	"sopr/internal/sqlast"
+	"sopr/internal/sqlparse"
+)
+
+// compileAndParse compiles the constraint and re-parses every generated
+// statement, ensuring the compiler emits valid rule language.
+func compileAndParse(t *testing.T, c Constraint) []sqlast.Statement {
+	t.Helper()
+	stmts, err := c.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(stmts) == 0 {
+		t.Fatal("no statements generated")
+	}
+	var parsed []sqlast.Statement
+	for _, s := range stmts {
+		st, err := sqlparse.ParseStatement(s)
+		if err != nil {
+			t.Fatalf("generated SQL does not parse: %v\n%s", err, s)
+		}
+		parsed = append(parsed, st)
+	}
+	return parsed
+}
+
+func TestReferentialIntegrityCompile(t *testing.T) {
+	for _, action := range []DeleteAction{Cascade, Restrict, SetNull} {
+		ri := ReferentialIntegrity{
+			Name: "emp_dept", Child: "emp", FK: "dept_no",
+			Parent: "dept", PK: "dept_no", OnDelete: action,
+		}
+		stmts := compileAndParse(t, ri)
+		if len(stmts) != 3 {
+			t.Fatalf("action %d: %d statements, want 3", action, len(stmts))
+		}
+		names := ri.RuleNames()
+		for i, st := range stmts {
+			cr, ok := st.(*sqlast.CreateRule)
+			if !ok {
+				t.Fatalf("statement %d is %T", i, st)
+			}
+			if cr.Name != names[i] {
+				t.Errorf("rule %d name %q, want %q", i, cr.Name, names[i])
+			}
+		}
+		del := stmts[1].(*sqlast.CreateRule)
+		switch action {
+		case Cascade:
+			if len(del.Action.Block) != 1 || del.Action.Rollback {
+				t.Errorf("cascade action: %+v", del.Action)
+			}
+			if _, ok := del.Action.Block[0].(*sqlast.Delete); !ok {
+				t.Error("cascade should DELETE")
+			}
+		case Restrict:
+			if !del.Action.Rollback {
+				t.Error("restrict should ROLLBACK")
+			}
+		case SetNull:
+			if _, ok := del.Action.Block[0].(*sqlast.Update); !ok {
+				t.Error("set-null should UPDATE")
+			}
+		}
+	}
+}
+
+func TestDomainCompile(t *testing.T) {
+	d := Domain{Name: "pay", Table: "emp", Check: "salary >= 0"}
+	stmts := compileAndParse(t, d)
+	cr := stmts[0].(*sqlast.CreateRule)
+	if !cr.Action.Rollback || cr.Condition == nil {
+		t.Errorf("domain rule: %+v", cr)
+	}
+	if len(cr.Preds) != 2 {
+		t.Errorf("domain rule preds: %+v", cr.Preds)
+	}
+	if _, err := (Domain{Name: "x", Table: "t", Check: "  "}).Compile(); err == nil {
+		t.Error("empty check accepted")
+	}
+}
+
+func TestUniqueCompile(t *testing.T) {
+	u := Unique{Name: "empno", Table: "emp", Column: "emp_no"}
+	stmts := compileAndParse(t, u)
+	cr := stmts[0].(*sqlast.CreateRule)
+	if !cr.Action.Rollback {
+		t.Error("unique should ROLLBACK")
+	}
+	if !strings.Contains(stmts[0].String(), "GROUP BY") {
+		t.Errorf("unique rule should use GROUP BY/HAVING: %s", stmts[0])
+	}
+}
+
+func TestAggregateCompile(t *testing.T) {
+	a := Aggregate{Name: "payroll", Target: "totals", Source: "emp",
+		GroupCol: "dept_no", Agg: "sum", AggCol: "salary"}
+	stmts := compileAndParse(t, a)
+	cr := stmts[0].(*sqlast.CreateRule)
+	if len(cr.Action.Block) != 2 {
+		t.Errorf("aggregate action ops: %d, want 2 (delete + insert)", len(cr.Action.Block))
+	}
+	if len(cr.Preds) != 3 {
+		t.Errorf("aggregate preds: %d, want 3", len(cr.Preds))
+	}
+	if _, err := (Aggregate{Name: "x", Target: "t", Source: "s",
+		GroupCol: "g", Agg: "median", AggCol: "a"}).Compile(); err == nil {
+		t.Error("unsupported aggregate accepted")
+	}
+}
+
+func TestCompositeCompileParses(t *testing.T) {
+	for _, action := range []DeleteAction{Cascade, Restrict, SetNull} {
+		fk := CompositeForeignKey{
+			Name: "loc", Child: "office", FK: []string{"country", "city"},
+			Parent: "region", PK: []string{"country", "city"}, OnDelete: action,
+		}
+		stmts := compileAndParse(t, fk)
+		if len(stmts) != 2 {
+			t.Fatalf("action %d: %d statements", action, len(stmts))
+		}
+		check := stmts[0].(*sqlast.CreateRule)
+		// inserted into child + one updated pred per FK column.
+		if len(check.Preds) != 3 {
+			t.Errorf("child-check preds: %d", len(check.Preds))
+		}
+		if !check.Action.Rollback {
+			t.Error("child check should ROLLBACK")
+		}
+	}
+	u := CompositeUnique{Name: "k", Table: "t", Columns: []string{"a", "b"}}
+	stmts := compileAndParse(t, u)
+	cr := stmts[0].(*sqlast.CreateRule)
+	if len(cr.Preds) != 3 { // inserted + 2 updated columns
+		t.Errorf("composite unique preds: %d", len(cr.Preds))
+	}
+}
+
+func TestIdentValidation(t *testing.T) {
+	bad := []Constraint{
+		ReferentialIntegrity{Name: "", Child: "c", FK: "f", Parent: "p", PK: "k"},
+		ReferentialIntegrity{Name: "x", Child: "c; drop table emp", FK: "f", Parent: "p", PK: "k"},
+		Domain{Name: "1bad", Table: "t", Check: "true"},
+		Unique{Name: "u", Table: "t", Column: "a b"},
+		Aggregate{Name: "a", Target: "t'", Source: "s", GroupCol: "g", Agg: "sum", AggCol: "c"},
+	}
+	for i, c := range bad {
+		if _, err := c.Compile(); err == nil {
+			t.Errorf("case %d: invalid identifiers accepted", i)
+		}
+	}
+	if err := identOK("ok_name2"); err != nil {
+		t.Errorf("valid identifier rejected: %v", err)
+	}
+}
+
+func TestBadDeleteAction(t *testing.T) {
+	ri := ReferentialIntegrity{Name: "x", Child: "c", FK: "f", Parent: "p", PK: "k", OnDelete: DeleteAction(99)}
+	if _, err := ri.Compile(); err == nil {
+		t.Error("unknown delete action accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"sopr/internal/rules"
+	"sopr/internal/sqlast"
+)
+
+// insertBatch is the number of rows emitted per INSERT statement in dumps.
+const insertBatch = 500
+
+// Dump writes a script that recreates the database: CREATE TABLE
+// statements, batched INSERTs, then rule definitions, priorities and
+// deactivations. Data precedes rules so that reloading the script does not
+// fire the rules. External procedures cannot be serialized; rules calling
+// them are emitted and will fail to re-install unless the procedures are
+// registered before loading.
+func (e *Engine) Dump(w io.Writer) error {
+	if e.store.InTxn() {
+		return fmt.Errorf("engine: cannot dump during a transaction")
+	}
+	cat := e.store.Catalog()
+	for _, name := range cat.Names() {
+		t, err := cat.Lookup(name)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s;\n", t.String()); err != nil {
+			return err
+		}
+	}
+	for _, name := range cat.Names() {
+		tuples, err := e.store.Tuples(name)
+		if err != nil {
+			return err
+		}
+		for start := 0; start < len(tuples); start += insertBatch {
+			end := start + insertBatch
+			if end > len(tuples) {
+				end = len(tuples)
+			}
+			var b strings.Builder
+			b.WriteString("INSERT INTO ")
+			b.WriteString(name)
+			b.WriteString(" VALUES ")
+			for i, tup := range tuples[start:end] {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(tup.Values.String())
+			}
+			b.WriteString(";\n")
+			if _, err := io.WriteString(w, b.String()); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range e.defOrder {
+		r := e.ruleSet[name]
+		cr := &sqlast.CreateRule{
+			Name:      r.Name,
+			Preds:     r.Preds,
+			Condition: r.Condition,
+			Action:    r.Action,
+		}
+		switch r.Scope {
+		case rules.ScopeSinceConsidered:
+			cr.Scope = sqlast.ScopeSinceConsidered
+		case rules.ScopeSinceTriggered:
+			cr.Scope = sqlast.ScopeSinceTriggered
+		}
+		if _, err := fmt.Fprintf(w, "%s;\n", cr.String()); err != nil {
+			return err
+		}
+	}
+	for _, edge := range e.selector.Edges() {
+		if _, err := fmt.Fprintf(w, "CREATE RULE PRIORITY %s BEFORE %s;\n", edge[0], edge[1]); err != nil {
+			return err
+		}
+	}
+	for _, name := range e.defOrder {
+		if !e.ruleSet[name].Active {
+			if _, err := fmt.Fprintf(w, "DEACTIVATE RULE %s;\n", name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load executes a dump script. It is Exec with a reader.
+func (e *Engine) Load(r io.Reader) error {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	_, err = e.Exec(string(src))
+	return err
+}

@@ -1,0 +1,716 @@
+// Package engine ties the substrates together into the system of the
+// paper: it executes externally-generated operation blocks as transactions,
+// maintains per-rule composite transition information, and runs the rule
+// execution algorithm of Figure 1 — including rollback actions, the
+// runaway-rule guard suggested by footnote 7, the rule triggering points of
+// Section 5.3, select-triggered rules of Section 5.1, and external
+// procedure actions of Section 5.2.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"sopr/internal/exec"
+	"sopr/internal/rules"
+	"sopr/internal/sqlast"
+	"sopr/internal/sqlparse"
+	"sopr/internal/storage"
+)
+
+// Config controls engine behavior.
+type Config struct {
+	// MaxRuleTransitions caps the number of rule-generated transitions per
+	// transaction — the run-time guard against divergent rule sets that
+	// footnote 7 of the paper suggests. Exceeding the cap rolls the
+	// transaction back with ErrRunaway. Zero means the default (10000).
+	MaxRuleTransitions int
+	// Strategy is the tie-break among equal-priority triggered rules
+	// (Section 4.4 discusses the design space).
+	Strategy rules.Strategy
+	// DefaultScope is the triggering scope given to newly defined rules
+	// (the paper's semantics by default; footnote 8 alternatives
+	// available).
+	DefaultScope rules.TriggerScope
+	// EnableSelectTriggers turns on the Section 5.1 extension: select
+	// operations join operation blocks, transition effects gain an S
+	// component, and `selected t` predicates become meaningful.
+	EnableSelectTriggers bool
+	// RuleTimeout, when positive, bounds wall-clock time spent in rule
+	// processing per transaction — the "run-time detection using a timeout
+	// mechanism" of footnote 7. Exceeding it rolls the transaction back.
+	RuleTimeout time.Duration
+	// FullTransInfo disables the per-rule filtering of transition
+	// information to the rule's predicate tables (Figure 1's "we need only
+	// save the subset ... relevant to the particular rule"). Used by the
+	// B10 ablation benchmark; semantics are identical either way.
+	FullTransInfo bool
+}
+
+const defaultMaxRuleTransitions = 10000
+
+// ErrRunaway is returned (wrapped) when a transaction exceeds
+// MaxRuleTransitions; the transaction is rolled back.
+var ErrRunaway = fmt.Errorf("engine: rule processing exceeded the transition limit (possible infinite loop; see footnote 7)")
+
+// ErrTimeout is returned (wrapped) when a transaction exceeds RuleTimeout;
+// the transaction is rolled back (footnote 7's run-time timeout detection).
+var ErrTimeout = fmt.Errorf("engine: rule processing exceeded the time limit (possible infinite loop; see footnote 7)")
+
+// ProcContext is handed to external procedures (Section 5.2). It gives the
+// procedure access to the database and to the triggering rule's transition
+// tables; data manipulation performed through it is folded into the
+// rule-generated transition like any other action operation.
+type ProcContext struct {
+	RuleName string
+	env      *exec.Env
+	eff      *rules.Effect
+}
+
+// Exec runs one or more data manipulation operations (a fragment of the
+// action's operation block).
+func (c *ProcContext) Exec(src string) error {
+	stmts, err := sqlparse.ParseStatements(src)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		switch st.(type) {
+		case *sqlast.Insert, *sqlast.Delete, *sqlast.Update:
+			res, err := c.env.ExecOp(st)
+			if err != nil {
+				return err
+			}
+			c.eff.AddOp(res)
+		default:
+			return fmt.Errorf("engine: external procedures may only perform data manipulation, got %T", st)
+		}
+	}
+	return nil
+}
+
+// Query evaluates a SELECT with the rule's transition tables in scope.
+func (c *ProcContext) Query(src string) (*exec.Result, error) {
+	st, err := sqlparse.ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlast.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: Query requires a SELECT, got %T", st)
+	}
+	return c.env.Query(sel)
+}
+
+// ProcFunc is an external procedure registered with the engine.
+type ProcFunc func(*ProcContext) error
+
+// TraceKind classifies trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceExternalTransition TraceKind = iota // an external operation block executed
+	TraceRuleConsidered                      // a triggered rule's condition was evaluated
+	TraceRuleFired                           // a rule's action executed, creating a transition
+	TraceRollback                            // a rollback action fired
+	TraceCommit                              // the transaction committed
+)
+
+// TraceEvent describes one step of rule processing; used by tests, the
+// shell, and the examples to surface the Section 4 semantics.
+type TraceEvent struct {
+	Kind      TraceKind
+	Rule      string // rule involved (empty for external transitions)
+	CondHeld  bool   // for TraceRuleConsidered
+	Effect    string // effect summary for transitions
+	Transient int    // rule-generated transition count so far
+}
+
+// Firing records one rule action execution within a transaction.
+type Firing struct {
+	Rule   string
+	Effect string
+}
+
+// TxnResult summarizes one committed or rolled-back transaction.
+type TxnResult struct {
+	RolledBack   bool
+	RollbackRule string
+	Firings      []Firing
+	// Queries holds the results of SELECT statements executed in the
+	// transaction's operation block, in order.
+	Queries []*exec.Result
+}
+
+// Engine is the database system with the production rules facility.
+type Engine struct {
+	store    *storage.Store
+	ruleSet  map[string]*rules.Rule
+	defOrder []string
+	selector *rules.Selector
+	procs    map[string]ProcFunc
+	cfg      Config
+	seq      int64
+	stats    Stats
+	// Trace, when set, receives rule-processing events.
+	Trace func(TraceEvent)
+}
+
+// New returns an engine with an empty database.
+func New(cfg Config) *Engine {
+	if cfg.MaxRuleTransitions == 0 {
+		cfg.MaxRuleTransitions = defaultMaxRuleTransitions
+	}
+	sel := rules.NewSelector()
+	sel.Strategy = cfg.Strategy
+	return &Engine{
+		store:    storage.New(),
+		ruleSet:  make(map[string]*rules.Rule),
+		selector: sel,
+		procs:    make(map[string]ProcFunc),
+		cfg:      cfg,
+	}
+}
+
+// Store exposes the underlying storage engine (read-mostly helpers for
+// tests, tools and benchmarks).
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// RegisterProcedure installs an external procedure callable from rule
+// actions via `THEN CALL name` (Section 5.2).
+func (e *Engine) RegisterProcedure(name string, fn ProcFunc) {
+	e.procs[name] = fn
+}
+
+// Rules returns the defined rule names in definition order.
+func (e *Engine) Rules() []string {
+	out := make([]string, len(e.defOrder))
+	copy(out, e.defOrder)
+	return out
+}
+
+// Rule returns a defined rule by name.
+func (e *Engine) Rule(name string) (*rules.Rule, bool) {
+	r, ok := e.ruleSet[name]
+	return r, ok
+}
+
+// SetRuleScope overrides one rule's triggering scope (footnote 8).
+func (e *Engine) SetRuleScope(name string, scope rules.TriggerScope) error {
+	r, ok := e.ruleSet[name]
+	if !ok {
+		return fmt.Errorf("engine: rule %q does not exist", name)
+	}
+	r.Scope = scope
+	return nil
+}
+
+func (e *Engine) trace(ev TraceEvent) {
+	if e.Trace != nil {
+		e.Trace(ev)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statement dispatch
+// ---------------------------------------------------------------------------
+
+// isBlockOp reports whether a statement belongs in an operation block.
+func (e *Engine) isBlockOp(st sqlast.Statement) bool {
+	switch st.(type) {
+	case *sqlast.Insert, *sqlast.Delete, *sqlast.Update:
+		return true
+	case *sqlast.ProcessRules:
+		return true
+	case *sqlast.Select:
+		// With Section 5.1 enabled, select operations join operation
+		// blocks; otherwise they are evaluated standalone.
+		return e.cfg.EnableSelectTriggers
+	default:
+		return false
+	}
+}
+
+// Exec parses and executes a script. Consecutive data manipulation
+// statements form a single operation block — one externally-generated
+// transition, hence one transaction (Section 4): rules are considered and
+// executed just before that transaction commits. Definition statements
+// (CREATE TABLE, CREATE RULE, priorities, ...) execute immediately between
+// transactions. Without the Section 5.1 option, a SELECT also ends the
+// current block (it is evaluated standalone, between transactions); with
+// EnableSelectTriggers, SELECTs join blocks and contribute S components.
+func (e *Engine) Exec(src string) (*TxnResult, error) {
+	stmts, err := sqlparse.ParseStatements(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStatements(stmts)
+}
+
+// ExecStatements executes parsed statements (see Exec). The returned
+// TxnResult is the merge of all transactions run by the script.
+func (e *Engine) ExecStatements(stmts []sqlast.Statement) (*TxnResult, error) {
+	total := &TxnResult{}
+	var block []sqlast.Statement
+	flush := func() error {
+		if len(block) == 0 {
+			return nil
+		}
+		res, err := e.RunTransaction(block)
+		block = nil
+		if res != nil {
+			total.Firings = append(total.Firings, res.Firings...)
+			total.Queries = append(total.Queries, res.Queries...)
+			if res.RolledBack {
+				total.RolledBack = true
+				total.RollbackRule = res.RollbackRule
+			}
+		}
+		return err
+	}
+	for _, st := range stmts {
+		if e.isBlockOp(st) {
+			block = append(block, st)
+			continue
+		}
+		if err := flush(); err != nil {
+			return total, err
+		}
+		switch s := st.(type) {
+		case *sqlast.Select:
+			res, err := e.Query(s)
+			if err != nil {
+				return total, err
+			}
+			total.Queries = append(total.Queries, res)
+		default:
+			if err := e.execDefinition(st); err != nil {
+				return total, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// Query evaluates a SELECT against the current state, outside any rule
+// context.
+func (e *Engine) Query(sel *sqlast.Select) (*exec.Result, error) {
+	env := &exec.Env{Store: e.store}
+	return env.Query(sel)
+}
+
+// QueryString parses and evaluates a single SELECT.
+func (e *Engine) QueryString(src string) (*exec.Result, error) {
+	st, err := sqlparse.ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlast.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: QueryString requires a SELECT, got %T", st)
+	}
+	return e.Query(sel)
+}
+
+// execDefinition handles DDL and rule-management statements.
+func (e *Engine) execDefinition(st sqlast.Statement) error {
+	switch s := st.(type) {
+	case *sqlast.CreateTable:
+		tab, err := exec.CreateTableSchema(s)
+		if err != nil {
+			return err
+		}
+		return e.store.CreateTable(tab)
+	case *sqlast.DropTable:
+		return e.store.DropTable(s.Name)
+	case *sqlast.CreateRule:
+		return e.DefineRule(s)
+	case *sqlast.CreateRulePriority:
+		return e.AddPriority(s.Before, s.After)
+	case *sqlast.DropRule:
+		return e.DropRule(s.Name)
+	case *sqlast.SetRuleActive:
+		r, ok := e.ruleSet[s.Name]
+		if !ok {
+			return fmt.Errorf("engine: rule %q does not exist", s.Name)
+		}
+		r.Active = s.Active
+		return nil
+	default:
+		return fmt.Errorf("engine: unsupported statement %T", st)
+	}
+}
+
+// DefineRule validates and installs a production rule.
+func (e *Engine) DefineRule(cr *sqlast.CreateRule) error {
+	if _, dup := e.ruleSet[cr.Name]; dup {
+		return fmt.Errorf("engine: rule %q already exists", cr.Name)
+	}
+	if err := rules.ValidateRule(cr, e.store.Catalog()); err != nil {
+		return err
+	}
+	if cr.Action.Call != "" {
+		if _, ok := e.procs[cr.Action.Call]; !ok {
+			return fmt.Errorf("engine: rule %q calls unregistered procedure %q", cr.Name, cr.Action.Call)
+		}
+	}
+	for _, p := range cr.Preds {
+		if p.Op == sqlast.PredSelected && !e.cfg.EnableSelectTriggers {
+			return fmt.Errorf("engine: rule %q uses SELECTED predicates but select triggering is not enabled", cr.Name)
+		}
+	}
+	scope := e.cfg.DefaultScope
+	switch cr.Scope {
+	case sqlast.ScopeSinceConsidered:
+		scope = rules.ScopeSinceConsidered
+	case sqlast.ScopeSinceTriggered:
+		scope = rules.ScopeSinceTriggered
+	}
+	e.seq++
+	r := &rules.Rule{
+		Name:           cr.Name,
+		Preds:          cr.Preds,
+		Condition:      cr.Condition,
+		Action:         cr.Action,
+		Active:         true,
+		Scope:          scope,
+		LastConsidered: e.seq,
+	}
+	if !e.cfg.FullTransInfo {
+		r.PredTables = make(map[string]bool, len(cr.Preds))
+		for _, p := range cr.Preds {
+			r.PredTables[p.Table] = true
+		}
+	}
+	e.ruleSet[cr.Name] = r
+	e.defOrder = append(e.defOrder, cr.Name)
+	return nil
+}
+
+// DropRule removes a rule and its priority edges.
+func (e *Engine) DropRule(name string) error {
+	if _, ok := e.ruleSet[name]; !ok {
+		return fmt.Errorf("engine: rule %q does not exist", name)
+	}
+	delete(e.ruleSet, name)
+	for i, n := range e.defOrder {
+		if n == name {
+			e.defOrder = append(e.defOrder[:i], e.defOrder[i+1:]...)
+			break
+		}
+	}
+	e.selector.DropRule(name)
+	return nil
+}
+
+// AddPriority declares `create rule priority before BEFORE after`
+// (Section 4.4).
+func (e *Engine) AddPriority(before, after string) error {
+	if _, ok := e.ruleSet[before]; !ok {
+		return fmt.Errorf("engine: rule %q does not exist", before)
+	}
+	if _, ok := e.ruleSet[after]; !ok {
+		return fmt.Errorf("engine: rule %q does not exist", after)
+	}
+	return e.selector.AddPriority(before, after)
+}
+
+// ---------------------------------------------------------------------------
+// Transactions and the Figure 1 algorithm
+// ---------------------------------------------------------------------------
+
+// selCollector accumulates the S component (Section 5.1) during query
+// evaluation.
+type selCollector struct {
+	eff *rules.Effect
+}
+
+func (c *selCollector) TupleSelected(table string, h storage.Handle) {
+	c.eff.AddSelected(table, []storage.Handle{h})
+}
+
+// RunTransaction executes one externally-generated operation block (with
+// optional PROCESS RULES triggering points) as a transaction: the block's
+// transition is computed, each rule's transition information is
+// initialized, and rules are repeatedly selected, considered, and executed
+// until none are eligible (Figure 1). The transaction then commits — or
+// rolls back on a rollback action, an error, or the runaway guard.
+func (e *Engine) RunTransaction(ops []sqlast.Statement) (*TxnResult, error) {
+	if err := e.store.Begin(); err != nil {
+		return nil, err
+	}
+	res := &TxnResult{}
+
+	fail := func(err error) (*TxnResult, error) {
+		e.store.Rollback()
+		e.clearTransInfo()
+		e.stats.RolledBack++
+		return res, err
+	}
+
+	// Split the block at PROCESS RULES triggering points (Section 5.3).
+	segments := splitAtTriggeringPoints(ops)
+	first := true
+	transitions := 0
+	var deadline time.Time
+	if e.cfg.RuleTimeout > 0 {
+		deadline = time.Now().Add(e.cfg.RuleTimeout)
+	}
+	for _, seg := range segments {
+		blockEff, err := e.execExternalSegment(seg, res)
+		if err != nil {
+			return fail(err)
+		}
+		e.stats.ExternalTransitions++
+		e.trace(TraceEvent{Kind: TraceExternalTransition, Effect: blockEff.String()})
+		if first {
+			// init-trans-info for every rule, restricted to the tables the
+			// rule can reference.
+			for _, r := range e.ruleSet {
+				r.TransInfo = blockEff.CloneFiltered(r.Keep)
+			}
+			first = false
+		} else {
+			// Later external segments compose like rule transitions.
+			e.applyToAll(nil, blockEff)
+		}
+		done, err := e.processRules(res, &transitions, deadline)
+		if err != nil {
+			return fail(err)
+		}
+		if done { // rolled back by a rule
+			e.clearTransInfo()
+			e.stats.RolledBack++
+			return res, nil
+		}
+	}
+
+	if err := e.store.Commit(); err != nil {
+		return fail(err)
+	}
+	e.clearTransInfo()
+	e.stats.Committed++
+	e.trace(TraceEvent{Kind: TraceCommit})
+	return res, nil
+}
+
+// clearTransInfo drops per-transaction rule state.
+func (e *Engine) clearTransInfo() {
+	for _, r := range e.ruleSet {
+		r.TransInfo = nil
+	}
+}
+
+func splitAtTriggeringPoints(ops []sqlast.Statement) [][]sqlast.Statement {
+	var segs [][]sqlast.Statement
+	var cur []sqlast.Statement
+	for _, op := range ops {
+		if _, ok := op.(*sqlast.ProcessRules); ok {
+			segs = append(segs, cur)
+			cur = nil
+			continue
+		}
+		cur = append(cur, op)
+	}
+	segs = append(segs, cur)
+	return segs
+}
+
+// execExternalSegment runs the operations of one external transition and
+// returns its composed effect.
+func (e *Engine) execExternalSegment(ops []sqlast.Statement, res *TxnResult) (*rules.Effect, error) {
+	eff := rules.NewEffect()
+	env := &exec.Env{Store: e.store}
+	if e.cfg.EnableSelectTriggers {
+		env.Observer = &selCollector{eff: eff}
+	}
+	for _, op := range ops {
+		if sel, ok := op.(*sqlast.Select); ok {
+			qres, err := env.Query(sel)
+			if err != nil {
+				return nil, err
+			}
+			res.Queries = append(res.Queries, qres)
+			continue
+		}
+		opRes, err := env.ExecOp(op)
+		if err != nil {
+			return nil, err
+		}
+		eff.AddOp(opRes)
+	}
+	return eff, nil
+}
+
+// processRules is the rule-processing loop of Figure 1 (select-eligible-rule
+// plus action execution), run at a triggering point or before commit. It
+// returns done=true if a rollback action fired (the store has been rolled
+// back and the result updated).
+func (e *Engine) processRules(res *TxnResult, transitions *int, deadline time.Time) (done bool, err error) {
+	// consideredFalse holds rules whose condition failed against their
+	// current transition information; they are reconsidered only after a
+	// new transition occurs (Section 4.2: a rule whose condition was found
+	// false "may be reconsidered in S2 as long as it is still triggered by
+	// the composite effect").
+	consideredFalse := make(map[string]bool)
+	for {
+		r, err := e.selectTriggeredRule(consideredFalse)
+		if err != nil {
+			return false, err
+		}
+		if r == nil {
+			return false, nil
+		}
+		e.seq++
+		r.LastConsidered = e.seq
+
+		// Evaluate the condition with the rule's transition tables.
+		env := &exec.Env{
+			Store: e.store,
+			Trans: &rules.TransSource{Store: e.store, Effect: r.TransInfo},
+		}
+		condHeld, err := env.EvalPredicate(r.Condition)
+		if err != nil {
+			return false, fmt.Errorf("engine: rule %q condition: %w", r.Name, err)
+		}
+		e.stats.RuleConsiderations++
+		e.trace(TraceEvent{Kind: TraceRuleConsidered, Rule: r.Name, CondHeld: condHeld, Effect: r.TransInfo.String()})
+
+		if r.Scope == rules.ScopeSinceConsidered && !condHeld {
+			// Footnote 8 alternative: the evaluation window restarts at
+			// every consideration.
+			r.TransInfo = rules.NewEffect()
+		}
+		if !condHeld {
+			consideredFalse[r.Name] = true
+			continue
+		}
+
+		if r.Action.Rollback {
+			e.trace(TraceEvent{Kind: TraceRollback, Rule: r.Name})
+			if err := e.store.Rollback(); err != nil {
+				return false, err
+			}
+			res.RolledBack = true
+			res.RollbackRule = r.Name
+			return true, nil
+		}
+
+		*transitions++
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return false, fmt.Errorf("%w (rule %q, limit %v)", ErrTimeout, r.Name, e.cfg.RuleTimeout)
+		}
+		if *transitions > e.cfg.MaxRuleTransitions {
+			return false, fmt.Errorf("%w (rule %q, limit %d)", ErrRunaway, r.Name, e.cfg.MaxRuleTransitions)
+		}
+
+		actEff, delivered, err := e.execRuleAction(r)
+		if err != nil {
+			return false, fmt.Errorf("engine: rule %q action: %w", r.Name, err)
+		}
+		res.Queries = append(res.Queries, delivered...)
+		e.stats.RuleFirings++
+		res.Firings = append(res.Firings, Firing{Rule: r.Name, Effect: actEff.String()})
+		e.trace(TraceEvent{Kind: TraceRuleFired, Rule: r.Name, Effect: actEff.String(), Transient: *transitions})
+
+		// Figure 1: the executing rule gets fresh transition information
+		// (init-trans-info); every other rule composes (modify-trans-info).
+		r.TransInfo = actEff.CloneFiltered(r.Keep)
+		e.applyToAll(r, actEff)
+
+		// A new transition occurred: previously false conditions may now
+		// hold (or rules may be newly triggered) — reconsider everything.
+		consideredFalse = make(map[string]bool)
+	}
+}
+
+// selectTriggeredRule returns a triggered, active, not-yet-rejected rule
+// chosen by the selector, or nil.
+func (e *Engine) selectTriggeredRule(consideredFalse map[string]bool) (*rules.Rule, error) {
+	var triggered []*rules.Rule
+	for _, name := range e.defOrder {
+		r := e.ruleSet[name]
+		if !r.Active || consideredFalse[name] {
+			continue
+		}
+		ok, err := r.Triggered(e.store.Catalog())
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			triggered = append(triggered, r)
+		}
+	}
+	return e.selector.Select(triggered), nil
+}
+
+// execRuleAction runs a rule's action (operation block or external
+// procedure) and returns the effect of the created transition plus any
+// result sets its SELECT operations retrieved (the Section 5.1 "data
+// retrieval in rules' actions" extension: results are delivered to the
+// client with the transaction result).
+func (e *Engine) execRuleAction(r *rules.Rule) (*rules.Effect, []*exec.Result, error) {
+	eff := rules.NewEffect()
+	env := &exec.Env{
+		Store: e.store,
+		Trans: &rules.TransSource{Store: e.store, Effect: r.TransInfo},
+	}
+	if e.cfg.EnableSelectTriggers {
+		env.Observer = &selCollector{eff: eff}
+	}
+	if r.Action.Call != "" {
+		proc, ok := e.procs[r.Action.Call]
+		if !ok {
+			return nil, nil, fmt.Errorf("procedure %q is not registered", r.Action.Call)
+		}
+		ctx := &ProcContext{RuleName: r.Name, env: env, eff: eff}
+		if err := proc(ctx); err != nil {
+			return nil, nil, err
+		}
+		return eff, nil, nil
+	}
+	var delivered []*exec.Result
+	for _, op := range r.Action.Block {
+		if sel, ok := op.(*sqlast.Select); ok {
+			qres, err := env.Query(sel)
+			if err != nil {
+				return nil, nil, err
+			}
+			delivered = append(delivered, qres)
+			continue
+		}
+		opRes, err := env.ExecOp(op)
+		if err != nil {
+			return nil, nil, err
+		}
+		eff.AddOp(opRes)
+	}
+	return eff, delivered, nil
+}
+
+// applyToAll folds a new transition's effect into every rule's transition
+// information except the rule that generated it (exclude may be nil). The
+// footnote 8 since-triggered scope restarts a rule's window at any
+// transition that by itself satisfies the rule's predicate.
+func (e *Engine) applyToAll(exclude *rules.Rule, eff *rules.Effect) {
+	for _, r := range e.ruleSet {
+		if r == exclude {
+			continue
+		}
+		if r.TransInfo == nil {
+			r.TransInfo = eff.CloneFiltered(r.Keep)
+			continue
+		}
+		if r.Scope == rules.ScopeSinceTriggered {
+			if ok, _ := rules.EffectSatisfies(eff, r.Preds, e.store.Catalog()); ok {
+				r.TransInfo = eff.CloneFiltered(r.Keep)
+				continue
+			}
+		}
+		r.TransInfo.ApplyFiltered(eff, r.Keep)
+	}
+}

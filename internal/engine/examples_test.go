@@ -1,0 +1,308 @@
+package engine
+
+// This file reproduces the worked examples of the paper (Sections 3.1 and
+// 4.5) as executable integration tests. Test names reference the paper's
+// example numbers; EXPERIMENTS.md records the expected-vs-observed
+// outcomes.
+
+import (
+	"testing"
+)
+
+// paperSchema loads the two-table schema used throughout the paper:
+//
+//	emp(name, emp_no, salary, dept_no)
+//	dept(dept_no, mgr_no)
+func paperEngine(t *testing.T) *Engine {
+	t.Helper()
+	return newEmpEngine(t, Config{})
+}
+
+// TestExample31 — "cascaded delete" referential integrity: whenever
+// departments are deleted, delete all employees in the deleted departments.
+func TestExample31(t *testing.T) {
+	e := paperEngine(t)
+	mustExec(t, e, `
+		create rule cascade when deleted from dept
+		then delete from emp
+		     where dept_no in (select dept_no from deleted dept)
+		end
+	`)
+	mustExec(t, e, `
+		insert into emp values ('a', 1, 10, 1), ('b', 2, 10, 1), ('c', 3, 10, 2), ('d', 4, 10, 3);
+		insert into dept values (1, 1), (2, 3), (3, 4)
+	`)
+	// Deleting two departments in one block removes all their employees in
+	// one set-oriented firing.
+	res := mustExec(t, e, `delete from dept where dept_no in (1, 2)`)
+	if len(res.Firings) != 1 || res.Firings[0].Rule != "cascade" {
+		t.Fatalf("firings: %+v", res.Firings)
+	}
+	if got := names(t, e, `select name from emp order by name`); len(got) != 1 || got[0] != "d" {
+		t.Errorf("remaining employees: %v, want [d]", got)
+	}
+	// Deleting no departments fires nothing.
+	res = mustExec(t, e, `delete from dept where dept_no = 999`)
+	if len(res.Firings) != 0 {
+		t.Errorf("rule fired with empty effect: %+v", res.Firings)
+	}
+}
+
+// TestExample32 — whenever salaries are updated, if the total of the
+// updated salaries exceeds their total before the updates, cut department
+// #2 by 5% and department #3 by 15%.
+func TestExample32(t *testing.T) {
+	e := paperEngine(t)
+	mustExec(t, e, `
+		create rule budget when updated emp.salary
+		if (select sum(salary) from new updated emp.salary) >
+		   (select sum(salary) from old updated emp.salary)
+		then update emp set salary = 0.95 * salary where dept_no = 2;
+		     update emp set salary = 0.85 * salary where dept_no = 3
+		end
+	`)
+	mustExec(t, e, `insert into emp values
+		('a', 1, 1000, 1), ('b', 2, 1000, 2), ('c', 3, 1000, 3)`)
+
+	// A net raise triggers the cuts. The rule's own action updates
+	// salaries, re-triggering it — but the second firing's old/new totals
+	// are equal or lower (cuts), so the condition fails and processing
+	// stops (self-triggering with a false condition, Section 4.1).
+	res := mustExec(t, e, `update emp set salary = 1200 where emp_no = 1`)
+	if len(res.Firings) != 1 {
+		t.Fatalf("firings = %d, want 1: %+v", len(res.Firings), res.Firings)
+	}
+	q, _ := e.QueryString(`select salary from emp order by emp_no`)
+	if q.Rows[0][0].Float() != 1200 || q.Rows[1][0].Float() != 950 || q.Rows[2][0].Float() != 850 {
+		t.Errorf("salaries: %v", q.Rows)
+	}
+
+	// A net cut does not trigger the action.
+	res = mustExec(t, e, `update emp set salary = 100 where emp_no = 1`)
+	if len(res.Firings) != 0 {
+		t.Errorf("net cut fired: %+v", res.Firings)
+	}
+}
+
+// TestExample33 — composite transition predicate with a correlated
+// condition: if any employee earns more than twice his department's
+// average, delete the manager of department #5.
+func TestExample33(t *testing.T) {
+	e := paperEngine(t)
+	mustExec(t, e, `
+		create rule overpaid
+		when inserted into emp
+		  or deleted from emp
+		  or updated emp.salary
+		  or updated emp.dept_no
+		if exists (select * from emp e1
+		           where salary > 2 * (select avg(salary) from emp e2
+		                               where e2.dept_no = e1.dept_no))
+		then delete from emp
+		     where emp_no = (select mgr_no from dept where dept_no = 5)
+		end
+	`)
+	mustExec(t, e, `
+		insert into dept values (5, 100);
+		insert into emp values ('mgr5', 100, 50, 5),
+			('a', 1, 100, 1), ('b', 2, 100, 1), ('c', 3, 100, 1)
+	`)
+	if count(t, e, "emp") != 4 {
+		t.Fatalf("setup: %d employees", count(t, e, "emp"))
+	}
+	// Raise a's salary beyond twice the dept-1 average → manager of dept 5
+	// is deleted. (Trigger is updated emp.salary.)
+	mustExec(t, e, `update emp set salary = 500 where emp_no = 1`)
+	if got := names(t, e, `select name from emp where emp_no = 100`); len(got) != 0 {
+		t.Errorf("mgr5 survived: %v", got)
+	}
+	// Normalize salaries so no one is overpaid (this update triggers the
+	// rule, but dept 5 has no manager row left, so the action deletes
+	// nothing). Then the rule also triggers on inserts and dept_no
+	// updates; with no overpaid employee the new manager survives.
+	mustExec(t, e, `update emp set salary = 100 where emp_no = 1`)
+	mustExec(t, e, `insert into emp values ('mgr5b', 100, 50, 5)`)
+	mustExec(t, e, `update emp set dept_no = dept_no where emp_no = 2`)
+	if got := names(t, e, `select name from emp where emp_no = 100`); len(got) != 1 {
+		t.Errorf("mgr5b deleted without cause: %v", got)
+	}
+}
+
+// example41Rule is the recursive manager-deletion rule of Example 4.1.
+const example41Rule = `
+	create rule mgr_cascade when deleted from emp
+	then delete from emp
+	     where dept_no in (select dept_no from dept
+	                       where mgr_no in (select emp_no from deleted emp));
+	     delete from dept
+	     where mgr_no in (select emp_no from deleted emp)
+	end
+`
+
+// loadManagementTree installs the Example 4.3 database: Jane manages Mary
+// and Jim; Mary manages Bill; Jim manages Sam and Sue. Department d is
+// managed by employee with the same number as its dept_no.
+func loadManagementTree(t *testing.T, e *Engine) {
+	t.Helper()
+	mustExec(t, e, `
+		insert into emp values
+			('jane', 1, 60000, 0),
+			('mary', 2, 70000, 1),
+			('jim',  3, 55000, 1),
+			('bill', 4, 25000, 2),
+			('sam',  5, 40000, 3),
+			('sue',  6, 45000, 3);
+		insert into dept values (1, 1), (2, 2), (3, 3)
+	`)
+}
+
+// TestExample41Fixpoint — deleting the root manager recursively deletes the
+// whole subtree, via self-triggering to fixpoint.
+func TestExample41Fixpoint(t *testing.T) {
+	e := paperEngine(t)
+	mustExec(t, e, example41Rule)
+	loadManagementTree(t, e)
+
+	res := mustExec(t, e, `delete from emp where name = 'jane'`)
+	// Firing 1: deleted {jane} → delete mary, jim (dept 1), dept 1.
+	// Firing 2: deleted {mary, jim} → delete bill (dept 2), sam, sue
+	//           (dept 3), depts 2, 3.
+	// Firing 3: deleted {bill, sam, sue} → nothing; fixpoint.
+	if len(res.Firings) != 3 {
+		t.Fatalf("firings = %d, want 3: %+v", len(res.Firings), res.Firings)
+	}
+	if count(t, e, "emp") != 0 || count(t, e, "dept") != 0 {
+		t.Errorf("emp=%d dept=%d after cascade, want 0/0", count(t, e, "emp"), count(t, e, "dept"))
+	}
+
+	// Deleting a leaf manager takes only its own subtree.
+	e2 := paperEngine(t)
+	mustExec(t, e2, example41Rule)
+	loadManagementTree(t, e2)
+	mustExec(t, e2, `delete from emp where name = 'jim'`)
+	got := names(t, e2, `select name from emp order by emp_no`)
+	want := []string{"jane", "mary", "bill"}
+	if len(got) != len(want) {
+		t.Fatalf("survivors: %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("survivors: %v, want %v", got, want)
+		}
+	}
+}
+
+// example42Rule is the salary-update control rule of Example 4.2 (50K and
+// 80K thresholds per the paper).
+const example42Rule = `
+	create rule salary_watch when updated emp.salary
+	if (select avg(salary) from new updated emp.salary) > 50000
+	then delete from emp
+	     where emp_no in (select emp_no from new updated emp.salary)
+	       and salary > 80000
+	end
+`
+
+// TestExample42 — Bill 25K→30K and Mary 70K→85K in one block: the average
+// of the updated salaries (57.5K) exceeds 50K, so Mary (now over 80K) is
+// deleted.
+func TestExample42(t *testing.T) {
+	e := paperEngine(t)
+	mustExec(t, e, example42Rule)
+	mustExec(t, e, `insert into emp values ('bill', 4, 25000, 2), ('mary', 2, 70000, 1)`)
+	res := mustExec(t, e, `
+		update emp set salary = 30000 where name = 'bill';
+		update emp set salary = 85000 where name = 'mary'
+	`)
+	if len(res.Firings) != 1 {
+		t.Fatalf("firings: %+v", res.Firings)
+	}
+	got := names(t, e, `select name from emp`)
+	if len(got) != 1 || got[0] != "bill" {
+		t.Errorf("survivors: %v, want [bill]", got)
+	}
+
+	// If the average stays at or below 50K, nothing happens.
+	e2 := paperEngine(t)
+	mustExec(t, e2, example42Rule)
+	mustExec(t, e2, `insert into emp values ('bill', 4, 25000, 2), ('mary', 2, 70000, 1)`)
+	res = mustExec(t, e2, `update emp set salary = 26000 where name = 'bill'`)
+	if len(res.Firings) != 0 {
+		t.Errorf("fired below threshold: %+v", res.Firings)
+	}
+}
+
+// TestExample43Trace — the paper's full two-rule interaction (experiment
+// E1): external block deletes Jane and updates salaries (Bill → 30K, Mary
+// → 85K); with R2 (salary_watch) prioritized over R1 (mgr_cascade), the
+// paper's Section 4.5 narrates:
+//
+//  1. R2 fires on updated set {bill, mary}: deletes Mary.
+//  2. R1 fires on composite deleted set {jane, mary}: deletes Jim and Bill
+//     and departments 1, 2.
+//  3. R1 fires on its own transition's deleted set {jim, bill}: deletes Sam
+//     and Sue and department 3.
+//  4. R1 fires on {sam, sue}: deletes nothing; processing stops.
+func TestExample43Trace(t *testing.T) {
+	e := paperEngine(t)
+	mustExec(t, e, example41Rule)
+	mustExec(t, e, example42Rule)
+	mustExec(t, e, `create rule priority salary_watch before mgr_cascade`)
+	loadManagementTree(t, e)
+
+	res := mustExec(t, e, `
+		delete from emp where name = 'jane';
+		update emp set salary = 30000 where name = 'bill';
+		update emp set salary = 85000 where name = 'mary'
+	`)
+
+	wantFirings := []Firing{
+		{Rule: "salary_watch", Effect: "[I:0 D:1 U:0 S:0]"}, // Mary
+		{Rule: "mgr_cascade", Effect: "[I:0 D:4 U:0 S:0]"},  // Jim, Bill + depts 1, 2
+		{Rule: "mgr_cascade", Effect: "[I:0 D:3 U:0 S:0]"},  // Sam, Sue + dept 3
+		{Rule: "mgr_cascade", Effect: "[I:0 D:0 U:0 S:0]"},  // fixpoint
+	}
+	if len(res.Firings) != len(wantFirings) {
+		t.Fatalf("firings = %+v,\nwant %+v", res.Firings, wantFirings)
+	}
+	for i, w := range wantFirings {
+		if res.Firings[i] != w {
+			t.Errorf("firing %d = %+v, want %+v", i, res.Firings[i], w)
+		}
+	}
+	if count(t, e, "emp") != 0 || count(t, e, "dept") != 0 {
+		t.Errorf("final state emp=%d dept=%d, want empty", count(t, e, "emp"), count(t, e, "dept"))
+	}
+}
+
+// TestExample43CompositeDeletedValues — the deleted transition table seen
+// by R1's first firing must contain Mary's *pre-transaction* tuple
+// (salary 70000), not the 85000 she was updated to before deletion
+// (Figure 1 get-old-value through update-then-delete across transitions).
+func TestExample43CompositeDeletedValues(t *testing.T) {
+	e := paperEngine(t)
+	mustExec(t, e, `create table seen (name varchar, salary float)`)
+	mustExec(t, e, example42Rule)
+	mustExec(t, e, `
+		create rule record_deleted when deleted from emp
+		then insert into seen (select name, salary from deleted emp)
+		end
+	`)
+	mustExec(t, e, `create rule priority salary_watch before record_deleted`)
+	loadManagementTree(t, e)
+	mustExec(t, e, `
+		delete from emp where name = 'jane';
+		update emp set salary = 30000 where name = 'bill';
+		update emp set salary = 85000 where name = 'mary'
+	`)
+	res, _ := e.QueryString(`select name, salary from seen order by name`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("seen rows: %v", res.Rows)
+	}
+	if res.Rows[0][0].Str() != "jane" || res.Rows[0][1].Float() != 60000 {
+		t.Errorf("jane row: %v", res.Rows[0])
+	}
+	if res.Rows[1][0].Str() != "mary" || res.Rows[1][1].Float() != 70000 {
+		t.Errorf("mary row: %v (must show pre-transaction salary 70000)", res.Rows[1])
+	}
+}

@@ -1,0 +1,107 @@
+package engine
+
+// Golden-file regression tests: every script in testdata/scripts is
+// executed on a fresh engine and its observable output — rule firings,
+// rollbacks, query result tables, and the final database dump — is compared
+// against the committed .golden file. Regenerate with:
+//
+//	go test ./internal/engine -run TestGoldenScripts -update
+//
+// The scripts intentionally mix features (paper examples, constraints
+// compiled by hand, scopes, priorities, triggering points) so that a
+// semantics regression anywhere surfaces as a diff here.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sopr/internal/rules"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestGoldenScripts(t *testing.T) {
+	scripts, err := filepath.Glob("testdata/scripts/*.sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) == 0 {
+		t.Fatal("no golden scripts found")
+	}
+	for _, script := range scripts {
+		name := strings.TrimSuffix(filepath.Base(script), ".sql")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(script)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runGolden(t, string(src))
+			goldenPath := strings.TrimSuffix(script, ".sql") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// runGolden executes the script statement-group by statement-group (groups
+// are separated by a line containing only "--") and renders all observable
+// output. A first line of the form `-- config: select-triggers` enables
+// engine options.
+func runGolden(t *testing.T, src string) string {
+	t.Helper()
+	var cfg Config
+	if strings.HasPrefix(src, "-- config:") {
+		line, rest, _ := strings.Cut(src, "\n")
+		src = rest
+		if strings.Contains(line, "select-triggers") {
+			cfg.EnableSelectTriggers = true
+		}
+		if strings.Contains(line, "most-recent") {
+			cfg.Strategy = rules.StrategyMostRecent
+		}
+	}
+	e := New(cfg)
+	var out strings.Builder
+	for i, group := range strings.Split(src, "\n--\n") {
+		group = strings.TrimSpace(group)
+		if group == "" {
+			continue
+		}
+		fmt.Fprintf(&out, "== group %d ==\n", i+1)
+		res, err := e.Exec(group)
+		if err != nil {
+			fmt.Fprintf(&out, "error: %v\n", err)
+			continue
+		}
+		for _, f := range res.Firings {
+			fmt.Fprintf(&out, "fired %s %s\n", f.Rule, f.Effect)
+		}
+		if res.RolledBack {
+			fmt.Fprintf(&out, "rolled back by %s\n", res.RollbackRule)
+		}
+		for _, q := range res.Queries {
+			out.WriteString(q.String())
+			out.WriteString("\n")
+		}
+	}
+	out.WriteString("== final dump ==\n")
+	if err := e.Dump(&out); err != nil {
+		fmt.Fprintf(&out, "dump error: %v\n", err)
+	}
+	return out.String()
+}

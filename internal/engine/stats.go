@@ -1,0 +1,20 @@
+package engine
+
+// Stats are cumulative counters over the engine's lifetime, exposed for
+// observability and for the benchmark harness.
+type Stats struct {
+	// Transactions committed and rolled back (rule rollbacks, errors and
+	// the runaway guard all count as rollbacks).
+	Committed  int64
+	RolledBack int64
+	// ExternalTransitions counts externally-generated transitions
+	// (PROCESS RULES triggering points split one transaction into several).
+	ExternalTransitions int64
+	// RuleConsiderations counts condition evaluations; RuleFirings counts
+	// action executions (rule-generated transitions).
+	RuleConsiderations int64
+	RuleFirings        int64
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }

@@ -1,0 +1,28 @@
+create table flight (src varchar, dst varchar);
+create table reach (src varchar, dst varchar)
+--
+create rule seed when inserted into flight
+then insert into reach
+     (select src, dst from inserted flight f
+      where not exists (select * from reach r where r.src = f.src and r.dst = f.dst))
+end;
+create rule derive when inserted into reach
+then insert into reach
+     (select distinct n.src, f.dst from inserted reach n, flight f
+      where n.dst = f.src
+        and not exists (select * from reach r where r.src = n.src and r.dst = f.dst))
+end;
+create rule derive_back when inserted into reach
+then insert into reach
+     (select distinct r.src, n.dst from reach r, inserted reach n
+      where r.dst = n.src
+        and not exists (select * from reach r2 where r2.src = r.src and r2.dst = n.dst))
+end
+--
+insert into flight values ('a','b'), ('b','c'), ('c','d')
+--
+select src, dst from reach order by src, dst
+--
+insert into flight values ('d','e')
+--
+select src from reach where dst = 'e' order by src

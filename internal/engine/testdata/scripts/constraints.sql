@@ -1,0 +1,28 @@
+create table dept (dept_no int, mgr_no int);
+create table emp (name varchar, emp_no int, salary float, dept_no int)
+--
+create rule fk_check when inserted into emp or updated emp.dept_no
+if exists (select * from inserted emp
+           where dept_no is not null and dept_no not in (select dept_no from dept))
+or exists (select * from new updated emp.dept_no
+           where dept_no is not null and dept_no not in (select dept_no from dept))
+then rollback;
+create rule fk_cascade when deleted from dept
+then delete from emp where dept_no in (select dept_no from deleted dept)
+end;
+create rule pay_floor when inserted into emp or updated emp.salary
+if exists (select * from inserted emp where salary < 0)
+or exists (select * from new updated emp.salary where salary < 0)
+then rollback
+--
+insert into dept values (1, 10), (2, 20);
+insert into emp values ('ok', 1, 100, 1)
+--
+insert into emp values ('orphan', 2, 100, 99)
+--
+update emp set salary = -1
+--
+delete from dept where dept_no = 1
+--
+select name, dept_no from emp order by emp_no;
+select count(*) n from dept

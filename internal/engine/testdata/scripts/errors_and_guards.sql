@@ -1,0 +1,12 @@
+create table t (a int not null)
+--
+insert into t values (null)
+--
+insert into t values (1);
+insert into t values (2)
+--
+create rule diverge when updated t.a then update t set a = a + 1 end
+--
+update t set a = a + 1
+--
+select count(*) n, max(a) m from t

@@ -1,0 +1,33 @@
+create table emp (name varchar, emp_no int not null, salary float, dept_no int);
+create table dept (dept_no int, mgr_no int)
+--
+create rule mgr_cascade when deleted from emp
+then delete from emp
+     where dept_no in (select dept_no from dept
+                       where mgr_no in (select emp_no from deleted emp));
+     delete from dept
+     where mgr_no in (select emp_no from deleted emp)
+end;
+create rule salary_watch when updated emp.salary
+if (select avg(salary) from new updated emp.salary) > 50000
+then delete from emp
+     where emp_no in (select emp_no from new updated emp.salary)
+       and salary > 80000
+end;
+create rule priority salary_watch before mgr_cascade
+--
+insert into emp values
+    ('jane', 1, 60000, 0),
+    ('mary', 2, 70000, 1),
+    ('jim',  3, 55000, 1),
+    ('bill', 4, 25000, 2),
+    ('sam',  5, 40000, 3),
+    ('sue',  6, 45000, 3);
+insert into dept values (1, 1), (2, 2), (3, 3)
+--
+delete from emp where name = 'jane';
+update emp set salary = 30000 where name = 'bill';
+update emp set salary = 85000 where name = 'mary'
+--
+select count(*) total_emps from emp;
+select count(*) total_depts from dept

@@ -1,0 +1,15 @@
+create table emp (name varchar, salary float, grade varchar)
+--
+create rule grade_and_report when updated emp.salary
+then update emp set grade = case when salary >= 1000 then 'high'
+                                 when salary >= 500 then 'mid'
+                                 else 'low' end
+     where name in (select name from new updated emp.salary);
+     select name, salary, grade from emp order by name
+end
+--
+insert into emp values ('a', 100, 'x'), ('b', 800, 'x'), ('c', 2000, 'x')
+--
+update emp set salary = salary * 2
+--
+select name, grade from emp order by name

@@ -1,0 +1,22 @@
+create table t (a int);
+create table log (n int)
+--
+create rule snapshot when inserted into t
+then insert into log (select count(*) from inserted t)
+end
+--
+insert into t values (1);
+insert into t values (2);
+process rules;
+insert into t values (3)
+--
+select n from log order by n
+--
+create rule sc scope since considered when inserted into t
+if (select count(*) from t) > 100
+then delete from t
+end
+--
+insert into t values (4)
+--
+select count(*) remaining from t

@@ -1,0 +1,16 @@
+-- config: select-triggers
+create table emp (name varchar, salary float);
+create table audit (n int)
+--
+create rule watch when selected emp
+if exists (select * from selected emp where salary > 1000)
+then insert into audit (select count(*) from selected emp)
+end
+--
+insert into emp values ('a', 100), ('b', 5000)
+--
+select name from emp where salary < 500
+--
+select name from emp
+--
+select n from audit

@@ -1,0 +1,244 @@
+package exec
+
+// Tests for evaluator paths not covered by the main suite: EvalPredicate,
+// scalar-function edge cases, hash keys, and aggregate detection across
+// every expression form.
+
+import (
+	"testing"
+
+	"sopr/internal/sqlast"
+	"sopr/internal/sqlparse"
+	"sopr/internal/value"
+)
+
+func evalPred(t *testing.T, e *Env, src string) (bool, error) {
+	t.Helper()
+	expr, err := sqlparse.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e.EvalPredicate(expr)
+}
+
+func TestEvalPredicate(t *testing.T) {
+	e := testEnv(t)
+	cases := []struct {
+		src  string
+		want bool
+		err  bool
+	}{
+		{`1 = 1`, true, false},
+		{`1 = 2`, false, false},
+		{`null = 1`, false, false}, // Unknown is not true
+		{`exists (select * from emp)`, true, false},
+		{`(select count(*) from emp) > 3`, true, false},
+		{`(select avg(salary) from emp) > 100000`, false, false},
+		{`1 + 1`, false, true},        // non-boolean
+		{`nosuch = 1`, false, true},   // unresolvable column (no row scope)
+		{`1 / 0 = 1`, false, true},    // runtime error
+		{`'a' > 1`, false, true},      // incomparable
+		{`not (1 = 1)`, false, false}, // negation
+	}
+	for _, c := range cases {
+		got, err := evalPred(t, e, c.src)
+		if (err != nil) != c.err {
+			t.Errorf("%q: err = %v, want err=%v", c.src, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+	// Nil condition means IF TRUE (paper Section 3).
+	if ok, err := e.EvalPredicate(nil); err != nil || !ok {
+		t.Errorf("nil predicate: %v, %v", ok, err)
+	}
+}
+
+func TestScalarFuncErrors(t *testing.T) {
+	e := testEnv(t)
+	bad := []string{
+		`select abs() from emp`,
+		`select abs(1, 2) from emp`,
+		`select abs(name) from emp`,
+		`select round('x') from emp`,
+		`select upper(1) from emp`,
+		`select lower(salary) from emp`,
+		`select length(salary) from emp`,
+		`select nullif(1) from emp`,
+	}
+	for _, src := range bad {
+		if err := queryErr(t, e, src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+	// NULL propagation through scalar functions.
+	res := mustQuery(t, e, `select abs(salary), round(salary), upper(nullif('a','a')), length(nullif('a','a'))
+		from emp where name = 'sue'`)
+	for i, v := range res.Rows[0] {
+		if !v.IsNull() {
+			t.Errorf("col %d: %v, want NULL", i, v)
+		}
+	}
+	// ceil / ceiling aliases; int passthrough.
+	res = mustQuery(t, e, `select ceiling(1.2), ceil(dept_no), round(dept_no), floor(dept_no) from emp where name = 'jane'`)
+	if res.Rows[0][0].Float() != 2 || res.Rows[0][1].Int() != 1 {
+		t.Errorf("ceil family: %v", res.Rows[0])
+	}
+}
+
+func TestHashKeyNormalization(t *testing.T) {
+	if _, ok := hashKey(value.Null); ok {
+		t.Error("NULL must not produce a key")
+	}
+	ik, _ := hashKey(value.NewInt(3))
+	fk, _ := hashKey(value.NewFloat(3.0))
+	if ik != fk {
+		t.Errorf("3 and 3.0 keys differ: %q vs %q", ik, fk)
+	}
+	sk, _ := hashKey(value.NewString("3"))
+	if sk == ik {
+		t.Error("string '3' collides with number 3")
+	}
+	bt, _ := hashKey(value.NewBool(true))
+	bf, _ := hashKey(value.NewBool(false))
+	if bt == bf {
+		t.Error("booleans collide")
+	}
+}
+
+func TestExprHasAggregateForms(t *testing.T) {
+	with := []string{
+		`sum(a)`,
+		`1 + count(*)`,
+		`-min(a)`,
+		`max(a) is null`,
+		`avg(a) between 1 and 2`,
+		`upper(name) like coalesce(min(name), 'x')`,
+		`count(*) in (1, 2)`,
+		`sum(a) in (select b from t)`,
+		`count(*) > all (select b from t)`,
+		`coalesce(sum(a), 0)`,
+		`case when count(*) > 1 then 1 else 0 end`,
+		`case a when 1 then sum(b) end`,
+	}
+	for _, src := range with {
+		e, err := sqlparse.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if !exprHasAggregate(e) {
+			t.Errorf("aggregate not detected in %q", src)
+		}
+	}
+	without := []string{
+		`a + b`,
+		`exists (select sum(x) from t)`, // aggregate belongs to the subquery
+		`(select count(*) from t)`,
+		`a in (select sum(b) from t)`,
+		`upper(name)`,
+		`case when a > 1 then b else c end`,
+	}
+	for _, src := range without {
+		e, err := sqlparse.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if exprHasAggregate(e) {
+			t.Errorf("false aggregate in %q", src)
+		}
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	e := testEnv(t)
+	bad := []string{
+		`select sum(*) from emp`,
+		`select min(name, salary) from emp`,
+		`select max(salary) from emp group by dept_no having sum(name) > 0`,
+	}
+	for _, src := range bad {
+		if err := queryErr(t, e, src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+	// min/max over strings works.
+	res := mustQuery(t, e, `select min(name), max(name) from emp`)
+	if res.Rows[0][0].Str() != "bill" || res.Rows[0][1].Str() != "sue" {
+		t.Errorf("string min/max: %v", res.Rows[0])
+	}
+	// sum of ints stays int; avg of ints is float.
+	res = mustQuery(t, e, `select sum(dept_no), avg(dept_no) from emp`)
+	if res.Rows[0][0].Kind() != value.KindInt {
+		t.Errorf("int sum kind: %v", res.Rows[0][0].Kind())
+	}
+	if res.Rows[0][1].Kind() != value.KindFloat {
+		t.Errorf("int avg kind: %v", res.Rows[0][1].Kind())
+	}
+	// sum(distinct).
+	res = mustQuery(t, e, `select sum(distinct dept_no) from emp`)
+	if res.Rows[0][0].Int() != 6 {
+		t.Errorf("sum distinct: %v", res.Rows[0][0])
+	}
+}
+
+func TestBetweenAndLikeEdges(t *testing.T) {
+	e := testEnv(t)
+	res := mustQuery(t, e, `select name from emp where salary not between 0 and 50000 order by name`)
+	if len(res.Rows) != 3 { // jane, mary, jim above 50k; sue NULL excluded
+		t.Errorf("NOT BETWEEN: %v", res.Rows)
+	}
+	res = mustQuery(t, e, `select name from emp where name like 'j%' order by name`)
+	if len(res.Rows) != 2 {
+		t.Errorf("LIKE: %v", res.Rows)
+	}
+	res = mustQuery(t, e, `select name from emp where name not like '%e'`)
+	// jane/sue end with e; mary, jim, bill, sam don't.
+	if len(res.Rows) != 4 {
+		t.Errorf("NOT LIKE: %v", res.Rows)
+	}
+}
+
+func TestUnaryAndBoolErrors(t *testing.T) {
+	e := testEnv(t)
+	if err := queryErr(t, e, `select -name from emp`); err == nil {
+		t.Error("negated string accepted")
+	}
+	if err := queryErr(t, e, `select not name from emp`); err == nil {
+		t.Error("NOT string accepted")
+	}
+	if err := queryErr(t, e, `select name from emp where name and true`); err == nil {
+		t.Error("string AND accepted")
+	}
+	// Short-circuit: (false AND error-expr) never evaluates the error.
+	res := mustQuery(t, e, `select name from emp where 1 = 2 and 1 / 0 = 1`)
+	if len(res.Rows) != 0 {
+		t.Errorf("short-circuit AND: %v", res.Rows)
+	}
+	res = mustQuery(t, e, `select name from emp where 1 = 1 or 1 / 0 = 1`)
+	if len(res.Rows) != 6 {
+		t.Errorf("short-circuit OR: %v", res.Rows)
+	}
+}
+
+// fixedErrSource forces a TransRows error path through a query.
+type fixedErrSource struct{}
+
+func (fixedErrSource) TransRows(kind sqlast.TransKind, table, column string) ([]TransRow, error) {
+	return nil, errTrans
+}
+
+var errTrans = errFor("boom")
+
+type errFor string
+
+func (e errFor) Error() string { return string(e) }
+
+func TestTransSourceErrorPropagates(t *testing.T) {
+	e := testEnv(t)
+	e.Trans = fixedErrSource{}
+	if err := queryErr(t, e, `select * from inserted emp`); err == nil {
+		t.Error("trans source error swallowed")
+	}
+}

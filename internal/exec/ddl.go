@@ -1,0 +1,16 @@
+package exec
+
+import (
+	"sopr/internal/catalog"
+	"sopr/internal/sqlast"
+)
+
+// CreateTableSchema converts a parsed CREATE TABLE statement into a catalog
+// schema.
+func CreateTableSchema(ct *sqlast.CreateTable) (*catalog.Table, error) {
+	cols := make([]catalog.Column, len(ct.Columns))
+	for i, c := range ct.Columns {
+		cols[i] = catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull}
+	}
+	return catalog.NewTable(ct.Name, cols)
+}

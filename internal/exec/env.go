@@ -1,0 +1,182 @@
+// Package exec is the query and DML executor: a tree-walking evaluator for
+// the SQL dialect of the paper, over the storage engine. It supports
+// arbitrarily complex predicates with embedded (and correlated) select
+// operations, scalar and quantified subqueries, aggregates with GROUP
+// BY/HAVING, and — crucially for the rule system — FROM-clause references
+// to the paper's transition tables, resolved through a TransTableSource
+// supplied by the rule engine.
+package exec
+
+import (
+	"fmt"
+
+	"sopr/internal/catalog"
+	"sopr/internal/sqlast"
+	"sopr/internal/storage"
+	"sopr/internal/value"
+)
+
+// TransTableSource materializes transition tables (Section 3 of the paper)
+// for the rule currently being evaluated. Rows use the base table's column
+// order. The handle reported with each row identifies the underlying tuple
+// (live for `inserted`/`new updated`, historical for `deleted`/`old
+// updated`).
+type TransTableSource interface {
+	// TransRows returns the contents of the transition table of the given
+	// kind for table (and, for updated-kind tables, column; column is ""
+	// for whole-table forms).
+	TransRows(kind sqlast.TransKind, table, column string) ([]TransRow, error)
+}
+
+// TransRow is one row of a materialized transition table.
+type TransRow struct {
+	Handle storage.Handle
+	Values storage.Row
+}
+
+// SelectObserver is notified of tuples read by top-level query evaluation
+// when select-triggered rules (Section 5.1) are enabled.
+type SelectObserver interface {
+	TupleSelected(table string, h storage.Handle)
+}
+
+// Env carries everything expression evaluation needs: the store, the
+// optional transition-table source (inside rule conditions/actions), and
+// the optional select observer.
+type Env struct {
+	Store    *storage.Store
+	Trans    TransTableSource
+	Observer SelectObserver
+	// NoHashJoin disables the hash equi-join fast path (used by the
+	// ablation benchmark; semantics are identical either way).
+	NoHashJoin bool
+}
+
+// boundRow is one variable binding in a scope: the relation's binding name,
+// its column names, the current row, and the underlying tuple handle (0 for
+// synthetic rows such as projected subquery output).
+type boundRow struct {
+	binding string
+	table   string // base table name ("" for derived)
+	cols    []string
+	row     storage.Row
+	handle  storage.Handle
+	// trans marks rows from transition tables: rule-local data whose reads
+	// are not "selections" of the database (Section 5.1).
+	trans bool
+}
+
+// scope is a lexical scope: the bindings of one query block. Scopes nest
+// for correlated subqueries; resolution searches innermost-out.
+type scope struct {
+	parent *scope
+	vars   []*boundRow
+	// groupRows, when non-nil, marks an aggregate evaluation context:
+	// aggregate functions range over these rows (each a full set of
+	// bindings for this scope's FROM list).
+	groupRows [][]*boundRow
+}
+
+// lookup resolves a column reference to (binding, column index).
+func (s *scope) lookup(qualifier, column string) (*boundRow, int, error) {
+	for sc := s; sc != nil; sc = sc.parent {
+		var found *boundRow
+		idx := -1
+		for _, b := range sc.vars {
+			if qualifier != "" && b.binding != qualifier {
+				continue
+			}
+			for i, c := range b.cols {
+				if c == column {
+					if found != nil {
+						return nil, 0, fmt.Errorf("exec: ambiguous column reference %q", refName(qualifier, column))
+					}
+					found = b
+					idx = i
+				}
+			}
+		}
+		if found != nil {
+			return found, idx, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("exec: unknown column %q", refName(qualifier, column))
+}
+
+func refName(q, c string) string {
+	if q != "" {
+		return q + "." + c
+	}
+	return c
+}
+
+// relation is a materialized input to a query block: a binding name, its
+// columns, and its rows.
+type relation struct {
+	binding string
+	table   string
+	cols    []string
+	rows    []TransRow
+	trans   bool // transition table (see boundRow.trans)
+}
+
+// resolveTableRef materializes a FROM-clause entry.
+func (e *Env) resolveTableRef(tr *sqlast.TableRef) (*relation, error) {
+	if tr.Trans == sqlast.TransNone {
+		schema, err := e.Store.Catalog().Lookup(tr.Table)
+		if err != nil {
+			return nil, err
+		}
+		rel := &relation{binding: tr.Binding(), table: schema.Name, cols: schema.ColumnNames()}
+		err = e.Store.Scan(schema.Name, func(t *storage.Tuple) bool {
+			rel.rows = append(rel.rows, TransRow{Handle: t.Handle, Values: t.Values})
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		return rel, nil
+	}
+	// Transition table.
+	if e.Trans == nil {
+		return nil, fmt.Errorf("exec: transition table %q referenced outside a rule", tr.String())
+	}
+	schema, err := e.Store.Catalog().Lookup(tr.Table)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Column != "" && !schema.HasColumn(tr.Column) {
+		return nil, fmt.Errorf("exec: table %q has no column %q", tr.Table, tr.Column)
+	}
+	rows, err := e.Trans.TransRows(tr.Trans, schema.Name, tr.Column)
+	if err != nil {
+		return nil, err
+	}
+	return &relation{binding: tr.Binding(), table: schema.Name, cols: schema.ColumnNames(), rows: rows, trans: true}, nil
+}
+
+// lookupSchema returns the catalog schema for a base table.
+func (e *Env) lookupSchema(name string) (*catalog.Table, error) {
+	return e.Store.Catalog().Lookup(name)
+}
+
+// observe reports a base-table tuple read, when select observation is on.
+// Transition-table rows are rule-local data and are never observed.
+func (e *Env) observe(b *boundRow) {
+	if e.Observer != nil && !b.trans && b.handle != 0 && b.table != "" {
+		e.Observer.TupleSelected(b.table, b.handle)
+	}
+}
+
+// truth converts an evaluated value into a Tribool for predicate contexts:
+// NULL is Unknown, booleans map directly, any other kind is an error.
+func truth(v value.Value) (value.Tribool, error) {
+	switch v.Kind() {
+	case value.KindNull:
+		return value.Unknown, nil
+	case value.KindBool:
+		return value.FromBool(v.Bool()), nil
+	default:
+		return value.Unknown, fmt.Errorf("exec: predicate evaluated to non-boolean %s", v)
+	}
+}

@@ -1,0 +1,663 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sopr/internal/sqlast"
+	"sopr/internal/value"
+)
+
+// aggregateNames is the set of aggregate functions.
+var aggregateNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// evalExpr evaluates an expression in a scope. Predicate-valued expressions
+// yield KindBool or NULL (for Unknown).
+func (e *Env) evalExpr(sc *scope, expr sqlast.Expr) (value.Value, error) {
+	switch x := expr.(type) {
+	case *sqlast.Literal:
+		return x.Val, nil
+
+	case *sqlast.ColumnRef:
+		b, idx, err := sc.lookup(x.Qualifier, x.Column)
+		if err != nil {
+			return value.Null, err
+		}
+		return b.row[idx], nil
+
+	case *sqlast.Unary:
+		v, err := e.evalExpr(sc, x.X)
+		if err != nil {
+			return value.Null, err
+		}
+		if x.Op == sqlast.OpNeg {
+			return value.Neg(v)
+		}
+		t, err := truth(v)
+		if err != nil {
+			return value.Null, err
+		}
+		return triboolValue(t.Not()), nil
+
+	case *sqlast.Binary:
+		return e.evalBinary(sc, x)
+
+	case *sqlast.IsNull:
+		v, err := e.evalExpr(sc, x.X)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(v.IsNull() != x.Negate), nil
+
+	case *sqlast.Between:
+		v, err := e.evalExpr(sc, x.X)
+		if err != nil {
+			return value.Null, err
+		}
+		lo, err := e.evalExpr(sc, x.Lo)
+		if err != nil {
+			return value.Null, err
+		}
+		hi, err := e.evalExpr(sc, x.Hi)
+		if err != nil {
+			return value.Null, err
+		}
+		ge, err := compareTri(v, lo, sqlast.OpGe)
+		if err != nil {
+			return value.Null, err
+		}
+		le, err := compareTri(v, hi, sqlast.OpLe)
+		if err != nil {
+			return value.Null, err
+		}
+		t := ge.And(le)
+		if x.Negate {
+			t = t.Not()
+		}
+		return triboolValue(t), nil
+
+	case *sqlast.Like:
+		v, err := e.evalExpr(sc, x.X)
+		if err != nil {
+			return value.Null, err
+		}
+		pat, err := e.evalExpr(sc, x.Pattern)
+		if err != nil {
+			return value.Null, err
+		}
+		t := value.Like(v, pat)
+		if x.Negate {
+			t = t.Not()
+		}
+		return triboolValue(t), nil
+
+	case *sqlast.InList:
+		v, err := e.evalExpr(sc, x.X)
+		if err != nil {
+			return value.Null, err
+		}
+		t := value.False
+		if v.IsNull() {
+			t = value.Unknown
+		} else {
+			sawNull := false
+			for _, el := range x.List {
+				ev, err := e.evalExpr(sc, el)
+				if err != nil {
+					return value.Null, err
+				}
+				if ev.IsNull() {
+					sawNull = true
+					continue
+				}
+				if cmp, ok := value.Compare(v, ev); ok && cmp == 0 {
+					t = value.True
+					break
+				}
+			}
+			if t != value.True && sawNull {
+				t = value.Unknown
+			}
+		}
+		if x.Negate {
+			t = t.Not()
+		}
+		return triboolValue(t), nil
+
+	case *sqlast.InSelect:
+		v, err := e.evalExpr(sc, x.X)
+		if err != nil {
+			return value.Null, err
+		}
+		res, err := e.evalSelect(x.Sub, sc)
+		if err != nil {
+			return value.Null, err
+		}
+		if len(res.Columns) != 1 {
+			return value.Null, fmt.Errorf("exec: IN subquery must return one column, got %d", len(res.Columns))
+		}
+		t := value.False
+		if v.IsNull() {
+			if len(res.Rows) > 0 {
+				t = value.Unknown
+			}
+		} else {
+			sawNull := false
+			for _, row := range res.Rows {
+				if row[0].IsNull() {
+					sawNull = true
+					continue
+				}
+				if cmp, ok := value.Compare(v, row[0]); ok && cmp == 0 {
+					t = value.True
+					break
+				}
+			}
+			if t != value.True && sawNull {
+				t = value.Unknown
+			}
+		}
+		if x.Negate {
+			t = t.Not()
+		}
+		return triboolValue(t), nil
+
+	case *sqlast.Exists:
+		res, err := e.evalSelect(x.Sub, sc)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool((len(res.Rows) > 0) != x.Negate), nil
+
+	case *sqlast.ScalarSub:
+		res, err := e.evalSelect(x.Sub, sc)
+		if err != nil {
+			return value.Null, err
+		}
+		if len(res.Columns) != 1 {
+			return value.Null, fmt.Errorf("exec: scalar subquery must return one column, got %d", len(res.Columns))
+		}
+		switch len(res.Rows) {
+		case 0:
+			return value.Null, nil
+		case 1:
+			return res.Rows[0][0], nil
+		default:
+			return value.Null, fmt.Errorf("exec: scalar subquery returned %d rows", len(res.Rows))
+		}
+
+	case *sqlast.SubCompare:
+		v, err := e.evalExpr(sc, x.X)
+		if err != nil {
+			return value.Null, err
+		}
+		res, err := e.evalSelect(x.Sub, sc)
+		if err != nil {
+			return value.Null, err
+		}
+		if len(res.Columns) != 1 {
+			return value.Null, fmt.Errorf("exec: quantified subquery must return one column, got %d", len(res.Columns))
+		}
+		var t value.Tribool
+		if x.Quant == sqlast.QuantAny {
+			t = value.False
+			for _, row := range res.Rows {
+				c, err := compareTri(v, row[0], x.Op)
+				if err != nil {
+					return value.Null, err
+				}
+				t = t.Or(c)
+				if t == value.True {
+					break
+				}
+			}
+		} else { // ALL
+			t = value.True
+			for _, row := range res.Rows {
+				c, err := compareTri(v, row[0], x.Op)
+				if err != nil {
+					return value.Null, err
+				}
+				t = t.And(c)
+				if t == value.False {
+					break
+				}
+			}
+		}
+		return triboolValue(t), nil
+
+	case *sqlast.FuncCall:
+		name := strings.ToLower(x.Name)
+		if aggregateNames[name] {
+			return e.evalAggregate(sc, name, x)
+		}
+		return e.evalScalarFunc(sc, name, x)
+
+	case *sqlast.Case:
+		return e.evalCase(sc, x)
+
+	default:
+		return value.Null, fmt.Errorf("exec: unsupported expression %T", expr)
+	}
+}
+
+// triboolValue maps a Tribool to a SQL value: Unknown becomes NULL.
+func triboolValue(t value.Tribool) value.Value {
+	switch t {
+	case value.True:
+		return value.NewBool(true)
+	case value.False:
+		return value.NewBool(false)
+	default:
+		return value.Null
+	}
+}
+
+// compareTri applies a comparison operator with three-valued semantics.
+func compareTri(a, b value.Value, op sqlast.BinOp) (value.Tribool, error) {
+	if a.IsNull() || b.IsNull() {
+		return value.Unknown, nil
+	}
+	cmp, ok := value.Compare(a, b)
+	if !ok {
+		return value.Unknown, fmt.Errorf("exec: cannot compare %s with %s", a.Kind(), b.Kind())
+	}
+	switch op {
+	case sqlast.OpEq:
+		return value.FromBool(cmp == 0), nil
+	case sqlast.OpNe:
+		return value.FromBool(cmp != 0), nil
+	case sqlast.OpLt:
+		return value.FromBool(cmp < 0), nil
+	case sqlast.OpLe:
+		return value.FromBool(cmp <= 0), nil
+	case sqlast.OpGt:
+		return value.FromBool(cmp > 0), nil
+	case sqlast.OpGe:
+		return value.FromBool(cmp >= 0), nil
+	default:
+		return value.Unknown, fmt.Errorf("exec: %v is not a comparison", op)
+	}
+}
+
+var arithOps = map[sqlast.BinOp]value.ArithOp{
+	sqlast.OpAdd: value.OpAdd,
+	sqlast.OpSub: value.OpSub,
+	sqlast.OpMul: value.OpMul,
+	sqlast.OpDiv: value.OpDiv,
+	sqlast.OpMod: value.OpMod,
+}
+
+func (e *Env) evalBinary(sc *scope, x *sqlast.Binary) (value.Value, error) {
+	switch x.Op {
+	case sqlast.OpAnd, sqlast.OpOr:
+		lv, err := e.evalExpr(sc, x.L)
+		if err != nil {
+			return value.Null, err
+		}
+		lt, err := truth(lv)
+		if err != nil {
+			return value.Null, err
+		}
+		// Short-circuit when the left side is decisive.
+		if x.Op == sqlast.OpAnd && lt == value.False {
+			return value.NewBool(false), nil
+		}
+		if x.Op == sqlast.OpOr && lt == value.True {
+			return value.NewBool(true), nil
+		}
+		rv, err := e.evalExpr(sc, x.R)
+		if err != nil {
+			return value.Null, err
+		}
+		rt, err := truth(rv)
+		if err != nil {
+			return value.Null, err
+		}
+		if x.Op == sqlast.OpAnd {
+			return triboolValue(lt.And(rt)), nil
+		}
+		return triboolValue(lt.Or(rt)), nil
+
+	case sqlast.OpEq, sqlast.OpNe, sqlast.OpLt, sqlast.OpLe, sqlast.OpGt, sqlast.OpGe:
+		lv, err := e.evalExpr(sc, x.L)
+		if err != nil {
+			return value.Null, err
+		}
+		rv, err := e.evalExpr(sc, x.R)
+		if err != nil {
+			return value.Null, err
+		}
+		t, err := compareTri(lv, rv, x.Op)
+		if err != nil {
+			return value.Null, err
+		}
+		return triboolValue(t), nil
+
+	default:
+		lv, err := e.evalExpr(sc, x.L)
+		if err != nil {
+			return value.Null, err
+		}
+		rv, err := e.evalExpr(sc, x.R)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Arith(arithOps[x.Op], lv, rv)
+	}
+}
+
+// evalAggregate computes an aggregate over the scope's group rows.
+func (e *Env) evalAggregate(sc *scope, name string, x *sqlast.FuncCall) (value.Value, error) {
+	// Find the nearest enclosing scope with a group context.
+	gsc := sc
+	for gsc != nil && gsc.groupRows == nil {
+		gsc = gsc.parent
+	}
+	if gsc == nil {
+		return value.Null, fmt.Errorf("exec: aggregate %s used outside an aggregate query", strings.ToUpper(name))
+	}
+	if x.Star {
+		if name != "count" {
+			return value.Null, fmt.Errorf("exec: %s(*) is not valid", strings.ToUpper(name))
+		}
+		return value.NewInt(int64(len(gsc.groupRows))), nil
+	}
+	if len(x.Args) != 1 {
+		return value.Null, fmt.Errorf("exec: aggregate %s takes one argument", strings.ToUpper(name))
+	}
+
+	// Evaluate the argument once per group row, with this scope's bindings
+	// temporarily replaced. The group context is cleared during argument
+	// evaluation so nested aggregates are rejected.
+	var vals []value.Value
+	saveVars, saveGroup := gsc.vars, gsc.groupRows
+	gsc.groupRows = nil
+	var evalErr error
+	for _, rowSet := range saveGroup {
+		gsc.vars = rowSet
+		v, err := e.evalExpr(sc, x.Args[0])
+		if err != nil {
+			evalErr = err
+			break
+		}
+		if !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	gsc.vars, gsc.groupRows = saveVars, saveGroup
+	if evalErr != nil {
+		return value.Null, evalErr
+	}
+
+	if x.Distinct {
+		vals = distinctValues(vals)
+	}
+	switch name {
+	case "count":
+		return value.NewInt(int64(len(vals))), nil
+	case "sum", "avg":
+		if len(vals) == 0 {
+			return value.Null, nil
+		}
+		sumI := int64(0)
+		sumF := 0.0
+		allInt := true
+		for _, v := range vals {
+			switch v.Kind() {
+			case value.KindInt:
+				sumI += v.Int()
+				sumF += float64(v.Int())
+			case value.KindFloat:
+				allInt = false
+				sumF += v.Float()
+			default:
+				return value.Null, fmt.Errorf("exec: %s over non-numeric value %s", strings.ToUpper(name), v)
+			}
+		}
+		if name == "avg" {
+			return value.NewFloat(sumF / float64(len(vals))), nil
+		}
+		if allInt {
+			return value.NewInt(sumI), nil
+		}
+		return value.NewFloat(sumF), nil
+	case "min", "max":
+		if len(vals) == 0 {
+			return value.Null, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			cmp, ok := value.Compare(v, best)
+			if !ok {
+				return value.Null, fmt.Errorf("exec: %s over incomparable values", strings.ToUpper(name))
+			}
+			if (name == "min" && cmp < 0) || (name == "max" && cmp > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return value.Null, fmt.Errorf("exec: unknown aggregate %s", name)
+	}
+}
+
+func distinctValues(vals []value.Value) []value.Value {
+	var out []value.Value
+	for _, v := range vals {
+		dup := false
+		for _, w := range out {
+			if v.Equal(w) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// evalScalarFunc evaluates the built-in scalar functions.
+func (e *Env) evalScalarFunc(sc *scope, name string, x *sqlast.FuncCall) (value.Value, error) {
+	args := make([]value.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := e.evalExpr(sc, a)
+		if err != nil {
+			return value.Null, err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("exec: %s takes %d argument(s), got %d", strings.ToUpper(name), n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "abs":
+		if err := need(1); err != nil {
+			return value.Null, err
+		}
+		switch args[0].Kind() {
+		case value.KindNull:
+			return value.Null, nil
+		case value.KindInt:
+			i := args[0].Int()
+			if i < 0 {
+				i = -i
+			}
+			return value.NewInt(i), nil
+		case value.KindFloat:
+			return value.NewFloat(math.Abs(args[0].Float())), nil
+		default:
+			return value.Null, fmt.Errorf("exec: ABS of non-numeric %s", args[0])
+		}
+	case "round", "floor", "ceil", "ceiling":
+		if err := need(1); err != nil {
+			return value.Null, err
+		}
+		switch args[0].Kind() {
+		case value.KindNull:
+			return value.Null, nil
+		case value.KindInt:
+			return args[0], nil
+		case value.KindFloat:
+			f := args[0].Float()
+			switch name {
+			case "round":
+				return value.NewFloat(math.Round(f)), nil
+			case "floor":
+				return value.NewFloat(math.Floor(f)), nil
+			default:
+				return value.NewFloat(math.Ceil(f)), nil
+			}
+		default:
+			return value.Null, fmt.Errorf("exec: %s of non-numeric %s", strings.ToUpper(name), args[0])
+		}
+	case "upper", "lower":
+		if err := need(1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if args[0].Kind() != value.KindString {
+			return value.Null, fmt.Errorf("exec: %s of non-string %s", strings.ToUpper(name), args[0])
+		}
+		if name == "upper" {
+			return value.NewString(strings.ToUpper(args[0].Str())), nil
+		}
+		return value.NewString(strings.ToLower(args[0].Str())), nil
+	case "length":
+		if err := need(1); err != nil {
+			return value.Null, err
+		}
+		if args[0].IsNull() {
+			return value.Null, nil
+		}
+		if args[0].Kind() != value.KindString {
+			return value.Null, fmt.Errorf("exec: LENGTH of non-string %s", args[0])
+		}
+		return value.NewInt(int64(len(args[0].Str()))), nil
+	case "coalesce":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return value.Null, nil
+	case "nullif":
+		if err := need(2); err != nil {
+			return value.Null, err
+		}
+		if cmp, ok := value.Compare(args[0], args[1]); ok && cmp == 0 {
+			return value.Null, nil
+		}
+		return args[0], nil
+	default:
+		return value.Null, fmt.Errorf("exec: unknown function %q", name)
+	}
+}
+
+// evalCase evaluates a CASE expression. A simple CASE (with operand)
+// matches arms by equality (NULL operands match nothing); a searched CASE
+// takes the first arm whose condition is True.
+func (e *Env) evalCase(sc *scope, x *sqlast.Case) (value.Value, error) {
+	var operand value.Value
+	if x.Operand != nil {
+		v, err := e.evalExpr(sc, x.Operand)
+		if err != nil {
+			return value.Null, err
+		}
+		operand = v
+	}
+	for _, w := range x.Whens {
+		cv, err := e.evalExpr(sc, w.Cond)
+		if err != nil {
+			return value.Null, err
+		}
+		var hit bool
+		if x.Operand != nil {
+			t, err := compareTri(operand, cv, sqlast.OpEq)
+			if err != nil {
+				return value.Null, err
+			}
+			hit = t.IsTrue()
+		} else {
+			t, err := truth(cv)
+			if err != nil {
+				return value.Null, err
+			}
+			hit = t.IsTrue()
+		}
+		if hit {
+			return e.evalExpr(sc, w.Result)
+		}
+	}
+	if x.Else != nil {
+		return e.evalExpr(sc, x.Else)
+	}
+	return value.Null, nil
+}
+
+// exprHasAggregate reports whether the expression contains an aggregate
+// call not nested inside a subquery (subqueries get their own contexts).
+func exprHasAggregate(expr sqlast.Expr) bool {
+	switch x := expr.(type) {
+	case nil:
+		return false
+	case *sqlast.Literal, *sqlast.ColumnRef, *sqlast.Exists, *sqlast.ScalarSub:
+		return false
+	case *sqlast.Unary:
+		return exprHasAggregate(x.X)
+	case *sqlast.Binary:
+		return exprHasAggregate(x.L) || exprHasAggregate(x.R)
+	case *sqlast.IsNull:
+		return exprHasAggregate(x.X)
+	case *sqlast.Between:
+		return exprHasAggregate(x.X) || exprHasAggregate(x.Lo) || exprHasAggregate(x.Hi)
+	case *sqlast.Like:
+		return exprHasAggregate(x.X) || exprHasAggregate(x.Pattern)
+	case *sqlast.InList:
+		if exprHasAggregate(x.X) {
+			return true
+		}
+		for _, el := range x.List {
+			if exprHasAggregate(el) {
+				return true
+			}
+		}
+		return false
+	case *sqlast.InSelect:
+		return exprHasAggregate(x.X)
+	case *sqlast.SubCompare:
+		return exprHasAggregate(x.X)
+	case *sqlast.FuncCall:
+		if aggregateNames[strings.ToLower(x.Name)] {
+			return true
+		}
+		for _, a := range x.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+		return false
+	case *sqlast.Case:
+		if exprHasAggregate(x.Operand) || exprHasAggregate(x.Else) {
+			return true
+		}
+		for _, w := range x.Whens {
+			if exprHasAggregate(w.Cond) || exprHasAggregate(w.Result) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

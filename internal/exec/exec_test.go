@@ -1,0 +1,614 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"sopr/internal/sqlast"
+	"sopr/internal/sqlparse"
+	"sopr/internal/storage"
+	"sopr/internal/value"
+)
+
+// testEnv builds a store with the paper's emp/dept schema plus sample data.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	e := &Env{Store: storage.New()}
+	ddl := []string{
+		`create table emp (name varchar, emp_no int not null, salary float, dept_no int)`,
+		`create table dept (dept_no int, mgr_no int)`,
+	}
+	for _, src := range ddl {
+		mustExecDDL(t, e, src)
+	}
+	dml := []string{
+		`insert into emp values ('jane', 1, 100000, 1), ('mary', 2, 70000, 1),
+			('jim', 3, 60000, 2), ('bill', 4, 25000, 2), ('sam', 5, 40000, 3), ('sue', 6, NULL, 3)`,
+		`insert into dept values (1, 1), (2, 2), (3, 3)`,
+	}
+	for _, src := range dml {
+		mustOp(t, e, src)
+	}
+	return e
+}
+
+func mustExecDDL(t *testing.T, e *Env, src string) {
+	t.Helper()
+	st, err := sqlparse.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	tab, err := CreateTableSchema(st.(*sqlast.CreateTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Store.CreateTable(tab); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustOp(t *testing.T, e *Env, src string) *OpResult {
+	t.Helper()
+	st, err := sqlparse.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	res, err := e.ExecOp(st)
+	if err != nil {
+		t.Fatalf("exec %q: %v", src, err)
+	}
+	return res
+}
+
+func mustQuery(t *testing.T, e *Env, src string) *Result {
+	t.Helper()
+	st, err := sqlparse.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	res, err := e.Query(st.(*sqlast.Select))
+	if err != nil {
+		t.Fatalf("query %q: %v", src, err)
+	}
+	return res
+}
+
+func queryErr(t *testing.T, e *Env, src string) error {
+	t.Helper()
+	st, err := sqlparse.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	_, err = e.Query(st.(*sqlast.Select))
+	return err
+}
+
+func TestSimpleSelect(t *testing.T) {
+	e := testEnv(t)
+	res := mustQuery(t, e, `select name, salary from emp where dept_no = 1 order by name`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Columns[0] != "name" || res.Columns[1] != "salary" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if res.Rows[0][0].Str() != "jane" || res.Rows[1][0].Str() != "mary" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	e := testEnv(t)
+	res := mustQuery(t, e, `select * from dept order by dept_no`)
+	if len(res.Columns) != 2 || len(res.Rows) != 3 {
+		t.Fatalf("star: %v / %d rows", res.Columns, len(res.Rows))
+	}
+	res = mustQuery(t, e, `select e.*, d.mgr_no from emp e, dept d where e.dept_no = d.dept_no and e.name = 'jane'`)
+	if len(res.Columns) != 5 || res.Rows[0][4].Int() != 1 {
+		t.Fatalf("qualified star: %v %v", res.Columns, res.Rows)
+	}
+}
+
+func TestWhereThreeValuedLogic(t *testing.T) {
+	e := testEnv(t)
+	// sue has NULL salary: excluded by both salary > 0 and NOT(salary > 0).
+	if n := len(mustQuery(t, e, `select name from emp where salary > 0`).Rows); n != 5 {
+		t.Errorf("salary > 0: %d rows, want 5", n)
+	}
+	if n := len(mustQuery(t, e, `select name from emp where not salary > 0`).Rows); n != 0 {
+		t.Errorf("NOT salary > 0: %d rows, want 0", n)
+	}
+	if n := len(mustQuery(t, e, `select name from emp where salary is null`).Rows); n != 1 {
+		t.Errorf("IS NULL: %d rows, want 1", n)
+	}
+	if n := len(mustQuery(t, e, `select name from emp where salary is not null`).Rows); n != 5 {
+		t.Errorf("IS NOT NULL: %d rows, want 5", n)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	e := testEnv(t)
+	res := mustQuery(t, e, `select e.name, d.mgr_no from emp e, dept d
+		where e.dept_no = d.dept_no order by e.name`)
+	if len(res.Rows) != 6 {
+		t.Fatalf("join rows = %d", len(res.Rows))
+	}
+	// Self-join.
+	res = mustQuery(t, e, `select e1.name, e2.name from emp e1, emp e2
+		where e1.dept_no = e2.dept_no and e1.emp_no < e2.emp_no order by e1.name`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("self-join rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	e := testEnv(t)
+	res := mustQuery(t, e, `select count(*), count(salary), sum(salary), avg(salary), min(salary), max(salary) from emp`)
+	row := res.Rows[0]
+	if row[0].Int() != 6 || row[1].Int() != 5 {
+		t.Errorf("counts: %v", row)
+	}
+	if row[2].Float() != 295000 {
+		t.Errorf("sum: %v", row[2])
+	}
+	if row[3].Float() != 59000 {
+		t.Errorf("avg ignores NULLs: %v", row[3])
+	}
+	if row[4].Float() != 25000 || row[5].Float() != 100000 {
+		t.Errorf("min/max: %v %v", row[4], row[5])
+	}
+}
+
+func TestAggregateEmptyTable(t *testing.T) {
+	e := testEnv(t)
+	mustOp(t, e, `delete from emp`)
+	res := mustQuery(t, e, `select count(*), sum(salary), avg(salary), min(salary) from emp`)
+	row := res.Rows[0]
+	if row[0].Int() != 0 {
+		t.Errorf("count over empty: %v", row[0])
+	}
+	for i := 1; i < 4; i++ {
+		if !row[i].IsNull() {
+			t.Errorf("aggregate %d over empty should be NULL: %v", i, row[i])
+		}
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	e := testEnv(t)
+	res := mustQuery(t, e, `select dept_no, count(*) n, sum(salary) total from emp
+		group by dept_no order by dept_no`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	if res.Rows[0][1].Int() != 2 || res.Rows[0][2].Float() != 170000 {
+		t.Errorf("dept 1: %v", res.Rows[0])
+	}
+	if res.Rows[2][1].Int() != 2 || res.Rows[2][2].Float() != 40000 {
+		t.Errorf("dept 3 (NULL salary ignored in sum): %v", res.Rows[2])
+	}
+	res = mustQuery(t, e, `select dept_no from emp group by dept_no having count(*) > 1 and sum(salary) > 50000 order by dept_no`)
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 1 || res.Rows[1][0].Int() != 2 {
+		t.Errorf("having: %v", res.Rows)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	e := testEnv(t)
+	res := mustQuery(t, e, `select count(distinct dept_no) from emp`)
+	if res.Rows[0][0].Int() != 3 {
+		t.Errorf("count distinct: %v", res.Rows[0][0])
+	}
+}
+
+func TestDistinctAndOrderBy(t *testing.T) {
+	e := testEnv(t)
+	res := mustQuery(t, e, `select distinct dept_no from emp order by dept_no desc`)
+	if len(res.Rows) != 3 || res.Rows[0][0].Int() != 3 || res.Rows[2][0].Int() != 1 {
+		t.Errorf("distinct+order: %v", res.Rows)
+	}
+	// ORDER BY alias.
+	res = mustQuery(t, e, `select name, salary * 2 AS double_sal from emp where salary is not null order by double_sal desc`)
+	if res.Rows[0][0].Str() != "jane" {
+		t.Errorf("order by alias: %v", res.Rows)
+	}
+	// NULLs sort first ascending.
+	res = mustQuery(t, e, `select name from emp order by salary`)
+	if res.Rows[0][0].Str() != "sue" {
+		t.Errorf("NULL first: %v", res.Rows)
+	}
+}
+
+func TestOrderByOrdinalAndAggregate(t *testing.T) {
+	e := testEnv(t)
+	// ORDER BY 2 sorts by the second output column.
+	res := mustQuery(t, e, `select name, salary from emp where salary is not null order by 2 desc`)
+	if res.Rows[0][0].Str() != "jane" || res.Rows[4][0].Str() != "bill" {
+		t.Errorf("ordinal order: %v", res.Rows)
+	}
+	// Out-of-range ordinals error.
+	if err := queryErr(t, e, `select name from emp order by 2`); err == nil {
+		t.Error("out-of-range ordinal accepted")
+	}
+	if err := queryErr(t, e, `select name from emp order by 0`); err == nil {
+		t.Error("zero ordinal accepted")
+	}
+	// Aggregates in ORDER BY of a grouped query.
+	res = mustQuery(t, e, `select dept_no, count(*) from emp group by dept_no order by count(*) desc, dept_no`)
+	if len(res.Rows) != 3 || res.Rows[0][1].Int() != 2 {
+		t.Errorf("aggregate order: %v", res.Rows)
+	}
+}
+
+func TestSubqueries(t *testing.T) {
+	e := testEnv(t)
+	// IN subquery.
+	res := mustQuery(t, e, `select name from emp where dept_no in (select dept_no from dept where mgr_no > 1) order by name`)
+	if len(res.Rows) != 4 {
+		t.Errorf("IN: %d rows", len(res.Rows))
+	}
+	// Scalar subquery.
+	// avg over non-NULL salaries is 59000, so jane, mary and jim qualify.
+	res = mustQuery(t, e, `select name from emp where salary > (select avg(salary) from emp)`)
+	if len(res.Rows) != 3 {
+		t.Errorf("scalar sub: %d rows, want 3 (jane, mary, jim)", len(res.Rows))
+	}
+	// Correlated subquery (paper Example 3.3 pattern).
+	res = mustQuery(t, e, `select name from emp e1
+		where salary > 1.4 * (select avg(salary) from emp e2 where e2.dept_no = e1.dept_no)`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "jim" {
+		t.Errorf("correlated: %v", res.Rows)
+	}
+	// EXISTS / NOT EXISTS.
+	res = mustQuery(t, e, `select dept_no from dept d where exists (select * from emp where dept_no = d.dept_no and salary > 90000)`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Errorf("exists: %v", res.Rows)
+	}
+	res = mustQuery(t, e, `select dept_no from dept d where not exists (select * from emp where dept_no = d.dept_no and salary > 90000) order by dept_no`)
+	if len(res.Rows) != 2 {
+		t.Errorf("not exists: %v", res.Rows)
+	}
+	// Quantified comparison.
+	res = mustQuery(t, e, `select name from emp where salary >= all (select salary from emp where salary is not null)`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "jane" {
+		t.Errorf("ALL: %v", res.Rows)
+	}
+	// Everyone below 100000 qualifies; jane (=100000) and sue (NULL) do not.
+	res = mustQuery(t, e, `select name from emp where salary < any (select salary from emp where dept_no = 1) order by name`)
+	if len(res.Rows) != 4 {
+		t.Errorf("ANY: %d rows, want 4", len(res.Rows))
+	}
+}
+
+func TestInNullSemantics(t *testing.T) {
+	e := testEnv(t)
+	// 25000 NOT IN (salaries incl. NULL): bill's salary matches, others get
+	// Unknown because of the NULL → excluded.
+	res := mustQuery(t, e, `select name from emp where salary not in (select salary from emp where dept_no = 3)`)
+	if len(res.Rows) != 0 {
+		t.Errorf("NOT IN with NULL in list must be empty, got %v", res.Rows)
+	}
+	res = mustQuery(t, e, `select name from emp where salary in (select salary from emp where dept_no = 3)`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "sam" {
+		t.Errorf("IN with NULL in list: %v", res.Rows)
+	}
+	// IN literal list.
+	res = mustQuery(t, e, `select name from emp where dept_no in (1, 3) order by name`)
+	if len(res.Rows) != 4 {
+		t.Errorf("IN list: %d", len(res.Rows))
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	e := testEnv(t)
+	res := mustQuery(t, e, `select upper(name), length(name), abs(0 - salary), coalesce(salary, 0), nullif(dept_no, 1) from emp where name = 'jane'`)
+	row := res.Rows[0]
+	if row[0].Str() != "JANE" || row[1].Int() != 4 || row[2].Float() != 100000 ||
+		row[3].Float() != 100000 || !row[4].IsNull() {
+		t.Errorf("scalar funcs: %v", row)
+	}
+	res = mustQuery(t, e, `select coalesce(salary, -1) from emp where name = 'sue'`)
+	if res.Rows[0][0].Int() != -1 {
+		t.Errorf("coalesce null: %v", res.Rows[0][0])
+	}
+	res = mustQuery(t, e, `select round(2.5), floor(2.7), ceil(2.1), lower('AbC')`)
+	row = res.Rows[0]
+	if row[0].Float() != 3 || row[1].Float() != 2 || row[2].Float() != 3 || row[3].Str() != "abc" {
+		t.Errorf("math/string funcs: %v", row)
+	}
+}
+
+func TestCaseExpressions(t *testing.T) {
+	e := testEnv(t)
+	// Searched CASE with NULL falling to ELSE.
+	res := mustQuery(t, e, `select name,
+		case when salary >= 70000 then 'high'
+		     when salary >= 40000 then 'mid'
+		     else 'low-or-unknown' end AS band
+		from emp order by emp_no`)
+	want := []string{"high", "high", "mid", "low-or-unknown", "mid", "low-or-unknown"}
+	for i, w := range want {
+		if got := res.Rows[i][1].Str(); got != w {
+			t.Errorf("row %d band = %q, want %q", i, got, w)
+		}
+	}
+	// Simple CASE; no ELSE → NULL.
+	res = mustQuery(t, e, `select case dept_no when 1 then 'eng' when 2 then 'ops' end from emp order by emp_no`)
+	if res.Rows[0][0].Str() != "eng" || res.Rows[2][0].Str() != "ops" || !res.Rows[4][0].IsNull() {
+		t.Errorf("simple case: %v", res.Rows)
+	}
+	// CASE with aggregates inside an aggregate query.
+	res = mustQuery(t, e, `select case when count(*) > 3 then 'many' else 'few' end from emp`)
+	if res.Rows[0][0].Str() != "many" {
+		t.Errorf("aggregate case: %v", res.Rows)
+	}
+	// CASE in UPDATE SET (conditional assignment).
+	mustOp(t, e, `update emp set salary = case when salary is null then 0 else salary end`)
+	res = mustQuery(t, e, `select count(*) from emp where salary is null`)
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("case in update: %v", res.Rows)
+	}
+	// Error inside an arm propagates.
+	if err := queryErr(t, e, `select case when salary > 0 then 1/0 else 0 end from emp`); err == nil {
+		t.Error("arm error swallowed")
+	}
+	if err := queryErr(t, e, `select case when name then 1 else 0 end from emp`); err == nil {
+		t.Error("non-boolean searched condition accepted")
+	}
+}
+
+func TestSelectNoFrom(t *testing.T) {
+	e := testEnv(t)
+	res := mustQuery(t, e, `select 1 + 2, 'x'`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 3 {
+		t.Errorf("no-from: %v", res.Rows)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	e := testEnv(t)
+	bad := []string{
+		`select * from nosuch`,
+		`select nosuch from emp`,
+		`select dept_no from emp, dept`, // ambiguous
+		`select * from emp, emp`,        // duplicate binding
+		`select e.x from emp e`,
+		`select name from emp where salary`,        // non-boolean predicate
+		`select name from emp where name > salary`, // incomparable
+		`select sum(name) from emp`,
+		`select sum(salary, dept_no) from emp`,
+		`select avg(*) from emp`,
+		`select max(sum(salary)) from emp`, // nested aggregate
+		`select nosuchfunc(1)`,
+		`select name from emp where dept_no in (select * from dept)`,     // multi-col IN
+		`select name from emp where salary > (select * from dept)`,       // multi-col scalar
+		`select name from emp where salary > (select dept_no from dept)`, // multi-row scalar
+		`select q.* from emp e`,
+		`select upper(1) from emp`,
+		`select abs('x') from emp`,
+		`select length(1) from emp`,
+		`select name from emp order by nosuch`,
+		`select name from emp where salary > all (select * from dept)`,
+		`select * from inserted emp`, // transition table outside a rule
+	}
+	for _, src := range bad {
+		if err := queryErr(t, e, src); err == nil {
+			t.Errorf("accepted bad query %q", src)
+		}
+	}
+}
+
+func TestInsertForms(t *testing.T) {
+	e := testEnv(t)
+	// Column-list insert with defaults.
+	res := mustOp(t, e, `insert into emp (name, emp_no) values ('new', 7)`)
+	if len(res.Inserted) != 1 {
+		t.Fatalf("inserted: %v", res.Inserted)
+	}
+	tup, _ := e.Store.Get(res.Inserted[0])
+	if !tup.Values[2].IsNull() || !tup.Values[3].IsNull() {
+		t.Errorf("unspecified columns should be NULL: %v", tup.Values)
+	}
+	// Select-form insert (paper §2.1), reading the target table itself.
+	res = mustOp(t, e, `insert into dept (select dept_no + 100, mgr_no from dept)`)
+	if len(res.Inserted) != 3 {
+		t.Fatalf("select-form inserted %d", len(res.Inserted))
+	}
+	if n, _ := e.Store.Count("dept"); n != 6 {
+		t.Errorf("dept count = %d", n)
+	}
+	// Multi-row VALUES.
+	res = mustOp(t, e, `insert into dept values (7, 7), (8, 8)`)
+	if len(res.Inserted) != 2 {
+		t.Errorf("multi-row values: %v", res.Inserted)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	e := testEnv(t)
+	for _, src := range []string{
+		`insert into nosuch values (1)`,
+		`insert into dept values (1)`,                       // arity
+		`insert into dept values (1, 2, 3)`,                 // arity
+		`insert into dept (nosuch) values (1)`,              // bad column
+		`insert into emp (name) values (1)`,                 // type error: int into varchar
+		`insert into dept (select * from emp)`,              // width mismatch
+		`insert into emp (name, emp_no) values ('x', NULL)`, // NOT NULL
+	} {
+		st, err := sqlparse.ParseStatement(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := e.ExecOp(st); err == nil {
+			t.Errorf("accepted bad insert %q", src)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	e := testEnv(t)
+	res := mustOp(t, e, `delete from emp where dept_no = 2`)
+	if len(res.Deleted) != 2 {
+		t.Fatalf("deleted %d, want 2", len(res.Deleted))
+	}
+	for _, d := range res.Deleted {
+		if d.OldRow == nil {
+			t.Error("deleted tuple missing old row")
+		}
+	}
+	if n, _ := e.Store.Count("emp"); n != 4 {
+		t.Errorf("emp count = %d", n)
+	}
+	// Unqualified delete empties the table ("where true").
+	res = mustOp(t, e, `delete from emp`)
+	if len(res.Deleted) != 4 {
+		t.Errorf("delete all: %d", len(res.Deleted))
+	}
+	// Deleting from empty table affects nothing.
+	res = mustOp(t, e, `delete from emp`)
+	if len(res.Deleted) != 0 {
+		t.Errorf("delete from empty: %d", len(res.Deleted))
+	}
+}
+
+func TestDeleteWithSubquerySeesPreOpState(t *testing.T) {
+	e := testEnv(t)
+	// Delete everyone whose salary is below the (pre-delete) average.
+	// avg = 59000 → bill (25000), sam (40000) go. The subquery must not be
+	// re-evaluated mid-deletion.
+	res := mustOp(t, e, `delete from emp where salary < (select avg(salary) from emp)`)
+	if len(res.Deleted) != 2 {
+		t.Errorf("deleted %d, want 2", len(res.Deleted))
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	e := testEnv(t)
+	res := mustOp(t, e, `update emp set salary = salary * 2 where dept_no = 1`)
+	if len(res.Updated) != 2 {
+		t.Fatalf("updated %d", len(res.Updated))
+	}
+	for _, u := range res.Updated {
+		if len(u.Cols) != 1 || u.Cols[0] != 2 {
+			t.Errorf("updated cols: %v", u.Cols)
+		}
+		cur, _ := e.Store.Get(u.Handle)
+		if cur.Values[2].Float() != u.OldRow[2].Float()*2 {
+			t.Errorf("update math: old %v new %v", u.OldRow[2], cur.Values[2])
+		}
+	}
+	// No-op update still counts as affected (paper §2.1).
+	res = mustOp(t, e, `update emp set salary = salary where dept_no = 2`)
+	if len(res.Updated) != 2 {
+		t.Errorf("no-op update affected %d, want 2", len(res.Updated))
+	}
+	// Multi-column update.
+	res = mustOp(t, e, `update emp set name = 'x', dept_no = 9 where emp_no = 1`)
+	if len(res.Updated) != 1 || len(res.Updated[0].Cols) != 2 {
+		t.Errorf("multi-col: %+v", res.Updated)
+	}
+}
+
+func TestUpdateSetOriented(t *testing.T) {
+	e := testEnv(t)
+	// Swap-style update: every salary becomes the pre-update max. If
+	// assignments were applied row-at-a-time with re-evaluation this could
+	// diverge.
+	mustOp(t, e, `update emp set salary = (select max(salary) from emp)`)
+	res := mustQuery(t, e, `select distinct salary from emp`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Float() != 100000 {
+		t.Errorf("set-oriented update: %v", res.Rows)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	e := testEnv(t)
+	for _, src := range []string{
+		`update nosuch set a = 1`,
+		`update emp set nosuch = 1`,
+		`update emp set emp_no = NULL`,  // NOT NULL
+		`update emp set salary = 'x'`,   // type
+		`update emp set salary = 1 / 0`, // runtime arithmetic error
+	} {
+		st, err := sqlparse.ParseStatement(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := e.ExecOp(st); err == nil {
+			t.Errorf("accepted bad update %q", src)
+		}
+	}
+}
+
+func TestExecOpRejectsNonDML(t *testing.T) {
+	e := testEnv(t)
+	st, _ := sqlparse.ParseStatement(`select * from emp`)
+	if _, err := e.ExecOp(st); err == nil {
+		t.Error("ExecOp accepted a SELECT")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	e := testEnv(t)
+	res := mustQuery(t, e, `select name, salary from emp where emp_no = 1`)
+	s := res.String()
+	if !strings.Contains(s, "name") || !strings.Contains(s, "jane") || !strings.Contains(s, "100000") {
+		t.Errorf("Result.String: %q", s)
+	}
+}
+
+// fixedTransSource serves canned transition rows for testing FROM-clause
+// transition tables.
+type fixedTransSource struct {
+	rows map[sqlast.TransKind][]TransRow
+}
+
+func (f *fixedTransSource) TransRows(kind sqlast.TransKind, table, column string) ([]TransRow, error) {
+	return f.rows[kind], nil
+}
+
+func TestTransitionTableResolution(t *testing.T) {
+	e := testEnv(t)
+	e.Trans = &fixedTransSource{rows: map[sqlast.TransKind][]TransRow{
+		sqlast.TransDeleted: {
+			{Handle: 101, Values: storage.Row{value.NewString("ghost"), value.NewInt(99), value.NewFloat(1), value.NewInt(1)}},
+		},
+		sqlast.TransInserted: {},
+	}}
+	res := mustQuery(t, e, `select name, emp_no from deleted emp`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "ghost" {
+		t.Fatalf("deleted emp: %v", res.Rows)
+	}
+	// Alias and join with a base table.
+	res = mustQuery(t, e, `select d.name from deleted emp d, dept where dept.dept_no = d.dept_no`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("deleted join: %v", res.Rows)
+	}
+	// Empty transition table yields no rows.
+	res = mustQuery(t, e, `select * from inserted emp`)
+	if len(res.Rows) != 0 {
+		t.Errorf("inserted emp should be empty: %v", res.Rows)
+	}
+	// Unknown column on transition table errors.
+	if err := queryErr(t, e, `select * from old updated emp.nosuch`); err == nil {
+		t.Error("bad transition column accepted")
+	}
+}
+
+type recordingObserver struct {
+	seen map[storage.Handle]bool
+}
+
+func (r *recordingObserver) TupleSelected(table string, h storage.Handle) {
+	r.seen[h] = true
+}
+
+func TestSelectObserver(t *testing.T) {
+	e := testEnv(t)
+	obs := &recordingObserver{seen: make(map[storage.Handle]bool)}
+	e.Observer = obs
+	mustQuery(t, e, `select name from emp where dept_no = 1`)
+	if len(obs.seen) != 2 {
+		t.Errorf("observer saw %d tuples, want 2 (only WHERE-surviving rows)", len(obs.seen))
+	}
+}

@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sopr/internal/sqlast"
+	"sopr/internal/sqlparse"
+	"sopr/internal/storage"
+)
+
+// joinEnv builds a store with two join tables carrying NULLs, duplicates
+// and cross-kind numeric keys.
+func joinEnv(t *testing.T, rows int, seed int64) *Env {
+	t.Helper()
+	e := &Env{Store: storage.New()}
+	mustExecDDL(t, e, `create table l (k int, lv varchar)`)
+	mustExecDDL(t, e, `create table r (k float, rv varchar)`)
+	rng := rand.New(rand.NewSource(seed))
+	var lb, rb strings.Builder
+	lb.WriteString("insert into l values ")
+	rb.WriteString("insert into r values ")
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			lb.WriteString(", ")
+			rb.WriteString(", ")
+		}
+		lk := fmt.Sprintf("%d", rng.Intn(rows/2+1))
+		if rng.Intn(10) == 0 {
+			lk = "null"
+		}
+		rk := fmt.Sprintf("%d.0", rng.Intn(rows/2+1))
+		if rng.Intn(10) == 0 {
+			rk = "null"
+		}
+		fmt.Fprintf(&lb, "(%s, 'l%d')", lk, i)
+		fmt.Fprintf(&rb, "(%s, 'r%d')", rk, i)
+	}
+	mustOp(t, e, lb.String())
+	mustOp(t, e, rb.String())
+	return e
+}
+
+// Equivalence property: every join query returns identical results with
+// and without the hash fast path.
+func TestHashJoinEquivalence(t *testing.T) {
+	queries := []string{
+		// int = float cross-kind key.
+		`select l.lv, r.rv from l, r where l.k = r.k order by l.lv, r.rv`,
+		// Reversed sides.
+		`select l.lv, r.rv from l, r where r.k = l.k order by l.lv, r.rv`,
+		// Residual predicate alongside the equi conjunct.
+		`select l.lv, r.rv from l, r where l.k = r.k and l.lv <> r.rv order by l.lv, r.rv`,
+		// Aliased relations.
+		`select a.lv from l a, r b where a.k = b.k order by a.lv`,
+		// No ORDER BY: physical emission order must also match.
+		`select l.lv, r.rv from l, r where l.k = r.k and r.k > 1`,
+		// Aggregation over the join.
+		`select count(*), min(l.lv) from l, r where l.k = r.k`,
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		e := joinEnv(t, 60, seed)
+		for _, q := range queries {
+			st, err := sqlparse.ParseStatement(q)
+			if err != nil {
+				t.Fatalf("parse %q: %v", q, err)
+			}
+			sel := st.(*sqlast.Select)
+			fast, err := e.Query(sel)
+			if err != nil {
+				t.Fatalf("hash: %q: %v", q, err)
+			}
+			e.NoHashJoin = true
+			slow, err := e.Query(sel)
+			e.NoHashJoin = false
+			if err != nil {
+				t.Fatalf("nested: %q: %v", q, err)
+			}
+			if !reflect.DeepEqual(fast, slow) {
+				t.Errorf("seed %d query %q:\nhash:   %v\nnested: %v", seed, q, fast.Rows, slow.Rows)
+			}
+		}
+	}
+}
+
+// Queries that must NOT take the fast path still work (three-way joins,
+// OR conditions, non-column operands, self-joins with ambiguity).
+func TestHashJoinFallbackCases(t *testing.T) {
+	e := joinEnv(t, 20, 9)
+	mustExecDDL(t, e, `create table m (k int)`)
+	mustOp(t, e, `insert into m values (1), (2)`)
+	for _, q := range []string{
+		`select count(*) from l, r, m where l.k = r.k and l.k = m.k`,
+		`select count(*) from l, r where l.k = r.k or l.k is null`,
+		`select count(*) from l, r where l.k + 0 = r.k`,
+		`select count(*) from l a, l b where a.k = b.k`,
+	} {
+		st, err := sqlparse.ParseStatement(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		sel := st.(*sqlast.Select)
+		fast, err := e.Query(sel)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		e.NoHashJoin = true
+		slow, err := e.Query(sel)
+		e.NoHashJoin = false
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Errorf("%q: hash %v vs nested %v", q, fast.Rows, slow.Rows)
+		}
+	}
+}
+
+// The fast path must not fire for a self-join without distinguishing
+// qualifiers (ambiguous resolution returns no key).
+func TestEquiJoinConjunctResolution(t *testing.T) {
+	r0 := &relation{binding: "a", cols: []string{"k", "v"}}
+	r1 := &relation{binding: "b", cols: []string{"k", "w"}}
+	parse := func(src string) sqlast.Expr {
+		e, err := sqlparse.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		return e
+	}
+	if c0, c1, ok := equiJoinConjunct(parse(`a.k = b.k`), r0, r1); !ok || c0 != 0 || c1 != 0 {
+		t.Errorf("qualified: %d %d %v", c0, c1, ok)
+	}
+	if c0, c1, ok := equiJoinConjunct(parse(`b.k = a.v`), r0, r1); !ok || c0 != 1 || c1 != 0 {
+		t.Errorf("reversed: %d %d %v", c0, c1, ok)
+	}
+	if _, _, ok := equiJoinConjunct(parse(`k = w`), r0, r1); ok {
+		t.Error("ambiguous unqualified k accepted")
+	}
+	if c0, c1, ok := equiJoinConjunct(parse(`v = w`), r0, r1); !ok || c0 != 1 || c1 != 1 {
+		t.Errorf("unambiguous unqualified: %d %d %v", c0, c1, ok)
+	}
+	if _, _, ok := equiJoinConjunct(parse(`a.k = a.v`), r0, r1); ok {
+		t.Error("same-relation equality accepted")
+	}
+	if _, _, ok := equiJoinConjunct(parse(`a.k > b.k`), r0, r1); ok {
+		t.Error("non-equality accepted")
+	}
+	if _, _, ok := equiJoinConjunct(parse(`a.k = b.k or true`), r0, r1); ok {
+		t.Error("disjunction accepted")
+	}
+	// Conjunct found under nested ANDs.
+	if _, _, ok := equiJoinConjunct(parse(`a.v > 'x' and (b.w = 'y' and a.k = b.k)`), r0, r1); !ok {
+		t.Error("nested conjunct missed")
+	}
+}

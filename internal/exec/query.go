@@ -1,0 +1,476 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sopr/internal/sqlast"
+	"sopr/internal/storage"
+	"sopr/internal/value"
+)
+
+// Result is the output of a query: named columns and rows.
+type Result struct {
+	Columns []string
+	Rows    []storage.Row
+}
+
+// String renders the result as a simple aligned table (for the shell and
+// examples).
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			if v.Kind() == value.KindString {
+				s = v.Str() // print strings unquoted in tables
+			}
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	for _, row := range cells {
+		b.WriteByte('\n')
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+	}
+	return b.String()
+}
+
+// Query evaluates a top-level SELECT statement.
+func (e *Env) Query(sel *sqlast.Select) (*Result, error) {
+	return e.evalSelect(sel, nil)
+}
+
+// outCol is one planned output column.
+type outCol struct {
+	name string
+	expr sqlast.Expr
+}
+
+// sortedRow pairs an output row with its ORDER BY keys.
+type sortedRow struct {
+	row  storage.Row
+	keys storage.Row
+}
+
+// evalSelect evaluates a query block in an optional parent scope (for
+// correlated subqueries).
+func (e *Env) evalSelect(sel *sqlast.Select, parent *scope) (*Result, error) {
+	// Materialize FROM inputs.
+	rels := make([]*relation, len(sel.From))
+	seen := make(map[string]bool)
+	for i, tr := range sel.From {
+		rel, err := e.resolveTableRef(tr)
+		if err != nil {
+			return nil, err
+		}
+		if seen[rel.binding] {
+			return nil, fmt.Errorf("exec: duplicate table binding %q in FROM (use aliases)", rel.binding)
+		}
+		seen[rel.binding] = true
+		rels[i] = rel
+	}
+
+	// Plan output columns, expanding * and q.*.
+	cols, err := planColumns(sel, rels)
+	if err != nil {
+		return nil, err
+	}
+
+	hasAgg := len(sel.GroupBy) > 0 || sel.Having != nil
+	if !hasAgg {
+		for _, c := range cols {
+			if exprHasAggregate(c.expr) {
+				hasAgg = true
+				break
+			}
+		}
+	}
+
+	// The evaluation scope for this block.
+	sc := &scope{parent: parent, vars: make([]*boundRow, len(rels))}
+	for i, rel := range rels {
+		sc.vars[i] = &boundRow{binding: rel.binding, table: rel.table, cols: rel.cols, trans: rel.trans}
+	}
+
+	var out []sortedRow
+	if hasAgg {
+		out, err = e.evalAggregateQuery(sel, sc, rels, cols)
+	} else {
+		out, err = e.evalPlainQuery(sel, sc, rels, cols)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Distinct {
+		out = distinctRows(out)
+	}
+	if len(sel.OrderBy) > 0 {
+		sortRows(out, sel.OrderBy)
+	}
+
+	res := &Result{Columns: make([]string, len(cols)), Rows: make([]storage.Row, len(out))}
+	for i, c := range cols {
+		res.Columns[i] = c.name
+	}
+	for i, sr := range out {
+		res.Rows[i] = sr.row
+	}
+	return res, nil
+}
+
+// planColumns expands the projection list into concrete output columns.
+func planColumns(sel *sqlast.Select, rels []*relation) ([]outCol, error) {
+	var cols []outCol
+	for _, it := range sel.Items {
+		switch {
+		case it.Star && it.Qualifier == "":
+			if len(rels) == 0 {
+				return nil, fmt.Errorf("exec: SELECT * with no FROM clause")
+			}
+			for _, rel := range rels {
+				for _, c := range rel.cols {
+					cols = append(cols, outCol{name: c, expr: &sqlast.ColumnRef{Qualifier: rel.binding, Column: c}})
+				}
+			}
+		case it.Star:
+			found := false
+			for _, rel := range rels {
+				if rel.binding == it.Qualifier {
+					for _, c := range rel.cols {
+						cols = append(cols, outCol{name: c, expr: &sqlast.ColumnRef{Qualifier: rel.binding, Column: c}})
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("exec: unknown qualifier %q in %s.*", it.Qualifier, it.Qualifier)
+			}
+		default:
+			name := it.Alias
+			if name == "" {
+				if cr, ok := it.Expr.(*sqlast.ColumnRef); ok {
+					name = cr.Column
+				} else {
+					name = it.Expr.String()
+				}
+			}
+			cols = append(cols, outCol{name: name, expr: it.Expr})
+		}
+	}
+	return cols, nil
+}
+
+// forEachCombo drives the nested-loops join: it sets sc.vars to every
+// combination of rows from rels that satisfies WHERE and invokes fn.
+func (e *Env) forEachCombo(sel *sqlast.Select, sc *scope, rels []*relation, fn func() error) error {
+	n := len(rels)
+	if n == 0 {
+		ok, err := e.whereHolds(sel, sc)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return fn()
+		}
+		return nil
+	}
+	for _, rel := range rels {
+		if len(rel.rows) == 0 {
+			return nil // empty cross product
+		}
+	}
+	// Hash equi-join fast path for two-relation joins (see hashjoin.go).
+	if n == 2 && !e.NoHashJoin && sel.Where != nil {
+		if c0, c1, ok := equiJoinConjunct(sel.Where, rels[0], rels[1]); ok {
+			return e.forEachComboHash(sel, sc, rels, c0, c1, fn)
+		}
+	}
+	idx := make([]int, n)
+	for {
+		for i, rel := range rels {
+			sc.vars[i].row = rel.rows[idx[i]].Values
+			sc.vars[i].handle = rel.rows[idx[i]].Handle
+		}
+		ok, err := e.whereHolds(sel, sc)
+		if err != nil {
+			return err
+		}
+		if ok {
+			for _, b := range sc.vars {
+				e.observe(b)
+			}
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		// Advance the index vector (odometer).
+		k := n - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(rels[k].rows) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			return nil
+		}
+	}
+}
+
+func (e *Env) whereHolds(sel *sqlast.Select, sc *scope) (bool, error) {
+	if sel.Where == nil {
+		return true, nil
+	}
+	v, err := e.evalExpr(sc, sel.Where)
+	if err != nil {
+		return false, err
+	}
+	t, err := truth(v)
+	if err != nil {
+		return false, err
+	}
+	return t.IsTrue(), nil
+}
+
+// evalPlainQuery handles non-aggregate queries.
+func (e *Env) evalPlainQuery(sel *sqlast.Select, sc *scope, rels []*relation, cols []outCol) ([]sortedRow, error) {
+	var out []sortedRow
+	err := e.forEachCombo(sel, sc, rels, func() error {
+		row := make(storage.Row, len(cols))
+		for i, c := range cols {
+			v, err := e.evalExpr(sc, c.expr)
+			if err != nil {
+				return err
+			}
+			row[i] = v
+		}
+		keys, err := e.orderKeys(sel, sc, cols, row)
+		if err != nil {
+			return err
+		}
+		out = append(out, sortedRow{row: row, keys: keys})
+		return nil
+	})
+	return out, err
+}
+
+// evalAggregateQuery handles GROUP BY / HAVING / aggregate-projection
+// queries.
+func (e *Env) evalAggregateQuery(sel *sqlast.Select, sc *scope, rels []*relation, cols []outCol) ([]sortedRow, error) {
+	type group struct {
+		rows [][]*boundRow
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	err := e.forEachCombo(sel, sc, rels, func() error {
+		// Group key from GROUP BY expressions (single group if none).
+		key := ""
+		for _, g := range sel.GroupBy {
+			v, err := e.evalExpr(sc, g)
+			if err != nil {
+				return err
+			}
+			key += v.String() + "\x00"
+		}
+		gr, ok := groups[key]
+		if !ok {
+			gr = &group{}
+			groups[key] = gr
+			order = append(order, key)
+		}
+		// Snapshot the current bindings for the group.
+		snap := make([]*boundRow, len(sc.vars))
+		for i, b := range sc.vars {
+			cp := *b
+			snap[i] = &cp
+		}
+		gr.rows = append(gr.rows, snap)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// With no GROUP BY, an aggregate query over zero rows still produces
+	// one row (e.g. SELECT COUNT(*) FROM empty → 0).
+	if len(sel.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	var out []sortedRow
+	for _, key := range order {
+		gr := groups[key]
+		if len(gr.rows) > 0 {
+			sc.vars = gr.rows[0]
+		} else {
+			// Zero-row group: bind all-NULL rows so stray column references
+			// evaluate to NULL rather than crashing.
+			for _, b := range sc.vars {
+				b.row = make(storage.Row, len(b.cols))
+				for i := range b.row {
+					b.row[i] = value.Null
+				}
+				b.handle = 0
+			}
+		}
+		sc.groupRows = gr.rows
+		if sc.groupRows == nil {
+			// A zero-row single group (aggregate query over an empty
+			// input) still needs a non-nil group context.
+			sc.groupRows = [][]*boundRow{}
+		}
+
+		if sel.Having != nil {
+			v, err := e.evalExpr(sc, sel.Having)
+			if err != nil {
+				return nil, err
+			}
+			t, err := truth(v)
+			if err != nil {
+				return nil, err
+			}
+			if !t.IsTrue() {
+				sc.groupRows = nil
+				continue
+			}
+		}
+		row := make(storage.Row, len(cols))
+		for i, c := range cols {
+			v, err := e.evalExpr(sc, c.expr)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		keys, err := e.orderKeys(sel, sc, cols, row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sortedRow{row: row, keys: keys})
+		sc.groupRows = nil
+	}
+	return out, nil
+}
+
+// orderKeys computes ORDER BY sort keys for one output row. A bare column
+// reference that matches an output column name uses the output value
+// (supporting ORDER BY on select-list aliases); otherwise the expression is
+// evaluated in the row's input scope.
+func (e *Env) orderKeys(sel *sqlast.Select, sc *scope, cols []outCol, row storage.Row) (storage.Row, error) {
+	if len(sel.OrderBy) == 0 {
+		return nil, nil
+	}
+	keys := make(storage.Row, len(sel.OrderBy))
+	for i, ob := range sel.OrderBy {
+		// ORDER BY <ordinal> selects the Nth output column (1-based).
+		if lit, ok := ob.Expr.(*sqlast.Literal); ok && lit.Val.Kind() == value.KindInt {
+			n := lit.Val.Int()
+			if n < 1 || int(n) > len(cols) {
+				return nil, fmt.Errorf("exec: ORDER BY position %d is out of range (1..%d)", n, len(cols))
+			}
+			keys[i] = row[n-1]
+			continue
+		}
+		if cr, ok := ob.Expr.(*sqlast.ColumnRef); ok && cr.Qualifier == "" {
+			found := false
+			for ci, c := range cols {
+				if c.name == cr.Column {
+					keys[i] = row[ci]
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+		}
+		v, err := e.evalExpr(sc, ob.Expr)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+func distinctRows(rows []sortedRow) []sortedRow {
+	seen := make(map[string]bool, len(rows))
+	var out []sortedRow
+	for _, sr := range rows {
+		key := ""
+		for _, v := range sr.row {
+			key += v.String() + "\x00"
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, sr)
+		}
+	}
+	return out
+}
+
+// sortRows sorts by the precomputed keys; NULL sorts before any value,
+// incomparable values compare equal.
+func sortRows(rows []sortedRow, order []sqlast.OrderItem) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, ob := range order {
+			a, b := rows[i].keys[k], rows[j].keys[k]
+			var cmp int
+			switch {
+			case a.IsNull() && b.IsNull():
+				cmp = 0
+			case a.IsNull():
+				cmp = -1
+			case b.IsNull():
+				cmp = 1
+			default:
+				c, ok := value.Compare(a, b)
+				if !ok {
+					c = 0
+				}
+				cmp = c
+			}
+			if ob.Desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,240 @@
+// Package instance implements an instance-oriented (row-level) production
+// rule executor over the same storage and query substrate as the
+// set-oriented engine. It is the baseline the paper contrasts against
+// (Section 1): "rules that are applied once for each data item satisfying
+// the condition part of the rule. (For example, one might define an
+// instance-oriented rule that is applied once for each tuple inserted into
+// the database.)"
+//
+// Semantics: after each data manipulation operation, every matching rule is
+// considered once per affected tuple, with transition tables containing
+// exactly that tuple; if the condition holds, the action executes for that
+// tuple. Cascading changes recurse, bounded by MaxDepth. This mirrors
+// classic per-row trigger systems and is used by the benchmark harness
+// (experiment B1) to quantify the per-tuple overhead that set-oriented
+// rules amortize.
+package instance
+
+import (
+	"fmt"
+
+	"sopr/internal/catalog"
+	"sopr/internal/exec"
+	"sopr/internal/rules"
+	"sopr/internal/sqlast"
+	"sopr/internal/sqlparse"
+	"sopr/internal/storage"
+)
+
+// Rule is one instance-oriented rule. The definition syntax is the same as
+// the set-oriented language; transition tables in the condition and action
+// simply contain a single tuple at a time.
+type Rule struct {
+	Name      string
+	Preds     []sqlast.TransPred
+	Condition sqlast.Expr
+	Action    []sqlast.Statement
+}
+
+// Engine executes operation blocks with row-level rule processing.
+type Engine struct {
+	store *storage.Store
+	rules []*Rule
+	// MaxDepth bounds cascade recursion (default 100).
+	MaxDepth int
+	// Firings counts rule action executions (for tests and benchmarks).
+	Firings int
+}
+
+// New returns an empty instance-oriented engine.
+func New() *Engine {
+	return &Engine{store: storage.New(), MaxDepth: 100}
+}
+
+// Store exposes the underlying storage engine.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Exec parses and executes a script of CREATE TABLE, CREATE RULE and DML
+// statements. Each DML statement is followed immediately by row-level rule
+// processing (there is no deferred, set-oriented consideration).
+func (e *Engine) Exec(src string) error {
+	stmts, err := sqlparse.ParseStatements(src)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *sqlast.CreateTable:
+			tab, err := exec.CreateTableSchema(s)
+			if err != nil {
+				return err
+			}
+			if err := e.store.CreateTable(tab); err != nil {
+				return err
+			}
+		case *sqlast.CreateRule:
+			if err := e.defineRule(s); err != nil {
+				return err
+			}
+		case *sqlast.Insert, *sqlast.Delete, *sqlast.Update:
+			if err := e.execOp(st, 0); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("instance: unsupported statement %T", st)
+		}
+	}
+	return nil
+}
+
+// Query evaluates a SELECT against the current state.
+func (e *Engine) Query(src string) (*exec.Result, error) {
+	st, err := sqlparse.ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlast.Select)
+	if !ok {
+		return nil, fmt.Errorf("instance: Query requires a SELECT, got %T", st)
+	}
+	env := &exec.Env{Store: e.store}
+	return env.Query(sel)
+}
+
+func (e *Engine) defineRule(cr *sqlast.CreateRule) error {
+	if cr.Action.Rollback || cr.Action.Call != "" {
+		return fmt.Errorf("instance: only operation-block actions are supported")
+	}
+	for _, op := range cr.Action.Block {
+		if _, ok := op.(*sqlast.Select); ok {
+			return fmt.Errorf("instance: SELECT in rule actions is not supported")
+		}
+	}
+	if err := rules.ValidateRule(cr, e.store.Catalog()); err != nil {
+		return err
+	}
+	e.rules = append(e.rules, &Rule{
+		Name:      cr.Name,
+		Preds:     cr.Preds,
+		Condition: cr.Condition,
+		Action:    cr.Action.Block,
+	})
+	return nil
+}
+
+// execOp executes one DML operation, then processes rules once per affected
+// tuple.
+func (e *Engine) execOp(st sqlast.Statement, depth int) error {
+	env := &exec.Env{Store: e.store}
+	res, err := env.ExecOp(st)
+	if err != nil {
+		return err
+	}
+	return e.processTuples(res, depth)
+}
+
+// processTuples applies each matching rule once per affected tuple.
+func (e *Engine) processTuples(res *exec.OpResult, depth int) error {
+	cat := e.store.Catalog()
+	for _, h := range res.Inserted {
+		eff := singleInsert(res.Table, h)
+		if err := e.fireMatching(eff, cat, depth); err != nil {
+			return err
+		}
+	}
+	for _, d := range res.Deleted {
+		eff := singleDelete(res.Table, d)
+		if err := e.fireMatching(eff, cat, depth); err != nil {
+			return err
+		}
+	}
+	for _, u := range res.Updated {
+		eff := singleUpdate(res.Table, u)
+		if err := e.fireMatching(eff, cat, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func singleInsert(table string, h storage.Handle) *rules.Effect {
+	eff := rules.NewEffect()
+	eff.AddOp(&exec.OpResult{Table: table, Inserted: []storage.Handle{h}})
+	return eff
+}
+
+func singleDelete(table string, d exec.DeletedTuple) *rules.Effect {
+	eff := rules.NewEffect()
+	eff.AddOp(&exec.OpResult{Table: table, Deleted: []exec.DeletedTuple{d}})
+	return eff
+}
+
+func singleUpdate(table string, u exec.UpdatedTuple) *rules.Effect {
+	eff := rules.NewEffect()
+	eff.AddOp(&exec.OpResult{Table: table, Updated: []exec.UpdatedTuple{u}})
+	return eff
+}
+
+// fireMatching considers every rule against a single-tuple effect.
+func (e *Engine) fireMatching(eff *rules.Effect, cat *catalog.Catalog, depth int) error {
+	if depth > e.MaxDepth {
+		return fmt.Errorf("instance: cascade depth exceeded %d (possible infinite loop)", e.MaxDepth)
+	}
+	for _, r := range e.rules {
+		ok, err := rules.EffectSatisfies(eff, r.Preds, cat)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		env := &exec.Env{
+			Store: e.store,
+			Trans: &rules.TransSource{Store: e.store, Effect: eff},
+		}
+		// For a deleted tuple the row is gone; for inserted/updated the
+		// transition tables read live values. A rule may race with its own
+		// cascades (classic row-trigger hazard); we follow row-trigger
+		// practice and skip rules whose inserted/updated tuple no longer
+		// exists.
+		if stale(e.store, eff) {
+			continue
+		}
+		hold, err := env.EvalPredicate(r.Condition)
+		if err != nil {
+			return err
+		}
+		if !hold {
+			continue
+		}
+		e.Firings++
+		// Action operations run with the rule's single-tuple transition
+		// tables in scope; their own affected tuples cascade.
+		for _, op := range r.Action {
+			res, err := env.ExecOp(op)
+			if err != nil {
+				return err
+			}
+			if err := e.processTuples(res, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// stale reports whether the effect references an inserted or updated tuple
+// that has since been deleted by a cascade.
+func stale(st *storage.Store, eff *rules.Effect) bool {
+	for h := range eff.Ins {
+		if _, ok := st.Get(h); !ok {
+			return true
+		}
+	}
+	for h := range eff.Upd {
+		if _, ok := st.Get(h); !ok {
+			return true
+		}
+	}
+	return false
+}

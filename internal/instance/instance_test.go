@@ -1,0 +1,165 @@
+package instance
+
+import (
+	"strings"
+	"testing"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	if err := e.Exec(`
+		create table emp (name varchar, emp_no int, salary float, dept_no int);
+		create table audit (who varchar)
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestPerTupleFiring(t *testing.T) {
+	e := newEngine(t)
+	if err := e.Exec(`
+		create rule log when inserted into emp
+		then insert into audit (select name from inserted emp)
+		end
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// A three-row insert fires the rule three times — once per tuple —
+	// in contrast to the set-oriented engine's single firing.
+	if err := e.Exec(`insert into emp values ('a',1,1,1), ('b',2,1,1), ('c',3,1,1)`); err != nil {
+		t.Fatal(err)
+	}
+	if e.Firings != 3 {
+		t.Errorf("firings = %d, want 3", e.Firings)
+	}
+	res, err := e.Query(`select who from audit order by who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("audit rows: %v", res.Rows)
+	}
+}
+
+func TestConditionPerTuple(t *testing.T) {
+	e := newEngine(t)
+	if err := e.Exec(`
+		create rule high when inserted into emp
+		if exists (select * from inserted emp where salary > 100)
+		then insert into audit (select name from inserted emp)
+		end
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(`insert into emp values ('low',1,50,1), ('high',2,200,1)`); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := e.Query(`select who from audit`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "high" {
+		t.Errorf("condition filtering per tuple: %v", res.Rows)
+	}
+	if e.Firings != 1 {
+		t.Errorf("firings = %d", e.Firings)
+	}
+}
+
+func TestDeleteAndUpdateTriggers(t *testing.T) {
+	e := newEngine(t)
+	if err := e.Exec(`
+		create rule ondelete when deleted from emp
+		then insert into audit (select name from deleted emp)
+		end;
+		create rule onupdate when updated emp.salary
+		then insert into audit (select name from new updated emp.salary)
+		end
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(`insert into emp values ('a',1,1,1), ('b',2,1,1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(`update emp set salary = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if e.Firings != 2 {
+		t.Errorf("update firings = %d, want 2", e.Firings)
+	}
+	if err := e.Exec(`delete from emp`); err != nil {
+		t.Fatal(err)
+	}
+	if e.Firings != 4 {
+		t.Errorf("total firings = %d, want 4", e.Firings)
+	}
+	res, _ := e.Query(`select count(*) from audit`)
+	if res.Rows[0][0].Int() != 4 {
+		t.Errorf("audit count: %v", res.Rows)
+	}
+}
+
+func TestCascadeDepthGuard(t *testing.T) {
+	e := New()
+	e.MaxDepth = 5
+	if err := e.Exec(`create table t (a int)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(`
+		create rule grow when inserted into t
+		then insert into t (select a + 1 from inserted t)
+		end
+	`); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Exec(`insert into t values (1)`)
+	if err == nil || !strings.Contains(err.Error(), "cascade depth") {
+		t.Errorf("expected depth error, got %v", err)
+	}
+}
+
+func TestStaleTupleSkipped(t *testing.T) {
+	// Rule A deletes newly inserted tuples; rule B (later) must not fire
+	// on the now-gone tuple.
+	e := newEngine(t)
+	if err := e.Exec(`
+		create rule reject when inserted into emp
+		then delete from emp where emp_no in (select emp_no from inserted emp)
+		end;
+		create rule log when inserted into emp
+		then insert into audit (select name from inserted emp)
+		end
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Exec(`insert into emp values ('a',1,1,1)`); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := e.Query(`select count(*) from audit`)
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("rule fired on stale tuple: %v", res.Rows)
+	}
+}
+
+func TestStoreAccessor(t *testing.T) {
+	e := newEngine(t)
+	if n, err := e.Store().Count("emp"); err != nil || n != 0 {
+		t.Errorf("Store().Count: %d, %v", n, err)
+	}
+}
+
+func TestUnsupportedFeatures(t *testing.T) {
+	e := newEngine(t)
+	if err := e.Exec(`create rule r when inserted into emp then rollback`); err == nil {
+		t.Error("rollback action accepted")
+	}
+	if err := e.Exec(`drop rule r`); err == nil {
+		t.Error("unsupported statement accepted")
+	}
+	if _, err := e.Query(`insert into emp values ('a',1,1,1)`); err == nil {
+		t.Error("Query accepted non-SELECT")
+	}
+	if err := e.Exec(`create rule bad when inserted into emp
+		then insert into audit (select name from deleted emp) end`); err == nil {
+		t.Error("invalid transition-table reference accepted")
+	}
+}

@@ -1,0 +1,330 @@
+package rules
+
+// Tests exercising branches that the main test files do not reach:
+// SetEffect helpers, Apply with selections, validation walks over every
+// expression form, and selector edge listing.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sopr/internal/storage"
+)
+
+func TestSetEffectCloneCoversUpdates(t *testing.T) {
+	e := NewSetEffect()
+	e.I[1] = true
+	e.D[2] = true
+	e.U[3] = map[int]bool{0: true, 2: true}
+	c := e.Clone()
+	if !c.Equal(e) {
+		t.Fatal("clone not equal")
+	}
+	c.U[3][5] = true
+	if e.U[3][5] {
+		t.Error("clone shares U column sets")
+	}
+	// Equal detects column-set differences.
+	d := e.Clone()
+	d.U[3] = map[int]bool{0: true}
+	if d.Equal(e) {
+		t.Error("Equal ignored column-set size")
+	}
+	d.U[3] = map[int]bool{0: true, 1: true}
+	if d.Equal(e) {
+		t.Error("Equal ignored column identity")
+	}
+	d = e.Clone()
+	d.D[9] = true
+	delete(d.D, 2)
+	if d.Equal(e) {
+		t.Error("Equal ignored D membership")
+	}
+	d = e.Clone()
+	d.U[99] = map[int]bool{1: true}
+	delete(d.U, 3)
+	if d.Equal(e) {
+		t.Error("Equal ignored U handle membership")
+	}
+}
+
+func TestCheckDisjointViolations(t *testing.T) {
+	mk := func() SetEffect { return NewSetEffect() }
+	e := mk()
+	e.I[1] = true
+	e.D[1] = true
+	if err := e.CheckDisjoint(); err == nil {
+		t.Error("I∩D accepted")
+	}
+	e = mk()
+	e.I[1] = true
+	e.U[1] = map[int]bool{0: true}
+	if err := e.CheckDisjoint(); err == nil {
+		t.Error("I∩U accepted")
+	}
+	e = mk()
+	e.D[1] = true
+	e.U[1] = map[int]bool{0: true}
+	if err := e.CheckDisjoint(); err == nil {
+		t.Error("D∩U accepted")
+	}
+	e = mk()
+	e.I[1] = true
+	e.D[2] = true
+	e.U[3] = map[int]bool{0: true}
+	if err := e.CheckDisjoint(); err != nil {
+		t.Errorf("disjoint rejected: %v", err)
+	}
+}
+
+func TestApplyPropagatesSelections(t *testing.T) {
+	e1 := NewEffect()
+	e1.AddSelected("t", []storage.Handle{1, 2})
+	e2 := NewEffect()
+	e2.AddSelected("t", []storage.Handle{3})
+	e2.AddOp(insOp("t", 4))
+	e2.AddSelected("t", []storage.Handle{4}) // own insert: ignored
+	e1.Apply(e2)
+	if len(e1.Sel) != 3 {
+		t.Errorf("Sel after Apply: %v", e1.Sel)
+	}
+	// A later deletion drops the selection.
+	e3 := NewEffect()
+	e3.AddOp(delOp("t", storage.Handle(3), row(0)))
+	e1.Apply(e3)
+	if _, ok := e1.Sel[3]; ok {
+		t.Error("deleted tuple still selected")
+	}
+	// Selection of a tuple the base effect inserted is ignored on Apply.
+	base := NewEffect()
+	base.AddOp(insOp("t", 9))
+	next := NewEffect()
+	next.AddSelected("t", []storage.Handle{9})
+	// next doesn't know 9 is new; Apply must notice.
+	base.Apply(next)
+	if _, ok := base.Sel[9]; ok {
+		t.Error("selection of effect-local insert recorded")
+	}
+}
+
+func TestApplyDeleteOfUnknownTupleUsesNextValues(t *testing.T) {
+	// Deleting a tuple this composite never touched records the deleted
+	// value reported by the incoming transition.
+	e1 := NewEffect()
+	e2 := NewEffect()
+	e2.AddOp(delOp("t", storage.Handle(5), row(42)))
+	e1.Apply(e2)
+	if e1.Del[5].OldRow[0].Int() != 42 {
+		t.Errorf("del value: %v", e1.Del[5])
+	}
+}
+
+// Property: filtering commutes with composition — maintaining a filtered
+// composite with ApplyFiltered equals maintaining the full composite and
+// filtering at the end.
+func TestFilteredApplyCommutesProperty(t *testing.T) {
+	keep := func(table string) bool { return table == "a" }
+	for trial := 0; trial < 100; trial++ {
+		// Build a stream of two-table effects.
+		full := NewEffect()
+		filtered := NewEffect()
+		var handles []storage.Handle
+		next := storage.Handle(trial * 1000)
+		for step := 0; step < 10; step++ {
+			e := NewEffect()
+			for k := 0; k < 4; k++ {
+				table := "a"
+				if (int(next)+k)%3 == 0 {
+					table = "b"
+				}
+				switch (int(next) + k) % 4 {
+				case 0, 1:
+					next++
+					handles = append(handles, next)
+					e.AddOp(insOp(table, next))
+				case 2:
+					if len(handles) > 0 {
+						h := handles[(int(next)+k)%len(handles)]
+						tbl := tableOf(full, h, table)
+						e.AddOp(updOp(tbl, h, row(1, 2), k%2))
+					}
+				default:
+					if len(handles) > 0 {
+						j := (int(next) + k) % len(handles)
+						h := handles[j]
+						tbl := tableOf(full, h, table)
+						handles = append(handles[:j], handles[j+1:]...)
+						e.AddOp(delOp(tbl, h, row(9)))
+					}
+				}
+			}
+			full.Apply(e)
+			filtered.ApplyFiltered(e, keep)
+		}
+		want := full.CloneFiltered(keep)
+		got := filtered
+		if !got.SetEffect().Equal(want.SetEffect()) {
+			t.Fatalf("trial %d: filtered maintenance diverged\n got: %v\nwant: %v", trial, got, want)
+		}
+	}
+}
+
+// tableOf keeps a handle's table stable across the random stream (a handle
+// belongs to one table for life).
+func tableOf(e *Effect, h storage.Handle, fallback string) string {
+	if t, ok := e.Ins[h]; ok {
+		return t
+	}
+	if u, ok := e.Upd[h]; ok {
+		return u.Table
+	}
+	if d, ok := e.Del[h]; ok {
+		return d.Table
+	}
+	return fallback
+}
+
+func TestCloneFiltered(t *testing.T) {
+	e := NewEffect()
+	e.AddOp(insOp("a", 1))
+	e.AddOp(insOp("b", 2))
+	e.AddOp(updOp("a", 3, row(1), 0))
+	e.AddOp(delOp("b", storage.Handle(4), row(2)))
+	e.AddSelected("a", []storage.Handle{5})
+	c := e.CloneFiltered(func(tbl string) bool { return tbl == "a" })
+	if len(c.Ins) != 1 || c.Ins[1] != "a" {
+		t.Errorf("Ins: %v", c.Ins)
+	}
+	if len(c.Del) != 0 {
+		t.Errorf("Del: %v", c.Del)
+	}
+	if len(c.Upd) != 1 {
+		t.Errorf("Upd: %v", c.Upd)
+	}
+	if len(c.Sel) != 1 {
+		t.Errorf("Sel: %v", c.Sel)
+	}
+}
+
+func TestRuleKeep(t *testing.T) {
+	r := &Rule{}
+	if !r.Keep("anything") {
+		t.Error("nil PredTables must keep everything")
+	}
+	r.PredTables = map[string]bool{"emp": true}
+	if !r.Keep("emp") || r.Keep("dept") {
+		t.Error("PredTables filtering wrong")
+	}
+}
+
+func TestSelectorEdges(t *testing.T) {
+	s := NewSelector()
+	if edges := s.Edges(); len(edges) != 0 {
+		t.Errorf("empty selector edges: %v", edges)
+	}
+	s.AddPriority("b", "c")
+	s.AddPriority("a", "c")
+	s.AddPriority("a", "b")
+	want := [][2]string{{"a", "b"}, {"a", "c"}, {"b", "c"}}
+	if got := s.Edges(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Edges = %v, want %v", got, want)
+	}
+	s.DropRule("a")
+	want = [][2]string{{"b", "c"}}
+	if got := s.Edges(); !reflect.DeepEqual(got, want) {
+		t.Errorf("after drop: %v", got)
+	}
+}
+
+// Property (§4.4): whatever the declared priority DAG and the triggered
+// subset, Select returns a rule not strictly dominated by any other
+// triggered rule, and acyclicity is always preserved.
+func TestSelectorMaximalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	names := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for trial := 0; trial < 200; trial++ {
+		s := NewSelector()
+		// Random edge attempts; cycle-creating ones must be rejected.
+		for k := 0; k < 10; k++ {
+			i, j := rng.Intn(len(names)), rng.Intn(len(names))
+			err := s.AddPriority(names[i], names[j])
+			if err == nil && s.Higher(names[j], names[i]) {
+				t.Fatal("accepted edge created a cycle")
+			}
+		}
+		// Random triggered subset.
+		var triggered []*Rule
+		for _, n := range names {
+			if rng.Intn(2) == 0 {
+				triggered = append(triggered, &Rule{Name: n, LastConsidered: int64(rng.Intn(5))})
+			}
+		}
+		got := s.Select(triggered)
+		if len(triggered) == 0 {
+			if got != nil {
+				t.Fatal("Select of empty set returned a rule")
+			}
+			continue
+		}
+		if got == nil {
+			t.Fatal("Select returned nil for non-empty set")
+		}
+		for _, r := range triggered {
+			if r != got && s.Higher(r.Name, got.Name) {
+				t.Fatalf("trial %d: selected %q is dominated by triggered %q", trial, got.Name, r.Name)
+			}
+		}
+	}
+}
+
+// TestValidateRuleWalksEveryExprForm drives the reference walker through
+// every expression node kind via a condition that buries an illegal
+// transition-table reference inside each construct.
+func TestValidateRuleWalksEveryExprForm(t *testing.T) {
+	cat := testCatalog(t)
+	// Each condition hides `deleted emp` (not licensed by the predicate)
+	// inside a different expression form; all must be rejected.
+	conditions := []string{
+		`not exists (select * from deleted emp)`,
+		`(select count(*) from deleted emp) > 0 and true`,
+		`true or (select count(*) from deleted emp) > 0`,
+		`(select count(*) from deleted emp) is null`,
+		`1 between 0 and (select count(*) from deleted emp)`,
+		`(select min(name) from deleted emp) like 'a%'`,
+		`1 in (2, (select count(*) from deleted emp))`,
+		`1 in (select emp_no from deleted emp)`,
+		`salary > all (select salary from deleted emp)`,
+		`coalesce((select count(*) from deleted emp), 0) > 0`,
+		`-(select count(*) from deleted emp) < 0`,
+	}
+	for _, cond := range conditions {
+		src := `create rule r when inserted into emp if ` + cond + ` then delete from emp end`
+		if err := ValidateRule(parseRule(t, src), cat); err == nil {
+			t.Errorf("condition %q: illegal reference not caught", cond)
+		}
+	}
+	// And inside each action operation form.
+	actions := []string{
+		`insert into emp (select * from deleted emp)`,
+		`insert into dept values ((select count(*) from deleted emp), 1)`,
+		`delete from emp where emp_no in (select emp_no from deleted emp)`,
+		`update emp set salary = (select count(*) from deleted emp)`,
+		`update emp set salary = 0 where emp_no in (select emp_no from deleted emp)`,
+		`select * from deleted emp`,
+	}
+	for _, act := range actions {
+		src := `create rule r when inserted into emp then ` + act + ` end`
+		if err := ValidateRule(parseRule(t, src), cat); err == nil {
+			t.Errorf("action %q: illegal reference not caught", act)
+		}
+	}
+	// Select-list, group-by, having and order-by positions inside a
+	// licensed subquery also walk.
+	src := `create rule r when inserted into emp
+		if exists (select (select count(*) from deleted emp) from emp group by name having count(*) > 0 order by name)
+		then delete from emp end`
+	if err := ValidateRule(parseRule(t, src), cat); err == nil {
+		t.Error("select-list reference not caught")
+	}
+}

@@ -1,0 +1,404 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+
+	"sopr/internal/exec"
+	"sopr/internal/storage"
+	"sopr/internal/value"
+)
+
+// --- helpers to build OpResults without a store ---
+
+func insOp(table string, hs ...storage.Handle) *exec.OpResult {
+	return &exec.OpResult{Table: table, Inserted: hs}
+}
+
+func delOp(table string, pairs ...any) *exec.OpResult {
+	res := &exec.OpResult{Table: table}
+	for i := 0; i < len(pairs); i += 2 {
+		res.Deleted = append(res.Deleted, exec.DeletedTuple{
+			Handle: pairs[i].(storage.Handle),
+			OldRow: pairs[i+1].(storage.Row),
+		})
+	}
+	return res
+}
+
+func updOp(table string, h storage.Handle, old storage.Row, cols ...int) *exec.OpResult {
+	return &exec.OpResult{Table: table, Updated: []exec.UpdatedTuple{{Handle: h, OldRow: old, Cols: cols}}}
+}
+
+func row(vals ...int64) storage.Row {
+	r := make(storage.Row, len(vals))
+	for i, v := range vals {
+		r[i] = value.NewInt(v)
+	}
+	return r
+}
+
+func TestEffectNetInsertDelete(t *testing.T) {
+	// Insert then delete within one transition: net effect is nothing
+	// (paper §2.2: "an insertion followed by a deletion is not considered
+	// at all").
+	e := NewEffect()
+	e.AddOp(insOp("t", 1))
+	e.AddOp(delOp("t", storage.Handle(1), row(9)))
+	if !e.IsEmpty() {
+		t.Errorf("insert+delete should vanish: %v", e)
+	}
+}
+
+func TestEffectNetInsertUpdate(t *testing.T) {
+	// Insert then update: "an insertion followed by an update is
+	// considered as an insertion of the updated tuple".
+	e := NewEffect()
+	e.AddOp(insOp("t", 1))
+	e.AddOp(updOp("t", 1, row(1), 0))
+	if len(e.Ins) != 1 || len(e.Upd) != 0 || len(e.Del) != 0 {
+		t.Errorf("insert+update should be insert only: %v", e)
+	}
+}
+
+func TestEffectNetUpdateDelete(t *testing.T) {
+	// Update then delete: "if a tuple is updated by several operations and
+	// then deleted, we consider only the deletion" — and the recorded value
+	// is the pre-transition one (Figure 1 get-old-value).
+	e := NewEffect()
+	e.AddOp(updOp("t", 1, row(10), 0)) // old value 10
+	e.AddOp(updOp("t", 1, row(20), 0)) // old value 20 (ignored)
+	e.AddOp(delOp("t", storage.Handle(1), row(30)))
+	if len(e.Del) != 1 || len(e.Upd) != 0 {
+		t.Fatalf("update+delete should be delete only: %v", e)
+	}
+	if got := e.Del[1].OldRow[0].Int(); got != 10 {
+		t.Errorf("deleted value = %d, want pre-transition 10", got)
+	}
+}
+
+func TestEffectMultipleUpdatesCollapse(t *testing.T) {
+	// "multiple updates of a tuple are considered as a single update" with
+	// the old value from before the first update.
+	e := NewEffect()
+	e.AddOp(updOp("t", 1, row(10, 100), 0))
+	e.AddOp(updOp("t", 1, row(20, 100), 1)) // second update touches col 1
+	if len(e.Upd) != 1 {
+		t.Fatalf("updates did not collapse: %v", e)
+	}
+	u := e.Upd[1]
+	if !u.Cols[0] || !u.Cols[1] || len(u.Cols) != 2 {
+		t.Errorf("columns should union: %v", u.Cols)
+	}
+	if u.OldRow[0].Int() != 10 || u.OldRow[1].Int() != 100 {
+		t.Errorf("old row should be pre-transition: %v", u.OldRow)
+	}
+}
+
+func TestEffectDeleteThenInsertIsNotUpdate(t *testing.T) {
+	// "we never consider deletion of a tuple followed by insertion of a
+	// new tuple as an update" — distinct handles keep them separate.
+	e := NewEffect()
+	e.AddOp(delOp("t", storage.Handle(1), row(10)))
+	e.AddOp(insOp("t", 2))
+	if len(e.Del) != 1 || len(e.Ins) != 1 || len(e.Upd) != 0 {
+		t.Errorf("delete+insert must stay separate: %v", e)
+	}
+}
+
+func TestEffectDisjointnessAfterOps(t *testing.T) {
+	e := NewEffect()
+	e.AddOp(insOp("t", 1, 2, 3))
+	e.AddOp(updOp("t", 2, row(0), 0))
+	e.AddOp(delOp("t", storage.Handle(3), row(0)))
+	e.AddOp(updOp("t", 4, row(7), 0))
+	e.AddOp(delOp("t", storage.Handle(5), row(8)))
+	if err := e.SetEffect().CheckDisjoint(); err != nil {
+		t.Error(err)
+	}
+	if len(e.Ins) != 2 || len(e.Del) != 1 || len(e.Upd) != 1 {
+		t.Errorf("unexpected effect: %v", e)
+	}
+}
+
+func TestApplyMatchesPaperExample(t *testing.T) {
+	// Two transitions composed via Apply behave like Definition 2.1.
+	e1 := NewEffect()
+	e1.AddOp(insOp("t", 1))
+	e1.AddOp(updOp("t", 10, row(5), 0))
+
+	e2 := NewEffect()
+	e2.AddOp(delOp("t", storage.Handle(1), row(0)))  // deletes tuple inserted by e1
+	e2.AddOp(updOp("t", 10, row(6), 1))              // more columns on same tuple
+	e2.AddOp(delOp("t", storage.Handle(20), row(3))) // deletes pre-existing tuple
+	e2.AddOp(insOp("t", 2))
+
+	e1.Apply(e2)
+	if len(e1.Ins) != 1 || !hasHandle(e1.Ins, 2) {
+		t.Errorf("I: %v", e1.Ins)
+	}
+	if len(e1.Del) != 1 || e1.Del[20].OldRow[0].Int() != 3 {
+		t.Errorf("D: %v", e1.Del)
+	}
+	u := e1.Upd[10]
+	if len(e1.Upd) != 1 || !u.Cols[0] || !u.Cols[1] || u.OldRow[0].Int() != 5 {
+		t.Errorf("U: %v", e1.Upd)
+	}
+	if err := e1.SetEffect().CheckDisjoint(); err != nil {
+		t.Error(err)
+	}
+}
+
+func hasHandle(m map[storage.Handle]string, h storage.Handle) bool {
+	_, ok := m[h]
+	return ok
+}
+
+func TestApplyUpdateThenDeleteAcrossTransitions(t *testing.T) {
+	// Rule-visible semantics of Example-4-style cascades: tuple updated in
+	// T1, deleted in T2 → composite shows a deletion with the T1
+	// pre-update value.
+	e1 := NewEffect()
+	e1.AddOp(updOp("t", 7, row(100), 0))
+	e2 := NewEffect()
+	e2.AddOp(delOp("t", storage.Handle(7), row(150)))
+	e1.Apply(e2)
+	if len(e1.Upd) != 0 || len(e1.Del) != 1 {
+		t.Fatalf("composite: %v", e1)
+	}
+	if e1.Del[7].OldRow[0].Int() != 100 {
+		t.Errorf("old value = %v, want 100 (pre-transition)", e1.Del[7].OldRow[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := NewEffect()
+	e.AddOp(insOp("t", 1))
+	e.AddOp(updOp("t", 2, row(9), 0))
+	e.AddSelected("t", []storage.Handle{5})
+	c := e.Clone()
+	c.AddOp(delOp("t", storage.Handle(2), row(9)))
+	if len(e.Upd) != 1 {
+		t.Error("clone mutation leaked into original Upd")
+	}
+	c.Upd[99] = UpdEntry{Table: "t", Cols: map[int]bool{1: true}}
+	if _, ok := e.Upd[99]; ok {
+		t.Error("clone map shared")
+	}
+	if len(c.Sel) != 1 || c.Sel[5] != "t" {
+		t.Error("Sel not cloned")
+	}
+}
+
+func TestAddSelected(t *testing.T) {
+	e := NewEffect()
+	e.AddOp(insOp("t", 1))
+	e.AddSelected("t", []storage.Handle{1, 2, 3})
+	if len(e.Sel) != 2 {
+		t.Errorf("selection of own insert should be ignored: %v", e.Sel)
+	}
+	// Selected-then-deleted drops from S.
+	e.AddOp(delOp("t", storage.Handle(2), row(0)))
+	if _, ok := e.Sel[2]; ok {
+		t.Error("deleted tuple still in S")
+	}
+	if e.IsEmpty() {
+		t.Error("effect with selections is not empty")
+	}
+}
+
+// --- SetEffect algebra (Definition 2.1), experiment E3 ---
+
+func TestSetEffectComposeBasics(t *testing.T) {
+	mk := func(ins, del []storage.Handle, upd map[storage.Handle][]int) SetEffect {
+		e := NewSetEffect()
+		for _, h := range ins {
+			e.I[h] = true
+		}
+		for _, h := range del {
+			e.D[h] = true
+		}
+		for h, cols := range upd {
+			m := map[int]bool{}
+			for _, c := range cols {
+				m[c] = true
+			}
+			e.U[h] = m
+		}
+		return e
+	}
+	e1 := mk([]storage.Handle{1}, nil, map[storage.Handle][]int{10: {0}})
+	e2 := mk([]storage.Handle{2}, []storage.Handle{1, 10}, nil)
+	c := e1.Compose(e2)
+	// I = ({1} ∪ {2}) − {1,10} = {2}
+	if len(c.I) != 1 || !c.I[2] {
+		t.Errorf("I = %v", c.I)
+	}
+	// D = (∅ ∪ {1,10}) − {1} = {10}
+	if len(c.D) != 1 || !c.D[10] {
+		t.Errorf("D = %v", c.D)
+	}
+	// U = {10:{0}} − ({1,10} ∪ {1}) = ∅
+	if len(c.U) != 0 {
+		t.Errorf("U = %v", c.U)
+	}
+	if err := c.CheckDisjoint(); err != nil {
+		t.Error(err)
+	}
+}
+
+// opStream simulates a random but *realistic* stream of operations over a
+// handle universe: handles are unique, only live tuples are deleted or
+// updated. This matches the paper's model, under which Definition 2.1
+// composition is associative.
+type opStream struct {
+	rng  *rand.Rand
+	next storage.Handle
+	live []storage.Handle
+}
+
+// step produces one random operation as a singleton SetEffect and the
+// corresponding OpResult.
+func (s *opStream) step() (SetEffect, *exec.OpResult) {
+	e := NewSetEffect()
+	roll := s.rng.Intn(3)
+	if len(s.live) == 0 {
+		roll = 0
+	}
+	switch roll {
+	case 0: // insert
+		s.next++
+		h := s.next
+		s.live = append(s.live, h)
+		e.I[h] = true
+		return e, insOp("t", h)
+	case 1: // delete
+		i := s.rng.Intn(len(s.live))
+		h := s.live[i]
+		s.live = append(s.live[:i], s.live[i+1:]...)
+		e.D[h] = true
+		return e, delOp("t", h, row(int64(h)))
+	default: // update
+		h := s.live[s.rng.Intn(len(s.live))]
+		col := s.rng.Intn(3)
+		e.U[h] = map[int]bool{col: true}
+		return e, updOp("t", h, row(int64(h), 0, 0), col)
+	}
+}
+
+func TestComposeAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		s := &opStream{rng: rng}
+		// Three groups of ops → three composed effects.
+		var parts [3]SetEffect
+		for g := 0; g < 3; g++ {
+			eff := NewSetEffect()
+			for k := 0; k < 1+rng.Intn(6); k++ {
+				op, _ := s.step()
+				eff = eff.Compose(op)
+			}
+			parts[g] = eff
+		}
+		left := parts[0].Compose(parts[1]).Compose(parts[2])
+		right := parts[0].Compose(parts[1].Compose(parts[2]))
+		if !left.Equal(right) {
+			t.Fatalf("trial %d: associativity violated:\nleft  I=%v D=%v U=%v\nright I=%v D=%v U=%v",
+				trial, left.I, left.D, left.U, right.I, right.D, right.U)
+		}
+		if err := left.CheckDisjoint(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestComposeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := &opStream{rng: rng}
+	eff := NewSetEffect()
+	for k := 0; k < 10; k++ {
+		op, _ := s.step()
+		eff = eff.Compose(op)
+	}
+	empty := NewSetEffect()
+	if !eff.Compose(empty).Equal(eff) || !empty.Compose(eff).Equal(eff) {
+		t.Error("empty effect is not an identity")
+	}
+}
+
+// Property (experiment E4 core): the value-carrying Effect built
+// incrementally with AddOp projects to exactly the SetEffect obtained by
+// folding per-op effects with Definition 2.1.
+func TestAddOpMatchesComposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		s := &opStream{rng: rng}
+		folded := NewSetEffect()
+		incremental := NewEffect()
+		for k := 0; k < 2+rng.Intn(40); k++ {
+			opSet, opRes := s.step()
+			folded = folded.Compose(opSet)
+			incremental.AddOp(opRes)
+		}
+		if !incremental.SetEffect().Equal(folded) {
+			t.Fatalf("trial %d: AddOp diverged from Definition 2.1:\nincr: %v\nfold: I=%v D=%v U=%v",
+				trial, incremental, folded.I, folded.D, folded.U)
+		}
+	}
+}
+
+// Property: Apply (cross-transition maintenance) agrees with Definition 2.1
+// composition of the projected sets.
+func TestApplyMatchesComposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 200; trial++ {
+		s := &opStream{rng: rng}
+		mkEffect := func(nOps int) *Effect {
+			e := NewEffect()
+			for k := 0; k < nOps; k++ {
+				_, opRes := s.step()
+				e.AddOp(opRes)
+			}
+			return e
+		}
+		e1 := mkEffect(1 + rng.Intn(10))
+		e2 := mkEffect(1 + rng.Intn(10))
+		want := e1.SetEffect().Compose(e2.SetEffect())
+		e1.Apply(e2)
+		if !e1.SetEffect().Equal(want) {
+			t.Fatalf("trial %d: Apply diverged from Definition 2.1", trial)
+		}
+		if err := e1.SetEffect().CheckDisjoint(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSetEffectCloneEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := &opStream{rng: rng}
+	eff := NewSetEffect()
+	for k := 0; k < 20; k++ {
+		op, _ := s.step()
+		eff = eff.Compose(op)
+	}
+	c := eff.Clone()
+	if !c.Equal(eff) {
+		t.Error("clone not equal")
+	}
+	c.I[9999] = true
+	if c.Equal(eff) {
+		t.Error("Equal missed difference in I")
+	}
+	if eff.I[9999] {
+		t.Error("clone shares I map")
+	}
+}
+
+func TestEffectString(t *testing.T) {
+	e := NewEffect()
+	e.AddOp(insOp("t", 1))
+	if got := e.String(); got != "[I:1 D:0 U:0 S:0]" {
+		t.Errorf("String = %q", got)
+	}
+}

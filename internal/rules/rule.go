@@ -1,0 +1,351 @@
+package rules
+
+import (
+	"fmt"
+
+	"sopr/internal/catalog"
+	"sopr/internal/sqlast"
+)
+
+// TriggerScope selects which composite transition a rule is evaluated
+// against (Section 4.2 and footnote 8 of the paper).
+type TriggerScope int
+
+const (
+	// ScopeSinceAction — the paper's semantics: the composite effect since
+	// the state in which the rule's action was last executed (or the state
+	// preceding the initial externally-generated transition).
+	ScopeSinceAction TriggerScope = iota
+	// ScopeSinceConsidered — footnote 8 alternative: since the rule was
+	// last chosen for consideration, whether or not its action ran.
+	ScopeSinceConsidered
+	// ScopeSinceTriggered — the [WF89b] alternative: since the state
+	// preceding the most recent triggering of the rule.
+	ScopeSinceTriggered
+)
+
+// String names the scope.
+func (s TriggerScope) String() string {
+	switch s {
+	case ScopeSinceAction:
+		return "since-action"
+	case ScopeSinceConsidered:
+		return "since-considered"
+	case ScopeSinceTriggered:
+		return "since-triggered"
+	default:
+		return fmt.Sprintf("TriggerScope(%d)", int(s))
+	}
+}
+
+// Rule is one defined production rule (Section 3):
+//
+//	create rule Name when Preds [if Condition] then Action
+type Rule struct {
+	Name      string
+	Preds     []sqlast.TransPred
+	Condition sqlast.Expr // nil means IF TRUE
+	Action    sqlast.RuleAction
+	Active    bool
+	Scope     TriggerScope
+
+	// TransInfo is the rule's composite transition information, maintained
+	// by the engine per Figure 1 (init-trans-info / modify-trans-info).
+	TransInfo *Effect
+	// LastConsidered is a monotone sequence number stamped when the rule
+	// was last chosen for consideration; used by recency tie-breaks.
+	LastConsidered int64
+	// PredTables caches the tables named in Preds. When set, the engine
+	// restricts the rule's transition information to these tables — the
+	// optimization Figure 1's discussion calls out ("we need only save the
+	// subset of that information relevant to the particular rule"), sound
+	// because Section 3 restricts transition-table references to the
+	// rule's own predicates.
+	PredTables map[string]bool
+}
+
+// Keep reports whether transition information about the given table is
+// relevant to the rule. A nil PredTables keeps everything.
+func (r *Rule) Keep(table string) bool {
+	return r.PredTables == nil || r.PredTables[table]
+}
+
+// Triggered implements the triggering test of Section 3: the rule's
+// transition predicate (a disjunction of basic predicates) holds with
+// respect to the composite effect in TransInfo. The catalog maps predicate
+// column names to indexes.
+func (r *Rule) Triggered(cat *catalog.Catalog) (bool, error) {
+	if r.TransInfo == nil {
+		return false, nil
+	}
+	return EffectSatisfies(r.TransInfo, r.Preds, cat)
+}
+
+// EffectSatisfies reports whether the effect satisfies any of the basic
+// transition predicates.
+func EffectSatisfies(e *Effect, preds []sqlast.TransPred, cat *catalog.Catalog) (bool, error) {
+	for _, p := range preds {
+		ok, err := effectSatisfiesOne(e, p, cat)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func effectSatisfiesOne(e *Effect, p sqlast.TransPred, cat *catalog.Catalog) (bool, error) {
+	switch p.Op {
+	case sqlast.PredInserted:
+		for _, t := range e.Ins {
+			if t == p.Table {
+				return true, nil
+			}
+		}
+		return false, nil
+	case sqlast.PredDeleted:
+		for _, d := range e.Del {
+			if d.Table == p.Table {
+				return true, nil
+			}
+		}
+		return false, nil
+	case sqlast.PredUpdated:
+		colIdx := -1
+		if p.Column != "" {
+			schema, err := cat.Lookup(p.Table)
+			if err != nil {
+				return false, err
+			}
+			colIdx = schema.ColumnIndex(p.Column)
+			if colIdx < 0 {
+				return false, fmt.Errorf("rules: table %q has no column %q", p.Table, p.Column)
+			}
+		}
+		for _, u := range e.Upd {
+			if u.Table != p.Table {
+				continue
+			}
+			if colIdx < 0 || u.Cols[colIdx] {
+				return true, nil
+			}
+		}
+		return false, nil
+	case sqlast.PredSelected:
+		// Column-level select predicates degrade to table level: the S
+		// component records whole tuples (Section 5.1 leaves the
+		// column granularity open).
+		for _, t := range e.Sel {
+			if t == p.Table {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("rules: unknown transition predicate op %d", int(p.Op))
+	}
+}
+
+// ValidateRule checks the static restrictions of Section 3: the rule's
+// condition and action may reference only transition tables corresponding
+// to the rule's own basic transition predicates, over known tables and
+// columns. ("This restriction is syntactic, however, therefore easily
+// checked.")
+func ValidateRule(r *sqlast.CreateRule, cat *catalog.Catalog) error {
+	for _, p := range r.Preds {
+		schema, err := cat.Lookup(p.Table)
+		if err != nil {
+			return fmt.Errorf("rules: rule %q: %v", r.Name, err)
+		}
+		if p.Column != "" && !schema.HasColumn(p.Column) {
+			return fmt.Errorf("rules: rule %q: table %q has no column %q", r.Name, p.Table, p.Column)
+		}
+	}
+	check := func(tr *sqlast.TableRef) error {
+		if tr.Trans == sqlast.TransNone {
+			return nil
+		}
+		for _, p := range r.Preds {
+			if transMatchesPred(tr, p) {
+				return nil
+			}
+		}
+		return fmt.Errorf("rules: rule %q references transition table %q with no corresponding transition predicate",
+			r.Name, tr.String())
+	}
+	if err := walkExprTableRefs(r.Condition, check); err != nil {
+		return err
+	}
+	for _, op := range r.Action.Block {
+		if err := walkStmtTableRefs(op, check); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// transMatchesPred reports whether a transition-table reference is licensed
+// by a basic transition predicate. Per Section 3, `updated t.c` licenses
+// old/new updated t.c; `updated t` licenses old/new updated t (the
+// whole-table form). We additionally allow the whole-table transition table
+// under a column predicate and vice versa only when exact: the paper pairs
+// each predicate with its own transition tables, so we require table match
+// and, for updated forms, column match.
+func transMatchesPred(tr *sqlast.TableRef, p sqlast.TransPred) bool {
+	if tr.Table != p.Table {
+		return false
+	}
+	switch tr.Trans {
+	case sqlast.TransInserted:
+		return p.Op == sqlast.PredInserted
+	case sqlast.TransDeleted:
+		return p.Op == sqlast.PredDeleted
+	case sqlast.TransOldUpdated, sqlast.TransNewUpdated:
+		return p.Op == sqlast.PredUpdated && tr.Column == p.Column
+	case sqlast.TransSelected:
+		return p.Op == sqlast.PredSelected && (tr.Column == p.Column || tr.Column == "")
+	default:
+		return false
+	}
+}
+
+// walkExprTableRefs visits every transition-capable table reference in the
+// FROM lists of subqueries embedded in an expression.
+func walkExprTableRefs(e sqlast.Expr, fn func(*sqlast.TableRef) error) error {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *sqlast.Unary:
+		return walkExprTableRefs(x.X, fn)
+	case *sqlast.Binary:
+		if err := walkExprTableRefs(x.L, fn); err != nil {
+			return err
+		}
+		return walkExprTableRefs(x.R, fn)
+	case *sqlast.IsNull:
+		return walkExprTableRefs(x.X, fn)
+	case *sqlast.Between:
+		if err := walkExprTableRefs(x.X, fn); err != nil {
+			return err
+		}
+		if err := walkExprTableRefs(x.Lo, fn); err != nil {
+			return err
+		}
+		return walkExprTableRefs(x.Hi, fn)
+	case *sqlast.Like:
+		if err := walkExprTableRefs(x.X, fn); err != nil {
+			return err
+		}
+		return walkExprTableRefs(x.Pattern, fn)
+	case *sqlast.InList:
+		if err := walkExprTableRefs(x.X, fn); err != nil {
+			return err
+		}
+		for _, el := range x.List {
+			if err := walkExprTableRefs(el, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *sqlast.InSelect:
+		if err := walkExprTableRefs(x.X, fn); err != nil {
+			return err
+		}
+		return walkSelectTableRefs(x.Sub, fn)
+	case *sqlast.Exists:
+		return walkSelectTableRefs(x.Sub, fn)
+	case *sqlast.ScalarSub:
+		return walkSelectTableRefs(x.Sub, fn)
+	case *sqlast.SubCompare:
+		if err := walkExprTableRefs(x.X, fn); err != nil {
+			return err
+		}
+		return walkSelectTableRefs(x.Sub, fn)
+	case *sqlast.FuncCall:
+		for _, a := range x.Args {
+			if err := walkExprTableRefs(a, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *sqlast.Case:
+		if err := walkExprTableRefs(x.Operand, fn); err != nil {
+			return err
+		}
+		for _, w := range x.Whens {
+			if err := walkExprTableRefs(w.Cond, fn); err != nil {
+				return err
+			}
+			if err := walkExprTableRefs(w.Result, fn); err != nil {
+				return err
+			}
+		}
+		return walkExprTableRefs(x.Else, fn)
+	default:
+		return nil
+	}
+}
+
+func walkSelectTableRefs(sel *sqlast.Select, fn func(*sqlast.TableRef) error) error {
+	if sel == nil {
+		return nil
+	}
+	for _, tr := range sel.From {
+		if err := fn(tr); err != nil {
+			return err
+		}
+	}
+	for _, it := range sel.Items {
+		if err := walkExprTableRefs(it.Expr, fn); err != nil {
+			return err
+		}
+	}
+	if err := walkExprTableRefs(sel.Where, fn); err != nil {
+		return err
+	}
+	for _, g := range sel.GroupBy {
+		if err := walkExprTableRefs(g, fn); err != nil {
+			return err
+		}
+	}
+	if err := walkExprTableRefs(sel.Having, fn); err != nil {
+		return err
+	}
+	for _, o := range sel.OrderBy {
+		if err := walkExprTableRefs(o.Expr, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walkStmtTableRefs visits transition-table references within a DML
+// statement (action operation).
+func walkStmtTableRefs(st sqlast.Statement, fn func(*sqlast.TableRef) error) error {
+	switch s := st.(type) {
+	case *sqlast.Insert:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				if err := walkExprTableRefs(e, fn); err != nil {
+					return err
+				}
+			}
+		}
+		return walkSelectTableRefs(s.Query, fn)
+	case *sqlast.Delete:
+		return walkExprTableRefs(s.Where, fn)
+	case *sqlast.Update:
+		for _, a := range s.Set {
+			if err := walkExprTableRefs(a.Expr, fn); err != nil {
+				return err
+			}
+		}
+		return walkExprTableRefs(s.Where, fn)
+	case *sqlast.Select:
+		return walkSelectTableRefs(s, fn)
+	default:
+		return nil
+	}
+}

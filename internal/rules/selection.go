@@ -1,0 +1,165 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Strategy selects among the rule-selection policies of Section 4.4. All
+// strategies first restrict to rules that are maximal in the priority
+// partial order ("a rule is chosen such that no other triggered rule is
+// strictly higher in the ordering"); they differ in the tie-break.
+type Strategy int
+
+const (
+	// StrategyLeastRecent prefers the rule considered least recently
+	// (first-definition order initially). This is the default: it is
+	// deterministic and gives starvation-free round-robin behavior among
+	// equal-priority rules.
+	StrategyLeastRecent Strategy = iota
+	// StrategyMostRecent prefers the rule considered most recently
+	// (depth-first cascades).
+	StrategyMostRecent
+	// StrategyNameOrder breaks ties by rule name (fully static order).
+	StrategyNameOrder
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyLeastRecent:
+		return "least-recently-considered"
+	case StrategyMostRecent:
+		return "most-recently-considered"
+	case StrategyNameOrder:
+		return "name-order"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Selector maintains the user-declared priority partial order
+// (`create rule priority r1 before r2`, Section 4.4) and chooses among
+// triggered rules.
+type Selector struct {
+	Strategy Strategy
+	// higher[a][b] records a declared edge: a has priority over b.
+	higher map[string]map[string]bool
+}
+
+// NewSelector returns a selector with no priority edges and the default
+// strategy.
+func NewSelector() *Selector {
+	return &Selector{higher: make(map[string]map[string]bool)}
+}
+
+// AddPriority declares that rule before has higher priority than rule
+// after. It fails if the edge would create a cycle ("any acyclic group of
+// such pairings induces a partial order").
+func (s *Selector) AddPriority(before, after string) error {
+	if before == after {
+		return fmt.Errorf("rules: priority of %q over itself", before)
+	}
+	if s.reachable(after, before) {
+		return fmt.Errorf("rules: priority %q before %q would create a cycle", before, after)
+	}
+	m, ok := s.higher[before]
+	if !ok {
+		m = make(map[string]bool)
+		s.higher[before] = m
+	}
+	m[after] = true
+	return nil
+}
+
+// Edges returns the declared priority pairs [before, after], sorted.
+func (s *Selector) Edges() [][2]string {
+	var out [][2]string
+	for before, afters := range s.higher {
+		for after := range afters {
+			out = append(out, [2]string{before, after})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// DropRule removes all priority edges involving the named rule.
+func (s *Selector) DropRule(name string) {
+	delete(s.higher, name)
+	for _, m := range s.higher {
+		delete(m, name)
+	}
+}
+
+// Higher reports whether rule a is strictly higher than rule b in the
+// transitive closure of the declared pairings.
+func (s *Selector) Higher(a, b string) bool { return s.reachable(a, b) }
+
+// reachable performs a DFS over declared edges.
+func (s *Selector) reachable(from, to string) bool {
+	if from == to {
+		return false
+	}
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := range s.higher[n] {
+			if m == to {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+// Select returns one rule from the triggered set such that no other rule in
+// the set is strictly higher in the priority order, breaking ties by the
+// configured strategy. It returns nil for an empty set.
+func (s *Selector) Select(triggered []*Rule) *Rule {
+	if len(triggered) == 0 {
+		return nil
+	}
+	// Maximal elements of the partial order.
+	var maximal []*Rule
+	for _, r := range triggered {
+		dominated := false
+		for _, q := range triggered {
+			if q != r && s.Higher(q.Name, r.Name) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			maximal = append(maximal, r)
+		}
+	}
+	sort.Slice(maximal, func(i, j int) bool {
+		a, b := maximal[i], maximal[j]
+		switch s.Strategy {
+		case StrategyMostRecent:
+			if a.LastConsidered != b.LastConsidered {
+				return a.LastConsidered > b.LastConsidered
+			}
+		case StrategyNameOrder:
+			// fall through to the name tie-break below
+		default: // StrategyLeastRecent
+			if a.LastConsidered != b.LastConsidered {
+				return a.LastConsidered < b.LastConsidered
+			}
+		}
+		return a.Name < b.Name
+	})
+	return maximal[0]
+}

@@ -1,0 +1,112 @@
+package rules
+
+import (
+	"fmt"
+
+	"sopr/internal/exec"
+	"sopr/internal/sqlast"
+	"sopr/internal/storage"
+)
+
+// TransSource materializes a rule's transition tables from its composite
+// transition information, per Section 3 of the paper:
+//
+//   - `inserted t` — the tuples of t in the *current* state that were
+//     inserted by the (composite) transition;
+//   - `deleted t` — the tuples of t in the *previous* state (the state the
+//     composite transition started from) that were deleted;
+//   - `old updated t[.c]` — the previous values of updated tuples;
+//   - `new updated t[.c]` — the current values of the same tuples;
+//   - `selected t[.c]` — tuples read, when Section 5.1 is enabled.
+//
+// It implements exec.TransTableSource. Rows are produced in ascending
+// handle order for deterministic query results.
+type TransSource struct {
+	Store  *storage.Store
+	Effect *Effect
+}
+
+var _ exec.TransTableSource = (*TransSource)(nil)
+
+// TransRows implements exec.TransTableSource.
+func (ts *TransSource) TransRows(kind sqlast.TransKind, table, column string) ([]exec.TransRow, error) {
+	if ts.Effect == nil {
+		return nil, nil
+	}
+	colIdx := -1
+	if column != "" {
+		schema, err := ts.Store.Catalog().Lookup(table)
+		if err != nil {
+			return nil, err
+		}
+		colIdx = schema.ColumnIndex(column)
+		if colIdx < 0 {
+			return nil, fmt.Errorf("rules: table %q has no column %q", table, column)
+		}
+	}
+	switch kind {
+	case sqlast.TransInserted:
+		var out []exec.TransRow
+		for _, h := range sortedHandles(ts.Effect.Ins) {
+			if ts.Effect.Ins[h] != table {
+				continue
+			}
+			tup, ok := ts.Store.Get(h)
+			if !ok {
+				return nil, fmt.Errorf("rules: inserted tuple %d vanished (internal error)", h)
+			}
+			out = append(out, exec.TransRow{Handle: h, Values: tup.Values})
+		}
+		return out, nil
+
+	case sqlast.TransDeleted:
+		var out []exec.TransRow
+		for _, h := range sortedHandles(ts.Effect.Del) {
+			d := ts.Effect.Del[h]
+			if d.Table != table {
+				continue
+			}
+			out = append(out, exec.TransRow{Handle: h, Values: d.OldRow})
+		}
+		return out, nil
+
+	case sqlast.TransOldUpdated, sqlast.TransNewUpdated:
+		var out []exec.TransRow
+		for _, h := range sortedHandles(ts.Effect.Upd) {
+			u := ts.Effect.Upd[h]
+			if u.Table != table {
+				continue
+			}
+			if colIdx >= 0 && !u.Cols[colIdx] {
+				continue
+			}
+			if kind == sqlast.TransOldUpdated {
+				out = append(out, exec.TransRow{Handle: h, Values: u.OldRow})
+				continue
+			}
+			tup, ok := ts.Store.Get(h)
+			if !ok {
+				return nil, fmt.Errorf("rules: updated tuple %d vanished (internal error)", h)
+			}
+			out = append(out, exec.TransRow{Handle: h, Values: tup.Values})
+		}
+		return out, nil
+
+	case sqlast.TransSelected:
+		var out []exec.TransRow
+		for _, h := range sortedHandles(ts.Effect.Sel) {
+			if ts.Effect.Sel[h] != table {
+				continue
+			}
+			tup, ok := ts.Store.Get(h)
+			if !ok {
+				continue // selected tuple later deleted by an external block
+			}
+			out = append(out, exec.TransRow{Handle: h, Values: tup.Values})
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("rules: not a transition table kind: %d", int(kind))
+	}
+}

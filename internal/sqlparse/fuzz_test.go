@@ -1,0 +1,61 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// FuzzParseStatements checks that the parser never panics and that anything
+// it accepts round-trips through the printer (parse → print → parse →
+// print is a fixed point).
+func FuzzParseStatements(f *testing.F) {
+	for _, seed := range []string{
+		`select * from t`,
+		`select distinct a, b + 1 as c from t, u x where a in (1,2) and exists (select * from v) group by a having count(*) > 1 order by a desc`,
+		`insert into t (a, b) values (1, 2.5), ('x''y', null)`,
+		`insert into t (select a from u)`,
+		`update t set a = -b / 2 where a between 1 and 9 or c like 'a%'`,
+		`delete from t where a = any (select b from u)`,
+		`create table t (a int not null, b varchar(20), c boolean)`,
+		`create rule r scope since triggered when inserted into t or updated t.c if (select sum(a) from inserted t) > 0 then delete from t; update t set a = 1 end`,
+		`create rule priority a before b; drop rule a; activate rule b; process rules`,
+		`select sum(salary) from new updated emp.salary o, old updated emp n`,
+		`-- comment
+		 select 1`,
+		`select 'unterminated`,
+		`select 1e9, 1.5e-3, 999999999999999999999999`,
+		`create rule r when deleted from t then rollback`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := ParseStatements(src)
+		if err != nil {
+			return
+		}
+		for _, st := range stmts {
+			printed := st.String()
+			st2, err := ParseStatement(printed)
+			if err != nil {
+				t.Fatalf("printed form does not re-parse: %q → %q: %v", src, printed, err)
+			}
+			if printed2 := st2.String(); printed2 != printed {
+				t.Fatalf("printer not a fixed point: %q vs %q", printed, printed2)
+			}
+		}
+	})
+}
+
+// FuzzLex checks the lexer in isolation.
+func FuzzLex(f *testing.F) {
+	f.Add("select * from t where a = 'x''y' -- c")
+	f.Add("1.5e+ !! <> <= >= ! '")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatal("token stream must end with EOF")
+		}
+	})
+}

@@ -1,0 +1,212 @@
+// Package sqlparse contains the hand-written lexer and recursive-descent
+// parser for the paper's SQL dialect, producing sqlast trees.
+//
+// Keywords are recognized case-insensitively and contextually: the lexer
+// emits plain identifier tokens and the parser matches keyword spellings,
+// so non-reserved words (e.g. a column named "name") never clash.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // operators and punctuation: ( ) , ; . = <> < <= > >= + - * / %
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers lowercased; numbers/strings verbatim payload
+	pos  int    // byte offset in the input, for error messages
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexError reports a lexical error with position context. line and col are
+// filled in by lex before returning.
+type lexError struct {
+	pos       int
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("syntax error at line %d, column %d: %s", e.line, e.col, e.msg)
+}
+
+// position converts a byte offset into 1-based line and column numbers.
+func position(src string, off int) (line, col int) {
+	line, col = 1, 1
+	if off > len(src) {
+		off = len(src)
+	}
+	for i := 0; i < off; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// lex tokenizes src. String literals use single quotes with ” escaping.
+// Comments: -- to end of line.
+func lex(src string) ([]token, error) {
+	mkErr := func(pos int, msg string) error {
+		line, col := position(src, pos)
+		return &lexError{pos: pos, line: line, col: col, msg: msg}
+	}
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c < utf8.RuneSelf && isIdentStart(rune(c)):
+			start := i
+			for i < n {
+				r, size := utf8.DecodeRuneInString(src[i:])
+				if r == utf8.RuneError && size == 1 {
+					return nil, mkErr(i, "invalid UTF-8 byte")
+				}
+				if !isIdentPart(r) {
+					break
+				}
+				i += size
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(src[start:i]), start})
+		case c >= utf8.RuneSelf:
+			r, size := utf8.DecodeRuneInString(src[i:])
+			if r == utf8.RuneError && size == 1 {
+				return nil, mkErr(i, "invalid UTF-8 byte")
+			}
+			if !isIdentStart(r) {
+				return nil, mkErr(i, fmt.Sprintf("unexpected character %q", r))
+			}
+			start := i
+			i += size
+			for i < n {
+				r, size := utf8.DecodeRuneInString(src[i:])
+				if r == utf8.RuneError && size == 1 {
+					return nil, mkErr(i, "invalid UTF-8 byte")
+				}
+				if !isIdentPart(r) {
+					break
+				}
+				i += size
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(src[start:i]), start})
+		case c >= '0' && c <= '9':
+			start := i
+			seenDot := false
+			for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' && !seenDot && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9') {
+				if src[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			// Exponent part.
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < n && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < n && src[j] >= '0' && src[j] <= '9' {
+					i = j
+					for i < n && src[i] >= '0' && src[i] <= '9' {
+						i++
+					}
+				}
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, mkErr(start, "unterminated string literal")
+			}
+			toks = append(toks, token{tokString, b.String(), start})
+		case c == '<':
+			if i+1 < n && (src[i+1] == '=' || src[i+1] == '>') {
+				toks = append(toks, token{tokOp, src[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "<>", i}) // normalize != to <>
+				i += 2
+			} else {
+				return nil, mkErr(i, "unexpected '!'")
+			}
+		case strings.ContainsRune("(),;.=+-*/%", rune(c)):
+			toks = append(toks, token{tokOp, string(c), i})
+			i++
+		default:
+			return nil, mkErr(i, fmt.Sprintf("unexpected character %q", c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,397 @@
+// Package storage implements the in-memory relational storage engine
+// underneath the rule system: heap tables holding multisets of tuples,
+// system tuple handles, and an undo log providing transaction rollback.
+//
+// Following the paper (Section 2), every tuple carries a "system tuple
+// handle — a distinct, non-reusable value identifying the tuple and its
+// containing table". Handles are allocated from a monotonically increasing
+// counter and are never reused, even across rolled-back transactions.
+// Duplicate tuples may appear in a table; each occupies its own handle.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"sopr/internal/catalog"
+	"sopr/internal/value"
+)
+
+// Handle is a system tuple handle (Section 2 of the paper): a distinct,
+// non-reusable identifier for a tuple and its containing table. Handle 0 is
+// never allocated and means "no tuple".
+type Handle uint64
+
+// Row is a tuple's column values, in schema order. Rows handed out by the
+// store are snapshots; callers must not mutate them.
+type Row []value.Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// Equal reports value-wise equality (NULL equal to NULL).
+func (r Row) Equal(s Row) bool {
+	if len(r) != len(s) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the row as (v1, v2, ...).
+func (r Row) String() string {
+	out := "("
+	for i, v := range r {
+		if i > 0 {
+			out += ", "
+		}
+		out += v.String()
+	}
+	return out + ")"
+}
+
+// Tuple is a stored tuple: its handle, containing table, and current values.
+type Tuple struct {
+	Handle Handle
+	Table  string
+	Values Row
+}
+
+// tableData is the physical representation of one table: a slice of tuples
+// (duplicates allowed) plus a handle index. Deletion swaps with the last
+// element, so scan order is deterministic for a given operation history but
+// not insertion-ordered.
+type tableData struct {
+	schema *catalog.Table
+	rows   []*Tuple
+	index  map[Handle]int
+}
+
+// undoKind discriminates undo-log records.
+type undoKind int
+
+const (
+	undoInsert undoKind = iota // compensate by deleting the handle
+	undoDelete                 // compensate by re-inserting the tuple
+	undoUpdate                 // compensate by restoring old values
+)
+
+type undoRec struct {
+	kind   undoKind
+	handle Handle
+	table  string
+	oldRow Row // for undoDelete (full tuple) and undoUpdate (pre-image)
+}
+
+// Store is the storage engine. It is not safe for concurrent use; the
+// paper's model of system execution is a single stream of operation blocks
+// with concurrency "transparent" below the abstraction (Section 2.1).
+type Store struct {
+	cat    *catalog.Catalog
+	next   Handle
+	tables map[string]*tableData
+	undo   []undoRec
+	inTxn  bool
+}
+
+// New returns an empty store with its own catalog.
+func New() *Store {
+	return &Store{
+		cat:    catalog.New(),
+		tables: make(map[string]*tableData),
+	}
+}
+
+// Catalog returns the store's schema catalog.
+func (s *Store) Catalog() *catalog.Catalog { return s.cat }
+
+// CreateTable registers a new table. DDL is not undoable and is rejected
+// inside a transaction.
+func (s *Store) CreateTable(t *catalog.Table) error {
+	if s.inTxn {
+		return fmt.Errorf("storage: CREATE TABLE inside a transaction is not supported")
+	}
+	if err := s.cat.Create(t); err != nil {
+		return err
+	}
+	s.tables[t.Name] = &tableData{schema: t, index: make(map[Handle]int)}
+	return nil
+}
+
+// DropTable removes a table and all its tuples. Not undoable.
+func (s *Store) DropTable(name string) error {
+	if s.inTxn {
+		return fmt.Errorf("storage: DROP TABLE inside a transaction is not supported")
+	}
+	if err := s.cat.Drop(name); err != nil {
+		return err
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+func (s *Store) table(name string) (*tableData, error) {
+	td, ok := s.tables[name]
+	if !ok {
+		// The catalog normalizes case; retry via catalog lookup.
+		t, err := s.cat.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		td, ok = s.tables[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("storage: table %q has no data (internal error)", name)
+		}
+	}
+	return td, nil
+}
+
+// Begin starts a transaction. Nested transactions are not supported: the
+// paper's transaction is one external operation block plus its
+// rule-generated blocks, all undone together on rollback.
+func (s *Store) Begin() error {
+	if s.inTxn {
+		return fmt.Errorf("storage: transaction already in progress")
+	}
+	s.inTxn = true
+	s.undo = s.undo[:0]
+	return nil
+}
+
+// InTxn reports whether a transaction is open.
+func (s *Store) InTxn() bool { return s.inTxn }
+
+// Commit ends the transaction, discarding the undo log.
+func (s *Store) Commit() error {
+	if !s.inTxn {
+		return fmt.Errorf("storage: no transaction in progress")
+	}
+	s.inTxn = false
+	s.undo = s.undo[:0]
+	return nil
+}
+
+// Rollback undoes every change of the current transaction, in reverse
+// order, restoring the pre-transaction state. Handles allocated during the
+// transaction are not reused afterwards.
+func (s *Store) Rollback() error {
+	if !s.inTxn {
+		return fmt.Errorf("storage: no transaction in progress")
+	}
+	for i := len(s.undo) - 1; i >= 0; i-- {
+		rec := s.undo[i]
+		td := s.tables[rec.table]
+		switch rec.kind {
+		case undoInsert:
+			td.removeHandle(rec.handle)
+		case undoDelete:
+			td.insertTuple(&Tuple{Handle: rec.handle, Table: rec.table, Values: rec.oldRow})
+		case undoUpdate:
+			pos := td.index[rec.handle]
+			td.rows[pos].Values = rec.oldRow
+		}
+	}
+	s.inTxn = false
+	s.undo = s.undo[:0]
+	return nil
+}
+
+func (td *tableData) insertTuple(t *Tuple) {
+	td.index[t.Handle] = len(td.rows)
+	td.rows = append(td.rows, t)
+}
+
+func (td *tableData) removeHandle(h Handle) {
+	pos := td.index[h]
+	last := len(td.rows) - 1
+	if pos != last {
+		td.rows[pos] = td.rows[last]
+		td.index[td.rows[pos].Handle] = pos
+	}
+	td.rows = td.rows[:last]
+	delete(td.index, h)
+}
+
+// coerceRow validates and coerces a row against the table schema.
+func coerceRow(schema *catalog.Table, row Row) (Row, error) {
+	if len(row) != len(schema.Columns) {
+		return nil, fmt.Errorf("storage: table %q expects %d values, got %d",
+			schema.Name, len(schema.Columns), len(row))
+	}
+	out := make(Row, len(row))
+	for i, v := range row {
+		col := schema.Columns[i]
+		if v.IsNull() {
+			if col.NotNull {
+				return nil, fmt.Errorf("storage: NULL in NOT NULL column %s.%s", schema.Name, col.Name)
+			}
+			out[i] = v
+			continue
+		}
+		cv, err := value.Coerce(v, col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("storage: column %s.%s: %v", schema.Name, col.Name, err)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// Insert adds a tuple to the named table and returns its fresh handle.
+func (s *Store) Insert(table string, row Row) (Handle, error) {
+	td, err := s.table(table)
+	if err != nil {
+		return 0, err
+	}
+	vals, err := coerceRow(td.schema, row)
+	if err != nil {
+		return 0, err
+	}
+	s.next++
+	h := s.next
+	td.insertTuple(&Tuple{Handle: h, Table: td.schema.Name, Values: vals})
+	if s.inTxn {
+		s.undo = append(s.undo, undoRec{kind: undoInsert, handle: h, table: td.schema.Name})
+	}
+	return h, nil
+}
+
+// Delete removes the tuple with the given handle, returning its final
+// values. It fails if the handle does not identify a live tuple.
+func (s *Store) Delete(h Handle) (table string, old Row, err error) {
+	t, ok := s.find(h)
+	if !ok {
+		return "", nil, fmt.Errorf("storage: delete of unknown handle %d", h)
+	}
+	td := s.tables[t.Table]
+	old = t.Values
+	td.removeHandle(h)
+	if s.inTxn {
+		s.undo = append(s.undo, undoRec{kind: undoDelete, handle: h, table: t.Table, oldRow: old})
+	}
+	return t.Table, old, nil
+}
+
+// Update assigns new values to selected columns of the tuple with the given
+// handle and returns the pre-update row. Assignments are coerced against
+// the schema.
+func (s *Store) Update(h Handle, assign map[int]value.Value) (table string, old Row, err error) {
+	t, ok := s.find(h)
+	if !ok {
+		return "", nil, fmt.Errorf("storage: update of unknown handle %d", h)
+	}
+	td := s.tables[t.Table]
+	old = t.Values
+	next := old.Clone()
+	for idx, v := range assign {
+		if idx < 0 || idx >= len(next) {
+			return "", nil, fmt.Errorf("storage: column index %d out of range for table %q", idx, t.Table)
+		}
+		col := td.schema.Columns[idx]
+		if v.IsNull() {
+			if col.NotNull {
+				return "", nil, fmt.Errorf("storage: NULL in NOT NULL column %s.%s", t.Table, col.Name)
+			}
+			next[idx] = v
+			continue
+		}
+		cv, cerr := value.Coerce(v, col.Type)
+		if cerr != nil {
+			return "", nil, fmt.Errorf("storage: column %s.%s: %v", t.Table, col.Name, cerr)
+		}
+		next[idx] = cv
+	}
+	t.Values = next
+	if s.inTxn {
+		s.undo = append(s.undo, undoRec{kind: undoUpdate, handle: h, table: t.Table, oldRow: old})
+	}
+	return t.Table, old, nil
+}
+
+// find locates a live tuple by handle across all tables.
+func (s *Store) find(h Handle) (*Tuple, bool) {
+	for _, td := range s.tables {
+		if pos, ok := td.index[h]; ok {
+			return td.rows[pos], true
+		}
+	}
+	return nil, false
+}
+
+// Get returns the live tuple with the given handle.
+func (s *Store) Get(h Handle) (*Tuple, bool) { return s.find(h) }
+
+// Scan calls fn for every tuple of the named table, in the store's current
+// physical order. fn must not modify the table. A false return stops the
+// scan.
+func (s *Store) Scan(table string, fn func(*Tuple) bool) error {
+	td, err := s.table(table)
+	if err != nil {
+		return err
+	}
+	for _, t := range td.rows {
+		if !fn(t) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Count returns the number of tuples in the named table.
+func (s *Store) Count(table string) (int, error) {
+	td, err := s.table(table)
+	if err != nil {
+		return 0, err
+	}
+	return len(td.rows), nil
+}
+
+// Tuples returns the tuples of the named table sorted by handle — a
+// deterministic order used by tests and result printers.
+func (s *Store) Tuples(table string) ([]*Tuple, error) {
+	td, err := s.table(table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Tuple, len(td.rows))
+	copy(out, td.rows)
+	sort.Slice(out, func(i, j int) bool { return out[i].Handle < out[j].Handle })
+	return out, nil
+}
+
+// NextHandle reports the next handle that would be allocated. Used by
+// tests asserting non-reuse.
+func (s *Store) NextHandle() Handle { return s.next + 1 }
+
+// Clone deep-copies the store: catalog, data, and handle counter. The clone
+// has no open transaction. Clone exists for reference implementations and
+// benchmarks that need to recompute effects from a previous state.
+func (s *Store) Clone() *Store {
+	if s.inTxn {
+		panic("storage: Clone during open transaction")
+	}
+	c := New()
+	c.next = s.next
+	for _, name := range s.cat.Names() {
+		t, _ := s.cat.Lookup(name)
+		// Schemas are immutable; share them.
+		if err := c.cat.Create(t); err != nil {
+			panic(err)
+		}
+		src := s.tables[name]
+		dst := &tableData{schema: t, index: make(map[Handle]int, len(src.rows))}
+		for _, tup := range src.rows {
+			dst.insertTuple(&Tuple{Handle: tup.Handle, Table: tup.Table, Values: tup.Values.Clone()})
+		}
+		c.tables[name] = dst
+	}
+	return c
+}

@@ -1,0 +1,410 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindInt:    "INTEGER",
+		KindFloat:  "FLOAT",
+		KindString: "VARCHAR",
+		KindBool:   "BOOLEAN",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() || Null.Kind() != KindNull {
+		t.Fatal("Null is not NULL")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if v := NewInt(42); v.Int() != 42 || v.Kind() != KindInt {
+		t.Errorf("NewInt: got %v", v)
+	}
+	if v := NewFloat(2.5); v.Float() != 2.5 {
+		t.Errorf("NewFloat: got %v", v)
+	}
+	if v := NewString("hi"); v.Str() != "hi" {
+		t.Errorf("NewString: got %v", v)
+	}
+	if v := NewBool(true); !v.Bool() {
+		t.Errorf("NewBool: got %v", v)
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Int on string", func() { NewString("x").Int() }},
+		{"Float on int", func() { NewInt(1).Float() }},
+		{"Str on null", func() { Null.Str() }},
+		{"Bool on float", func() { NewFloat(1).Bool() }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			c.f()
+		})
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(3.5), "3.5"},
+		{NewString("it's"), "'it''s'"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Null, Null, true},
+		{Null, NewInt(0), false},
+		{NewInt(1), NewInt(1), true},
+		{NewInt(1), NewInt(2), false},
+		{NewInt(1), NewFloat(1.0), true}, // cross-kind numeric
+		{NewFloat(1.5), NewFloat(1.5), true},
+		{NewString("a"), NewString("a"), true},
+		{NewString("a"), NewString("b"), false},
+		{NewBool(true), NewBool(true), true},
+		{NewBool(true), NewBool(false), false},
+		{NewString("1"), NewInt(1), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("Equal not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{NewInt(1), NewInt(2), -1, true},
+		{NewInt(2), NewInt(1), 1, true},
+		{NewInt(2), NewInt(2), 0, true},
+		{NewInt(1), NewFloat(1.5), -1, true},
+		{NewFloat(2.5), NewInt(2), 1, true},
+		{NewString("abc"), NewString("abd"), -1, true},
+		{NewBool(false), NewBool(true), -1, true},
+		{Null, NewInt(1), 0, false},
+		{NewInt(1), Null, 0, false},
+		{NewString("1"), NewInt(1), 0, false},
+		{NewBool(true), NewInt(1), 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok := Compare(c.a, c.b)
+		if ok != c.ok {
+			t.Errorf("Compare(%v,%v) ok = %v, want %v", c.a, c.b, ok, c.ok)
+			continue
+		}
+		if ok && sign(cmp) != c.cmp {
+			t.Errorf("Compare(%v,%v) = %d, want sign %d", c.a, c.b, cmp, c.cmp)
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestTriboolString(t *testing.T) {
+	if True.String() != "TRUE" || False.String() != "FALSE" || Unknown.String() != "UNKNOWN" {
+		t.Error("Tribool.String wrong")
+	}
+}
+
+func TestArithOpString(t *testing.T) {
+	want := map[ArithOp]string{OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%"}
+	for op, w := range want {
+		if op.String() != w {
+			t.Errorf("ArithOp(%d) = %q, want %q", int(op), op.String(), w)
+		}
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := NewInt(3).AsFloat(); !ok || f != 3 {
+		t.Error("int AsFloat")
+	}
+	if f, ok := NewFloat(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Error("float AsFloat")
+	}
+	if _, ok := Null.AsFloat(); ok {
+		t.Error("null AsFloat should fail")
+	}
+	if _, ok := NewString("1").AsFloat(); ok {
+		t.Error("string AsFloat should fail")
+	}
+	if _, ok := NewBool(true).AsFloat(); ok {
+		t.Error("bool AsFloat should fail")
+	}
+}
+
+func TestArithFloatMod(t *testing.T) {
+	v, err := Arith(OpMod, NewFloat(7.5), NewFloat(2))
+	if err != nil || v.Float() != 1.5 {
+		t.Errorf("float mod: %v, %v", v, err)
+	}
+	if _, err := Arith(OpMod, NewFloat(1), NewFloat(0)); err == nil {
+		t.Error("float mod by zero accepted")
+	}
+	// Mixed-kind promotion for every operator.
+	for _, op := range []ArithOp{OpAdd, OpSub, OpMul, OpDiv} {
+		v, err := Arith(op, NewInt(6), NewFloat(2))
+		if err != nil || v.Kind() != KindFloat {
+			t.Errorf("mixed %v: %v, %v", op, v, err)
+		}
+	}
+}
+
+func TestTriboolTables(t *testing.T) {
+	tv := []Tribool{True, False, Unknown}
+	// Kleene logic truth tables.
+	and := map[[2]Tribool]Tribool{
+		{True, True}: True, {True, False}: False, {True, Unknown}: Unknown,
+		{False, True}: False, {False, False}: False, {False, Unknown}: False,
+		{Unknown, True}: Unknown, {Unknown, False}: False, {Unknown, Unknown}: Unknown,
+	}
+	or := map[[2]Tribool]Tribool{
+		{True, True}: True, {True, False}: True, {True, Unknown}: True,
+		{False, True}: True, {False, False}: False, {False, Unknown}: Unknown,
+		{Unknown, True}: True, {Unknown, False}: Unknown, {Unknown, Unknown}: Unknown,
+	}
+	not := map[Tribool]Tribool{True: False, False: True, Unknown: Unknown}
+	for _, a := range tv {
+		for _, b := range tv {
+			if got := a.And(b); got != and[[2]Tribool{a, b}] {
+				t.Errorf("%v AND %v = %v", a, b, got)
+			}
+			if got := a.Or(b); got != or[[2]Tribool{a, b}] {
+				t.Errorf("%v OR %v = %v", a, b, got)
+			}
+		}
+		if got := a.Not(); got != not[a] {
+			t.Errorf("NOT %v = %v", a, got)
+		}
+	}
+	if !True.IsTrue() || False.IsTrue() || Unknown.IsTrue() {
+		t.Error("IsTrue wrong")
+	}
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Error("FromBool wrong")
+	}
+}
+
+func TestTriboolDeMorgan(t *testing.T) {
+	// NOT(a AND b) == NOT a OR NOT b in Kleene logic.
+	tv := []Tribool{True, False, Unknown}
+	for _, a := range tv {
+		for _, b := range tv {
+			if a.And(b).Not() != a.Not().Or(b.Not()) {
+				t.Errorf("De Morgan violated for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestArith(t *testing.T) {
+	cases := []struct {
+		op   ArithOp
+		a, b Value
+		want Value
+		err  bool
+	}{
+		{OpAdd, NewInt(2), NewInt(3), NewInt(5), false},
+		{OpSub, NewInt(2), NewInt(3), NewInt(-1), false},
+		{OpMul, NewInt(4), NewInt(3), NewInt(12), false},
+		{OpDiv, NewInt(7), NewInt(2), NewInt(3), false},
+		{OpMod, NewInt(7), NewInt(2), NewInt(1), false},
+		{OpDiv, NewInt(1), NewInt(0), Null, true},
+		{OpMod, NewInt(1), NewInt(0), Null, true},
+		{OpAdd, NewFloat(0.5), NewInt(1), NewFloat(1.5), false},
+		{OpMul, NewFloat(0.95), NewFloat(100), NewFloat(95), false},
+		{OpDiv, NewFloat(1), NewFloat(0), Null, true},
+		{OpAdd, Null, NewInt(1), Null, false},
+		{OpAdd, NewInt(1), Null, Null, false},
+		{OpAdd, NewString("ab"), NewString("cd"), NewString("abcd"), false},
+		{OpSub, NewString("a"), NewString("b"), Null, true},
+		{OpAdd, NewBool(true), NewInt(1), Null, true},
+	}
+	for _, c := range cases {
+		got, err := Arith(c.op, c.a, c.b)
+		if (err != nil) != c.err {
+			t.Errorf("Arith(%v,%v,%v) err = %v, want err=%v", c.op, c.a, c.b, err, c.err)
+			continue
+		}
+		if !c.err && !got.Equal(c.want) {
+			t.Errorf("Arith(%v,%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v, err := Neg(NewInt(5)); err != nil || v.Int() != -5 {
+		t.Errorf("Neg int: %v, %v", v, err)
+	}
+	if v, err := Neg(NewFloat(2.5)); err != nil || v.Float() != -2.5 {
+		t.Errorf("Neg float: %v, %v", v, err)
+	}
+	if v, err := Neg(Null); err != nil || !v.IsNull() {
+		t.Errorf("Neg null: %v, %v", v, err)
+	}
+	if _, err := Neg(NewString("x")); err == nil {
+		t.Error("Neg string: expected error")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if v, err := Coerce(NewInt(3), KindFloat); err != nil || v.Float() != 3.0 {
+		t.Errorf("int→float: %v, %v", v, err)
+	}
+	if v, err := Coerce(NewFloat(3.0), KindInt); err != nil || v.Int() != 3 {
+		t.Errorf("float→int: %v, %v", v, err)
+	}
+	if _, err := Coerce(NewFloat(3.5), KindInt); err == nil {
+		t.Error("non-integral float→int should fail")
+	}
+	if _, err := Coerce(NewFloat(math.Inf(1)), KindInt); err == nil {
+		t.Error("inf→int should fail")
+	}
+	if v, err := Coerce(Null, KindInt); err != nil || !v.IsNull() {
+		t.Errorf("null coerces to anything: %v, %v", v, err)
+	}
+	if _, err := Coerce(NewString("x"), KindInt); err == nil {
+		t.Error("string→int should fail")
+	}
+	if v, err := Coerce(NewString("x"), KindString); err != nil || v.Str() != "x" {
+		t.Errorf("same-kind coerce: %v, %v", v, err)
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want Tribool
+	}{
+		{"hello", "hello", True},
+		{"hello", "h%", True},
+		{"hello", "%o", True},
+		{"hello", "%ell%", True},
+		{"hello", "h_llo", True},
+		{"hello", "h_l_o", True},
+		{"hello", "h_x_o", False},
+		{"hello", "", False},
+		{"", "%", True},
+		{"abc", "a%b%c", True},
+		{"abc", "%%%", True},
+		{"abc", "_", False},
+		{"a", "_", True},
+	}
+	for _, c := range cases {
+		if got := Like(NewString(c.s), NewString(c.p)); got != c.want {
+			t.Errorf("Like(%q,%q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+	if Like(Null, NewString("%")) != Unknown || Like(NewString("x"), Null) != Unknown {
+		t.Error("Like with NULL must be Unknown")
+	}
+	if Like(NewInt(1), NewString("%")) != False {
+		t.Error("Like on non-string is False")
+	}
+}
+
+// Property: Compare is antisymmetric and Equal is consistent with Compare==0
+// for same-kind comparable values.
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		c1, ok1 := Compare(va, vb)
+		c2, ok2 := Compare(vb, va)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return sign(c1) == -sign(c2) && ((c1 == 0) == va.Equal(vb))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: integer Arith matches Go arithmetic when no error occurs.
+func TestArithIntProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		sum, err := Arith(OpAdd, NewInt(a), NewInt(b))
+		if err != nil || sum.Int() != a+b {
+			return false
+		}
+		if b != 0 {
+			q, err := Arith(OpDiv, NewInt(a), NewInt(b))
+			if err != nil || q.Int() != a/b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LIKE with pattern == the string itself (no wildcards in input
+// alphabet) always matches.
+func TestLikeSelfProperty(t *testing.T) {
+	f := func(s string) bool {
+		for _, r := range s {
+			if r == '%' || r == '_' {
+				return true // skip wildcard-containing inputs
+			}
+		}
+		return Like(NewString(s), NewString(s)) == True &&
+			Like(NewString(s), NewString("%")) == True
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

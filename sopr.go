@@ -1,0 +1,324 @@
+// Package sopr is a relational database engine with the set-oriented
+// production rules facility of Widom & Finkelstein, "Set-Oriented
+// Production Rules in Relational Database Systems" (SIGMOD 1990).
+//
+// A DB executes SQL scripts. Consecutive data manipulation statements form
+// one operation block — one externally-generated transition, hence one
+// transaction: production rules are considered and executed just before the
+// transaction commits, exactly per the paper's Section 4 semantics and
+// Figure 1 algorithm.
+//
+//	db := sopr.Open()
+//	db.MustExec(`create table emp (name varchar, emp_no int, salary float, dept_no int)`)
+//	db.MustExec(`create table dept (dept_no int, mgr_no int)`)
+//	db.MustExec(`
+//	    create rule cascade when deleted from dept
+//	    then delete from emp where dept_no in (select dept_no from deleted dept)
+//	    end`)
+//	db.MustExec(`delete from dept where dept_no = 2`) // employees cascade
+//
+// Rule definitions support the paper's full syntax: disjunctive transition
+// predicates (INSERTED INTO t / DELETED FROM t / UPDATED t[.c]), SQL
+// conditions over the current state and the transition tables (inserted t,
+// deleted t, old/new updated t[.c]), operation-block actions, ROLLBACK
+// actions, priorities (CREATE RULE PRIORITY a BEFORE b), plus the paper's
+// Section 5 extensions: select triggering, external procedure actions
+// (THEN CALL proc), and PROCESS RULES triggering points.
+package sopr
+
+import (
+	"fmt"
+	"time"
+
+	"sopr/internal/engine"
+	"sopr/internal/exec"
+	"sopr/internal/rules"
+	"sopr/internal/value"
+)
+
+// Strategy selects the tie-break among equal-priority triggered rules
+// (Section 4.4 of the paper).
+type Strategy int
+
+// Rule-selection strategies.
+const (
+	// LeastRecentlyConsidered is the default: deterministic round-robin
+	// among equal-priority rules.
+	LeastRecentlyConsidered Strategy = iota
+	// MostRecentlyConsidered yields depth-first cascades.
+	MostRecentlyConsidered
+	// NameOrder is a fully static order.
+	NameOrder
+)
+
+// TriggerScope selects which composite transition a rule is evaluated
+// against (paper Section 4.2 and footnote 8).
+type TriggerScope int
+
+// Trigger scopes.
+const (
+	// SinceAction is the paper's semantics: the composite effect since the
+	// rule's action last executed (or transaction start).
+	SinceAction TriggerScope = iota
+	// SinceConsidered restarts the window whenever the rule is considered.
+	SinceConsidered
+	// SinceTriggered restarts the window at each transition that by itself
+	// triggers the rule (the WF89b semantics).
+	SinceTriggered
+)
+
+// Option configures a DB at Open.
+type Option func(*engine.Config)
+
+// WithMaxRuleTransitions caps rule-generated transitions per transaction
+// (the footnote 7 runaway guard; default 10000).
+func WithMaxRuleTransitions(n int) Option {
+	return func(c *engine.Config) { c.MaxRuleTransitions = n }
+}
+
+// WithStrategy sets the rule-selection tie-break.
+func WithStrategy(s Strategy) Option {
+	return func(c *engine.Config) { c.Strategy = rules.Strategy(s) }
+}
+
+// WithDefaultScope sets the triggering scope given to new rules.
+func WithDefaultScope(s TriggerScope) Option {
+	return func(c *engine.Config) { c.DefaultScope = rules.TriggerScope(s) }
+}
+
+// WithSelectTriggers enables the Section 5.1 extension: SELECT statements
+// join operation blocks, effects gain an S component, and SELECTED
+// transition predicates become available.
+func WithSelectTriggers() Option {
+	return func(c *engine.Config) { c.EnableSelectTriggers = true }
+}
+
+// WithRuleTimeout bounds wall-clock rule-processing time per transaction
+// (the footnote 7 timeout mechanism); exceeding it rolls the transaction
+// back with an error.
+func WithRuleTimeout(d time.Duration) Option {
+	return func(c *engine.Config) { c.RuleTimeout = d }
+}
+
+// DB is a database instance with the production rules facility. It is not
+// safe for concurrent use; the paper's model of system execution is a
+// single stream of operation blocks (Section 2.1).
+type DB struct {
+	eng *engine.Engine
+}
+
+// Open creates an empty database.
+func Open(opts ...Option) *DB {
+	var cfg engine.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &DB{eng: engine.New(cfg)}
+}
+
+// Rows is a query result: column names and data rows. Cells are nil (SQL
+// NULL), int64, float64, string, or bool.
+type Rows struct {
+	Columns []string
+	Data    [][]any
+	table   string // pre-rendered table form
+}
+
+// String renders the rows as an aligned text table.
+func (r *Rows) String() string { return r.table }
+
+func wrapResult(res *exec.Result) *Rows {
+	if res == nil {
+		return nil
+	}
+	out := &Rows{Columns: res.Columns, table: res.String()}
+	for _, row := range res.Rows {
+		vals := make([]any, len(row))
+		for i, v := range row {
+			switch v.Kind() {
+			case value.KindNull:
+				vals[i] = nil
+			case value.KindInt:
+				vals[i] = v.Int()
+			case value.KindFloat:
+				vals[i] = v.Float()
+			case value.KindString:
+				vals[i] = v.Str()
+			case value.KindBool:
+				vals[i] = v.Bool()
+			}
+		}
+		out.Data = append(out.Data, vals)
+	}
+	return out
+}
+
+// Firing records one rule action execution.
+type Firing struct {
+	Rule   string
+	Effect string // summary of the created transition, e.g. "[I:0 D:2 U:0 S:0]"
+}
+
+// Result summarizes the transactions run by one Exec call.
+type Result struct {
+	// RolledBack is set when a rule with a ROLLBACK action fired; the
+	// transaction's changes were undone (Section 4.2).
+	RolledBack   bool
+	RollbackRule string
+	// Firings lists rule action executions, in order.
+	Firings []Firing
+	// Results holds the result sets of SELECT statements, in order.
+	Results []*Rows
+}
+
+// Exec parses and executes a script: DDL, rule definitions, queries, and
+// operation blocks. Consecutive DML statements form one transaction.
+func (db *DB) Exec(src string) (*Result, error) {
+	txn, err := db.eng.Exec(src)
+	res := wrapTxn(txn)
+	return res, err
+}
+
+func wrapTxn(txn *engine.TxnResult) *Result {
+	if txn == nil {
+		return nil
+	}
+	res := &Result{RolledBack: txn.RolledBack, RollbackRule: txn.RollbackRule}
+	for _, f := range txn.Firings {
+		res.Firings = append(res.Firings, Firing{Rule: f.Rule, Effect: f.Effect})
+	}
+	for _, q := range txn.Queries {
+		res.Results = append(res.Results, wrapResult(q))
+	}
+	return res
+}
+
+// MustExec is Exec that panics on error — for examples and tests.
+func (db *DB) MustExec(src string) *Result {
+	res, err := db.Exec(src)
+	if err != nil {
+		panic(fmt.Sprintf("sopr: %v", err))
+	}
+	return res
+}
+
+// Query evaluates a single SELECT statement outside any transaction.
+func (db *DB) Query(src string) (*Rows, error) {
+	res, err := db.eng.QueryString(src)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// MustQuery is Query that panics on error.
+func (db *DB) MustQuery(src string) *Rows {
+	r, err := db.Query(src)
+	if err != nil {
+		panic(fmt.Sprintf("sopr: %v", err))
+	}
+	return r
+}
+
+// ProcContext is passed to external procedures (Section 5.2). DML executed
+// through it becomes part of the rule-generated transition; queries see the
+// triggering rule's transition tables.
+type ProcContext struct {
+	inner *engine.ProcContext
+}
+
+// RuleName reports the rule whose action invoked the procedure.
+func (c *ProcContext) RuleName() string { return c.inner.RuleName }
+
+// Exec runs data manipulation operations inside the rule's transition.
+func (c *ProcContext) Exec(src string) error { return c.inner.Exec(src) }
+
+// Query evaluates a SELECT with the rule's transition tables in scope.
+func (c *ProcContext) Query(src string) (*Rows, error) {
+	res, err := c.inner.Query(src)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// ProcFunc is an external procedure callable from rule actions via
+// `THEN CALL name`.
+type ProcFunc func(*ProcContext) error
+
+// RegisterProcedure installs an external procedure. It must be registered
+// before any rule referencing it is defined.
+func (db *DB) RegisterProcedure(name string, fn ProcFunc) {
+	db.eng.RegisterProcedure(name, func(inner *engine.ProcContext) error {
+		return fn(&ProcContext{inner: inner})
+	})
+}
+
+// TraceKind classifies trace events.
+type TraceKind int
+
+// Trace event kinds, mirroring the steps of the paper's Figure 1 algorithm.
+const (
+	TraceExternalTransition TraceKind = iota
+	TraceRuleConsidered
+	TraceRuleFired
+	TraceRollback
+	TraceCommit
+)
+
+// TraceEvent describes one step of rule processing.
+type TraceEvent struct {
+	Kind     TraceKind
+	Rule     string
+	CondHeld bool
+	Effect   string
+}
+
+// OnTrace installs a trace hook receiving rule-processing events; pass nil
+// to remove it.
+func (db *DB) OnTrace(fn func(TraceEvent)) {
+	if fn == nil {
+		db.eng.Trace = nil
+		return
+	}
+	db.eng.Trace = func(ev engine.TraceEvent) {
+		fn(TraceEvent{
+			Kind:     TraceKind(ev.Kind),
+			Rule:     ev.Rule,
+			CondHeld: ev.CondHeld,
+			Effect:   ev.Effect,
+		})
+	}
+}
+
+// Stats are cumulative engine counters.
+type Stats struct {
+	Committed           int64 // transactions committed
+	RolledBack          int64 // transactions rolled back (rules, errors, runaway guard)
+	ExternalTransitions int64 // externally-generated transitions executed
+	RuleConsiderations  int64 // rule condition evaluations
+	RuleFirings         int64 // rule action executions
+}
+
+// Stats returns a snapshot of the database's cumulative counters.
+func (db *DB) Stats() Stats {
+	s := db.eng.Stats()
+	return Stats{
+		Committed:           s.Committed,
+		RolledBack:          s.RolledBack,
+		ExternalTransitions: s.ExternalTransitions,
+		RuleConsiderations:  s.RuleConsiderations,
+		RuleFirings:         s.RuleFirings,
+	}
+}
+
+// Rules returns the defined rule names in definition order.
+func (db *DB) Rules() []string { return db.eng.Rules() }
+
+// Tables returns the defined table names, sorted.
+func (db *DB) Tables() []string { return db.eng.Store().Catalog().Names() }
+
+// SetRuleScope overrides one rule's triggering scope (footnote 8).
+func (db *DB) SetRuleScope(rule string, scope TriggerScope) error {
+	return db.eng.SetRuleScope(rule, rules.TriggerScope(scope))
+}

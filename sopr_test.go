@@ -1,0 +1,243 @@
+package sopr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func openPaperDB(t *testing.T, opts ...Option) *DB {
+	t.Helper()
+	db := Open(opts...)
+	if _, err := db.Exec(`
+		create table emp (name varchar, emp_no int not null, salary float, dept_no int);
+		create table dept (dept_no int, mgr_no int);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenExecQuery(t *testing.T) {
+	db := openPaperDB(t)
+	db.MustExec(`insert into emp values ('jane', 1, 100, 1), ('sue', 2, nullif(1,1), 2)`)
+	rows := db.MustQuery(`select name, salary, emp_no, name = 'jane' from emp order by emp_no`)
+	if len(rows.Data) != 2 {
+		t.Fatalf("rows: %+v", rows.Data)
+	}
+	if rows.Data[0][0] != "jane" || rows.Data[0][1] != 100.0 || rows.Data[0][2] != int64(1) || rows.Data[0][3] != true {
+		t.Errorf("typed cells: %#v", rows.Data[0])
+	}
+	if rows.Data[1][1] != nil {
+		t.Errorf("NULL cell: %#v", rows.Data[1][1])
+	}
+	if !strings.Contains(rows.String(), "jane") {
+		t.Error("table rendering")
+	}
+	if got := db.Tables(); len(got) != 2 || got[0] != "dept" || got[1] != "emp" {
+		t.Errorf("Tables: %v", got)
+	}
+}
+
+func TestRuleLifecycle(t *testing.T) {
+	db := openPaperDB(t)
+	db.MustExec(`
+		create rule cascade when deleted from dept
+		then delete from emp where dept_no in (select dept_no from deleted dept)
+		end
+	`)
+	if got := db.Rules(); len(got) != 1 || got[0] != "cascade" {
+		t.Fatalf("Rules: %v", got)
+	}
+	db.MustExec(`insert into emp values ('a', 1, 10, 1); insert into dept values (1, 1)`)
+	res := db.MustExec(`delete from dept`)
+	if len(res.Firings) != 1 || res.Firings[0].Rule != "cascade" {
+		t.Fatalf("firings: %+v", res.Firings)
+	}
+	rows := db.MustQuery(`select count(*) from emp`)
+	if rows.Data[0][0] != int64(0) {
+		t.Errorf("cascade failed: %v", rows.Data)
+	}
+	db.MustExec(`drop rule cascade`)
+	if len(db.Rules()) != 0 {
+		t.Error("drop rule failed")
+	}
+}
+
+func TestRollbackSurfaced(t *testing.T) {
+	db := openPaperDB(t)
+	db.MustExec(`
+		create rule guard when inserted into emp
+		if exists (select * from inserted emp where salary < 0)
+		then rollback
+	`)
+	res := db.MustExec(`insert into emp values ('bad', 1, -5, 1)`)
+	if !res.RolledBack || res.RollbackRule != "guard" {
+		t.Fatalf("result: %+v", res)
+	}
+	if db.MustQuery(`select count(*) from emp`).Data[0][0] != int64(0) {
+		t.Error("rolled-back insert persisted")
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`select * from nosuch`); err == nil {
+		t.Error("missing table accepted")
+	}
+	if _, err := db.Query(`not sql at all`); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := db.Query(`insert into t values (1)`); err == nil {
+		t.Error("Query accepted non-SELECT")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustExec did not panic")
+			}
+		}()
+		db.MustExec(`select * from nosuch`)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustQuery did not panic")
+			}
+		}()
+		db.MustQuery(`select * from nosuch`)
+	}()
+	if err := db.SetRuleScope("nosuch", SinceTriggered); err == nil {
+		t.Error("SetRuleScope on missing rule accepted")
+	}
+}
+
+func TestOptions(t *testing.T) {
+	db := openPaperDB(t, WithMaxRuleTransitions(3), WithStrategy(NameOrder))
+	db.MustExec(`
+		create rule diverge when updated emp.salary
+		then update emp set salary = salary + 1
+		end
+	`)
+	db.MustExec(`insert into emp values ('a', 1, 0, 1)`)
+	_, err := db.Exec(`update emp set salary = 1`)
+	if err == nil {
+		t.Fatal("runaway not capped")
+	}
+	if !strings.Contains(err.Error(), "transition limit") {
+		t.Errorf("error: %v", err)
+	}
+	// Transaction rolled back.
+	if db.MustQuery(`select salary from emp`).Data[0][0] != 0.0 {
+		t.Error("runaway txn not rolled back")
+	}
+}
+
+func TestSelectTriggersOption(t *testing.T) {
+	db := openPaperDB(t, WithSelectTriggers())
+	db.MustExec(`create table audit (n int)`)
+	db.MustExec(`
+		create rule watch when selected emp
+		then insert into audit values (1)
+		end
+	`)
+	db.MustExec(`insert into emp values ('a', 1, 10, 1)`)
+	res := db.MustExec(`select * from emp`)
+	if len(res.Results) != 1 {
+		t.Fatalf("results: %+v", res.Results)
+	}
+	if db.MustQuery(`select count(*) from audit`).Data[0][0] != int64(1) {
+		t.Error("select trigger did not fire")
+	}
+	// Without the option the rule definition is rejected.
+	db2 := openPaperDB(t)
+	if _, err := db2.Exec(`create rule watch when selected emp then delete from emp end`); err == nil {
+		t.Error("selected predicate accepted without option")
+	}
+}
+
+func TestExternalProcedure(t *testing.T) {
+	db := openPaperDB(t)
+	var gotRule string
+	db.RegisterProcedure("notify", func(ctx *ProcContext) error {
+		gotRule = ctx.RuleName()
+		rows, err := ctx.Query(`select count(*) from inserted emp`)
+		if err != nil {
+			return err
+		}
+		if rows.Data[0][0] != int64(2) {
+			t.Errorf("proc query: %v", rows.Data)
+		}
+		return ctx.Exec(`insert into dept values (1, 1)`)
+	})
+	db.MustExec(`create rule r when inserted into emp then call notify end`)
+	db.MustExec(`insert into emp values ('a', 1, 1, 1), ('b', 2, 1, 1)`)
+	if gotRule != "r" {
+		t.Errorf("RuleName: %q", gotRule)
+	}
+	if db.MustQuery(`select count(*) from dept`).Data[0][0] != int64(1) {
+		t.Error("proc DML missing")
+	}
+	// Procedure errors abort the transaction.
+	db.RegisterProcedure("boom", func(ctx *ProcContext) error { return errors.New("boom") })
+	db.MustExec(`create rule rb when deleted from emp then call boom end`)
+	if _, err := db.Exec(`delete from emp`); err == nil {
+		t.Error("proc error swallowed")
+	}
+	if db.MustQuery(`select count(*) from emp`).Data[0][0] != int64(2) {
+		t.Error("failed txn not rolled back")
+	}
+}
+
+func TestOnTrace(t *testing.T) {
+	db := openPaperDB(t)
+	db.MustExec(`create rule r when inserted into emp then insert into dept values (1,1) end`)
+	var events []TraceEvent
+	db.OnTrace(func(ev TraceEvent) { events = append(events, ev) })
+	db.MustExec(`insert into emp values ('a', 1, 1, 1)`)
+	var fired, committed bool
+	for _, ev := range events {
+		if ev.Kind == TraceRuleFired && ev.Rule == "r" {
+			fired = true
+		}
+		if ev.Kind == TraceCommit {
+			committed = true
+		}
+	}
+	if !fired || !committed {
+		t.Errorf("trace events: %+v", events)
+	}
+	db.OnTrace(nil)
+	n := len(events)
+	db.MustExec(`insert into emp values ('b', 2, 1, 1)`)
+	if len(events) != n {
+		t.Error("trace hook not removed")
+	}
+}
+
+func TestScopesViaPublicAPI(t *testing.T) {
+	db := openPaperDB(t, WithDefaultScope(SinceAction))
+	db.MustExec(`create rule r when inserted into emp then insert into dept values (1,1) end`)
+	if err := db.SetRuleScope("r", SinceConsidered); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetRuleScope("r", SinceTriggered); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadmeQuickstart keeps the README's quickstart snippet honest.
+func TestReadmeQuickstart(t *testing.T) {
+	db := Open()
+	db.MustExec(`create table emp (name varchar, emp_no int, salary float, dept_no int)`)
+	db.MustExec(`create table dept (dept_no int, mgr_no int)`)
+	db.MustExec(`
+	    create rule cascade when deleted from dept
+	    then delete from emp where dept_no in (select dept_no from deleted dept)
+	    end`)
+	db.MustExec(`insert into emp values ('e1', 1, 50, 2); insert into dept values (2, 1)`)
+	db.MustExec(`delete from dept where dept_no = 2`)
+	if db.MustQuery(`select count(*) from emp`).Data[0][0] != int64(0) {
+		t.Error("quickstart cascade failed")
+	}
+}

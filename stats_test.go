@@ -1,0 +1,59 @@
+package sopr
+
+import "testing"
+
+func TestStats(t *testing.T) {
+	db := openPaperDB(t)
+	// DDL runs outside transactions: all counters start at zero.
+	if s := db.Stats(); s != (Stats{}) {
+		t.Fatalf("fresh stats: %+v", s)
+	}
+	base := db.Stats()
+
+	db.MustExec(`
+		create rule cascade when deleted from dept
+		then delete from emp where dept_no in (select dept_no from deleted dept)
+		end;
+		create rule guard when inserted into emp
+		if exists (select * from inserted emp where salary < 0)
+		then rollback
+	`)
+	db.MustExec(`insert into emp values ('a', 1, 10, 1); insert into dept values (1, 1)`)
+	s := db.Stats()
+	if s.Committed != base.Committed+1 {
+		t.Errorf("Committed: %d, want %d", s.Committed, base.Committed+1)
+	}
+	if s.ExternalTransitions != base.ExternalTransitions+1 {
+		t.Errorf("ExternalTransitions: %d", s.ExternalTransitions)
+	}
+	// guard was considered (condition false), cascade never triggered.
+	if s.RuleConsiderations != base.RuleConsiderations+1 {
+		t.Errorf("RuleConsiderations: %d, want +1", s.RuleConsiderations-base.RuleConsiderations)
+	}
+	if s.RuleFirings != base.RuleFirings {
+		t.Errorf("RuleFirings: %d", s.RuleFirings)
+	}
+
+	// Cascade fires once.
+	db.MustExec(`delete from dept`)
+	s2 := db.Stats()
+	if s2.RuleFirings != s.RuleFirings+1 {
+		t.Errorf("RuleFirings after cascade: %d", s2.RuleFirings)
+	}
+
+	// Rollback counted.
+	db.MustExec(`insert into emp values ('bad', 9, -1, 1)`)
+	s3 := db.Stats()
+	if s3.RolledBack != s2.RolledBack+1 {
+		t.Errorf("RolledBack: %d", s3.RolledBack)
+	}
+	if s3.Committed != s2.Committed {
+		t.Errorf("rolled-back txn counted as committed")
+	}
+
+	// Errors count as rollbacks too.
+	db.Exec(`insert into emp values (1)`) //nolint:errcheck
+	if s4 := db.Stats(); s4.RolledBack != s3.RolledBack+1 {
+		t.Errorf("error rollback not counted: %+v", s4)
+	}
+}
