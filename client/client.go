@@ -1,0 +1,210 @@
+// Package client is the Go client for a soprd server: it speaks the wire
+// protocol over TCP and returns the same Result/Rows types the in-process
+// sopr API produces, so a remote engine is a drop-in for a local one.
+//
+//	c, err := client.Dial("localhost:5477")
+//	if err != nil { ... }
+//	defer c.Close()
+//	res, err := c.Exec(`insert into emp values ('jane', 1, 60000, 0)`)
+//	rows, err := c.Query(`select name from emp`)
+//
+// A Client is safe for concurrent use: requests are serialized on the one
+// connection, mirroring the engine's single stream of operation blocks.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sopr"
+	"sopr/internal/wire"
+)
+
+// Error codes carried by RemoteError, mirroring the wire protocol's.
+const (
+	CodeParse    = wire.CodeParse
+	CodeExec     = wire.CodeExec
+	CodeBadFrame = wire.CodeBadFrame
+	CodeTooLarge = wire.CodeTooLarge
+	CodeShutdown = wire.CodeShutdown
+	CodeInternal = wire.CodeInternal
+)
+
+// RemoteError is a failure reported by the server. Line is the 1-based line
+// within the submitted script for CodeParse errors, 0 otherwise.
+type RemoteError struct {
+	Code    string
+	Message string
+	Line    int
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote %s error: %s", e.Code, e.Message)
+}
+
+// ServerStats are the server front-end's counters (see Stats).
+type ServerStats struct {
+	Accepted    int64 // connections accepted
+	Active      int64 // connections currently open
+	Execs       int64 // Exec requests served
+	Queries     int64 // Query requests served
+	Dumps       int64 // Dump requests served
+	StatsReqs   int64 // Stats requests served
+	Pings       int64 // Ping requests served
+	Errors      int64 // error responses sent
+	BadFrames   int64 // framing errors seen
+	InFlight    int64 // requests being processed right now
+	DrainedReqs int64 // requests completed during shutdown drain
+}
+
+// Stats bundles the remote engine's counters with the server's own.
+type Stats struct {
+	Engine sopr.Stats
+	Server ServerStats
+}
+
+// Option configures a Client at Dial.
+type Option func(*Client)
+
+// WithMaxFrame overrides the frame-size cap (default wire.DefaultMaxFrame).
+// It must not exceed the server's, or large requests will be cut off.
+func WithMaxFrame(n int) Option { return func(c *Client) { c.maxFrame = n } }
+
+// WithTimeout bounds each request round trip (default 2m; the server may
+// disconnect idle clients on its own schedule regardless).
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
+
+// Client is a connection to a soprd server.
+type Client struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	maxFrame int
+	timeout  time.Duration
+}
+
+// Dial connects to a soprd server at addr (host:port).
+func Dial(addr string, opts ...Option) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	c := &Client{conn: conn, maxFrame: wire.DefaultMaxFrame, timeout: 2 * time.Minute}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Close terminates the connection. Requests in other goroutines fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes its response into out (whose type
+// must match wantType's payload; nil out for payload-less responses).
+func (c *Client) roundTrip(reqType byte, req any, wantType byte, out any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := wire.WriteMessage(c.conn, reqType, req, c.maxFrame); err != nil {
+		return fmt.Errorf("client: send %s: %w", wire.TypeName(reqType), err)
+	}
+	typ, payload, err := wire.ReadFrame(c.conn, c.maxFrame)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", wire.TypeName(reqType), err)
+	}
+	switch typ {
+	case wantType:
+		if out == nil {
+			return nil
+		}
+		return wire.Unmarshal(payload, out)
+	case wire.MsgError:
+		var er wire.ErrorResponse
+		if err := wire.Unmarshal(payload, &er); err != nil {
+			return err
+		}
+		return &RemoteError{Code: er.Code, Message: er.Message, Line: er.Line}
+	default:
+		return fmt.Errorf("client: unexpected %s response to %s",
+			wire.TypeName(typ), wire.TypeName(reqType))
+	}
+}
+
+// Exec runs a script on the server as the next operation blocks in its
+// stream, exactly like sopr.DB.Exec runs it locally.
+func (c *Client) Exec(src string) (*sopr.Result, error) {
+	var resp wire.ExecResponse
+	if err := c.roundTrip(wire.MsgExec, wire.ExecRequest{Src: src}, wire.MsgExecResult, &resp); err != nil {
+		return nil, err
+	}
+	res := &sopr.Result{RolledBack: resp.RolledBack, RollbackRule: resp.RollbackRule}
+	for _, f := range resp.Firings {
+		res.Firings = append(res.Firings, sopr.Firing{Rule: f.Rule, Effect: f.Effect})
+	}
+	for _, r := range resp.Results {
+		rows, err := decodeRows(r)
+		if err != nil {
+			return nil, err
+		}
+		res.Results = append(res.Results, rows)
+	}
+	return res, nil
+}
+
+// Query evaluates a single SELECT on the server, outside any transaction.
+func (c *Client) Query(src string) (*sopr.Rows, error) {
+	var resp wire.Rows
+	if err := c.roundTrip(wire.MsgQuery, wire.QueryRequest{Src: src}, wire.MsgQueryResult, &resp); err != nil {
+		return nil, err
+	}
+	return decodeRows(resp)
+}
+
+// Dump fetches a SQL script recreating the server's database.
+func (c *Client) Dump() (string, error) {
+	var resp wire.DumpResponse
+	if err := c.roundTrip(wire.MsgDump, nil, wire.MsgDumpResult, &resp); err != nil {
+		return "", err
+	}
+	return resp.Script, nil
+}
+
+// Stats fetches the server's engine and front-end counters.
+func (c *Client) Stats() (*Stats, error) {
+	var resp wire.StatsResponse
+	if err := c.roundTrip(wire.MsgStats, nil, wire.MsgStatsResult, &resp); err != nil {
+		return nil, err
+	}
+	return &Stats{
+		Engine: sopr.Stats{
+			Committed:           resp.Engine.Committed,
+			RolledBack:          resp.Engine.RolledBack,
+			ExternalTransitions: resp.Engine.ExternalTransitions,
+			RuleConsiderations:  resp.Engine.RuleConsiderations,
+			RuleFirings:         resp.Engine.RuleFirings,
+		},
+		Server: ServerStats(resp.Server),
+	}, nil
+}
+
+// Ping checks the server is alive and answering.
+func (c *Client) Ping() error {
+	return c.roundTrip(wire.MsgPing, nil, wire.MsgPong, nil)
+}
+
+// IsRemote reports whether err is a server-reported failure with the given
+// code ("" matches any RemoteError).
+func IsRemote(err error, code string) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && (code == "" || re.Code == code)
+}
+
+func decodeRows(r wire.Rows) (*sopr.Rows, error) {
+	cols, data, err := r.Decode()
+	if err != nil {
+		return nil, err
+	}
+	return sopr.NewRows(cols, data), nil
+}

@@ -9,18 +9,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"sopr"
+	"sopr/client"
 	"sopr/internal/catalog"
 	"sopr/internal/engine"
 	"sopr/internal/exec"
 	"sopr/internal/instance"
 	"sopr/internal/rules"
+	"sopr/internal/server"
 	"sopr/internal/sqlast"
 	"sopr/internal/sqlparse"
 	sstorage "sopr/internal/storage"
@@ -28,16 +32,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: E1, E5, B1..B10, or all")
+	exp := flag.String("exp", "all", "experiment to run: E1, E5, B1..B10, S1, or all")
 	flag.Parse()
 	runs := map[string]func(){
 		"E1": e1, "E5": e5, "B1": b1, "B2": b2, "B3": b3, "B4": b4,
 		"B5": b5, "B6": b6, "B7": b7, "B8": b8, "B9": b9, "B10": b10,
+		"S1": s1,
 	}
 	if *exp != "all" {
 		fn, ok := runs[strings.ToUpper(*exp)]
 		if !ok {
-			fmt.Println("unknown experiment; use E1, B1..B10 or all")
+			fmt.Println("unknown experiment; use E1, B1..B10, S1 or all")
 			return
 		}
 		fn()
@@ -479,6 +484,72 @@ func b10() {
 				float64(full)/float64(filtered))
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+
+// s1 measures the soprd network front-end: sustained operation throughput
+// as the number of concurrent clients grows. Every operation is one
+// single-row insert transaction that fires the B1 audit rule, so each
+// request runs the full stack: wire framing, the serialized engine stream,
+// rule processing, response framing. Because the engine is one serialized
+// stream (paper §2.1), throughput should saturate once enough clients keep
+// it busy; beyond that, added clients only add queueing.
+func s1() {
+	header("S1", "soprd server throughput vs concurrent clients")
+	fmt.Printf("%-10s %12s %12s %12s\n", "clients", "ops", "ops/sec", "µs/op")
+	for _, nc := range []int{1, 2, 4, 8, 16, 32} {
+		ops, elapsed := s1run(nc, 4096)
+		opsSec := float64(ops) / elapsed.Seconds()
+		fmt.Printf("%-10d %12d %12.0f %12.1f\n", nc, ops,
+			opsSec, float64(elapsed.Microseconds())/float64(ops))
+	}
+	fmt.Println("(one serialized engine stream; ops/sec should plateau once clients cover the round-trip latency)")
+}
+
+// s1run starts a server on a loopback port, hammers it with totalOps
+// single-row insert transactions spread over nc concurrent clients, and
+// reports the operations completed and the wall time taken.
+func s1run(nc, totalOps int) (int, time.Duration) {
+	db := sopr.Open()
+	db.MustExec(`create table t (id int, v int); create table audit (id int, v int)`)
+	db.MustExec(b1Rule)
+	srv := server.New(sopr.Synchronized(db), server.Config{})
+	ln, err := server.Listen("127.0.0.1:0")
+	must(err)
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		must(srv.Shutdown(ctx))
+	}()
+
+	per := totalOps / nc
+	clients := make([]*client.Client, nc)
+	for i := range clients {
+		c, err := client.Dial(ln.Addr().String())
+		must(err)
+		clients[i] = c
+		defer c.Close()
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	t0 := time.Now()
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			<-start
+			base := i * 1_000_000
+			for j := 0; j < per; j++ {
+				_, err := c.Exec(fmt.Sprintf(`insert into t values (%d, %d)`, base+j, j%97))
+				must(err)
+			}
+		}(i, c)
+	}
+	close(start)
+	wg.Wait()
+	return nc * per, time.Since(t0)
 }
 
 // ---------------------------------------------------------------------------

@@ -73,6 +73,18 @@ func TestB2Runs(t *testing.T) {
 	}
 }
 
+// TestS1Run smoke-tests the server-throughput harness at small scale: all
+// operations must complete and land in the audited table.
+func TestS1Run(t *testing.T) {
+	ops, elapsed := s1run(4, 64)
+	if ops != 64 {
+		t.Errorf("ops = %d, want 64", ops)
+	}
+	if elapsed <= 0 {
+		t.Errorf("elapsed = %v", elapsed)
+	}
+}
+
 func TestOpStreamShape(t *testing.T) {
 	ops := opStream(300)
 	if len(ops) != 300 {

@@ -1,0 +1,131 @@
+// Command soprd serves a sopr database over TCP with the wire protocol, so
+// many concurrent clients (the client package, soprsh -connect) share one
+// rule engine. Operation blocks are serialized across connections,
+// preserving the paper's single-stream model of execution (Section 2.1).
+//
+//	$ soprd -addr :5477 -init schema.sql
+//	$ soprsh -connect localhost:5477
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, idle
+// sessions are disconnected, and transactions already executing drain
+// before the process exits (bounded by -shutdown-timeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sopr"
+	"sopr/internal/server"
+)
+
+type options struct {
+	addr            string
+	initFile        string
+	maxFrame        int
+	readTimeout     time.Duration
+	writeTimeout    time.Duration
+	shutdownTimeout time.Duration
+	selectTriggers  bool
+	maxTransitions  int
+	trace           bool
+	verbose         bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":5477", "listen address")
+	flag.StringVar(&o.initFile, "init", "", "SQL script (e.g. a .dump) executed before serving")
+	flag.IntVar(&o.maxFrame, "max-frame", 0, "max request/response frame payload in bytes (0 = 8 MiB)")
+	flag.DurationVar(&o.readTimeout, "read-timeout", 0, "disconnect clients idle this long (0 = 5m)")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 0, "max time to write one response (0 = 30s)")
+	flag.DurationVar(&o.shutdownTimeout, "shutdown-timeout", 30*time.Second, "max time to drain in-flight transactions on shutdown")
+	flag.BoolVar(&o.selectTriggers, "select-triggers", false, "enable Section 5.1 select-triggered rules")
+	flag.IntVar(&o.maxTransitions, "max-transitions", 0, "runaway guard: max rule transitions per transaction (0 = default)")
+	flag.BoolVar(&o.trace, "trace", false, "log rule-processing events to stderr")
+	flag.BoolVar(&o.verbose, "v", false, "log connection events")
+	flag.Parse()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(o, sigc, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run builds the database and server, serves until a signal arrives on
+// sigc, then drains and exits. When ready is non-nil it receives the bound
+// address once the listener is up (used by tests to pick a free port).
+func run(o options, sigc <-chan os.Signal, ready chan<- net.Addr) error {
+	logger := log.New(os.Stderr, "soprd: ", log.LstdFlags)
+
+	var opts []sopr.Option
+	if o.selectTriggers {
+		opts = append(opts, sopr.WithSelectTriggers())
+	}
+	if o.maxTransitions > 0 {
+		opts = append(opts, sopr.WithMaxRuleTransitions(o.maxTransitions))
+	}
+	db := sopr.Open(opts...)
+	if o.initFile != "" {
+		f, err := os.Open(o.initFile)
+		if err != nil {
+			return err
+		}
+		err = db.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("init script %s: %w", o.initFile, err)
+		}
+		logger.Printf("loaded %s (%d tables, %d rules)", o.initFile, len(db.Tables()), len(db.Rules()))
+	}
+	sdb := sopr.Synchronized(db)
+	if o.trace {
+		sdb.TraceTo(os.Stderr)
+	}
+
+	cfg := server.Config{
+		MaxFrame:     o.maxFrame,
+		ReadTimeout:  o.readTimeout,
+		WriteTimeout: o.writeTimeout,
+	}
+	if o.verbose {
+		cfg.Logf = logger.Printf
+	}
+	srv := server.New(sdb, cfg)
+	ln, err := server.Listen(o.addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		logger.Printf("%v: draining (timeout %v)", sig, o.shutdownTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), o.shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("drain incomplete: %v", err)
+		}
+		<-serveDone
+		st := srv.Stats()
+		logger.Printf("served %d connections, %d execs, %d queries; %d requests drained",
+			st.Accepted, st.Execs, st.Queries, st.DrainedReqs)
+		return nil
+	case err := <-serveDone:
+		return err
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"sopr"
+	"sopr/client"
+)
+
+// TestRunServesAndShutsDown boots the daemon on a random port with an init
+// script, exercises it through the client package, then delivers SIGTERM
+// and checks run returns cleanly.
+func TestRunServesAndShutsDown(t *testing.T) {
+	init := filepath.Join(t.TempDir(), "init.sql")
+	seed := sopr.Open()
+	seed.MustExec(`create table t (a int);
+		create rule neg when inserted into t then delete from t where a < 0 end`)
+	seed.MustExec(`insert into t values (7)`)
+	script, err := seed.DumpString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(init, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(options{
+			addr:            "127.0.0.1:0",
+			initFile:        init,
+			shutdownTimeout: 5 * time.Second,
+		}, sigc, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	c, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec(`insert into t values (1), (-2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Firings) != 1 || res.Firings[0].Rule != "neg" {
+		t.Errorf("firings = %+v", res.Firings)
+	}
+	rows, err := c.Query(`select count(*) from t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rows.Data[0][0].(int64); n != 2 { // seeded 7 plus surviving 1
+		t.Errorf("count = %d, want 2", n)
+	}
+
+	sigc <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+	if err := c.Ping(); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}
+
+func TestRunBadInitScript(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.sql")
+	if err := os.WriteFile(bad, []byte("definitely not sql"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(options{addr: "127.0.0.1:0", initFile: bad}, nil, nil)
+	if err == nil {
+		t.Fatal("run accepted a broken init script")
+	}
+}

@@ -12,37 +12,71 @@
 //	-
 //	1
 //
+// With -connect ADDR the same REPL runs against a remote soprd server
+// instead of an in-process engine.
+//
 // Meta-commands: .tables  .rules  .analyze  .trace on|off  .help  .quit
+// (.stats, .dump and .ping also work remotely).
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"sopr"
+	"sopr/client"
 )
+
+// execer is the part of the engine the statement loop needs; *sopr.DB
+// (local mode) and *client.Client (-connect mode) both provide it.
+type execer interface {
+	Exec(src string) (*sopr.Result, error)
+}
 
 func main() {
 	selectTriggers := flag.Bool("select-triggers", false, "enable Section 5.1 select-triggered rules")
 	maxTransitions := flag.Int("max-transitions", 0, "runaway guard: max rule transitions per transaction (0 = default)")
+	connect := flag.String("connect", "", "address of a soprd server; run the REPL against it instead of a local engine")
 	flag.Parse()
 
-	var opts []sopr.Option
-	if *selectTriggers {
-		opts = append(opts, sopr.WithSelectTriggers())
+	var db *sopr.DB
+	var session execer
+	var cl *client.Client
+	if *connect != "" {
+		var err error
+		cl, err = client.Dial(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		if err := cl.Ping(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		session = cl
+	} else {
+		var opts []sopr.Option
+		if *selectTriggers {
+			opts = append(opts, sopr.WithSelectTriggers())
+		}
+		if *maxTransitions > 0 {
+			opts = append(opts, sopr.WithMaxRuleTransitions(*maxTransitions))
+		}
+		db = sopr.Open(opts...)
+		session = db
 	}
-	if *maxTransitions > 0 {
-		opts = append(opts, sopr.WithMaxRuleTransitions(*maxTransitions))
-	}
-	db := sopr.Open(opts...)
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1024*1024), 1024*1024)
 	interactive := isInteractive()
 	var buf strings.Builder
+	lineNo := 0    // lines read from the input so far
+	startLine := 1 // input line where the buffered statement began
 	prompt := func() {
 		if interactive {
 			if buf.Len() == 0 {
@@ -55,24 +89,40 @@ func main() {
 	prompt()
 	for in.Scan() {
 		line := in.Text()
+		lineNo++
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
-			if !meta(db, trimmed) {
+			var more bool
+			if cl != nil {
+				more = metaRemote(cl, trimmed)
+			} else {
+				more = meta(db, trimmed)
+			}
+			if !more {
 				return
 			}
 			prompt()
 			continue
 		}
+		if buf.Len() == 0 {
+			startLine = lineNo
+		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.HasSuffix(trimmed, ";") {
-			run(db, buf.String())
+			runAt(session, buf.String(), startLine)
 			buf.Reset()
 		}
 		prompt()
 	}
+	if err := in.Err(); err != nil {
+		// e.g. a single input line over the 1 MiB scanner buffer; without
+		// this the shell would end silently mid-script.
+		fmt.Fprintf(os.Stderr, "error: reading input after line %d: %v\n", lineNo, err)
+		os.Exit(1)
+	}
 	if buf.Len() > 0 {
-		run(db, buf.String())
+		runAt(session, buf.String(), startLine)
 	}
 }
 
@@ -81,10 +131,17 @@ func isInteractive() bool {
 	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
-func run(db *sopr.DB, src string) {
+// run executes one statement buffer counting lines from 1 (tests and
+// single-statement callers).
+func run(db execer, src string) { runAt(db, src, 1) }
+
+// runAt executes one statement buffer that began at input line startLine,
+// so errors point at the failing line of the overall input rather than
+// echoing only the error text.
+func runAt(db execer, src string, startLine int) {
 	res, err := db.Exec(src)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+		reportError(err, startLine)
 		return
 	}
 	for _, f := range res.Firings {
@@ -99,7 +156,25 @@ func run(db *sopr.DB, src string) {
 	}
 }
 
-// meta handles dot-commands; it returns false to quit.
+// reportError prints err with the failing input line. Parse errors know
+// their line within the submitted buffer, which is offset to an absolute
+// input line; execution errors are attributed to the statement's start.
+func reportError(err error, startLine int) {
+	var pe *sopr.ParseError
+	var re *client.RemoteError
+	switch {
+	case errors.As(err, &pe):
+		fmt.Fprintf(os.Stderr, "error: syntax error at line %d, column %d: %s\n",
+			startLine-1+pe.Line, pe.Col, pe.Msg)
+	case errors.As(err, &re) && re.Code == client.CodeParse && re.Line > 0:
+		fmt.Fprintf(os.Stderr, "error at line %d: remote: %s\n", startLine-1+re.Line, re.Message)
+	default:
+		fmt.Fprintf(os.Stderr, "error in statement at line %d: %v\n", startLine, err)
+	}
+}
+
+// meta handles dot-commands against the local engine; it returns false to
+// quit.
 func meta(db *sopr.DB, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
@@ -127,8 +202,7 @@ func meta(db *sopr.DB, cmd string) bool {
 		}
 	case ".stats":
 		s := db.Stats()
-		fmt.Printf("committed=%d rolled_back=%d external_transitions=%d rule_considerations=%d rule_firings=%d\n",
-			s.Committed, s.RolledBack, s.ExternalTransitions, s.RuleConsiderations, s.RuleFirings)
+		printEngineStats(s)
 	case ".dump":
 		if len(fields) == 2 {
 			f, err := os.Create(fields[1])
@@ -165,23 +239,10 @@ func meta(db *sopr.DB, cmd string) bool {
 		}
 	case ".trace":
 		if len(fields) == 2 && fields[1] == "on" {
-			db.OnTrace(func(ev sopr.TraceEvent) {
-				switch ev.Kind {
-				case sopr.TraceExternalTransition:
-					fmt.Printf("-- external transition %s\n", ev.Effect)
-				case sopr.TraceRuleConsidered:
-					fmt.Printf("-- consider %s (condition=%v) %s\n", ev.Rule, ev.CondHeld, ev.Effect)
-				case sopr.TraceRuleFired:
-					fmt.Printf("-- fire %s %s\n", ev.Rule, ev.Effect)
-				case sopr.TraceRollback:
-					fmt.Printf("-- rollback by %s\n", ev.Rule)
-				case sopr.TraceCommit:
-					fmt.Println("-- commit")
-				}
-			})
+			db.TraceTo(os.Stdout)
 			fmt.Println("trace on")
 		} else {
-			db.OnTrace(nil)
+			db.TraceTo(nil)
 			fmt.Println("trace off")
 		}
 	case ".help":
@@ -199,4 +260,62 @@ meta-commands:
 		fmt.Fprintf(os.Stderr, "unknown meta-command %s (try .help)\n", fields[0])
 	}
 	return true
+}
+
+// metaRemote handles dot-commands in -connect mode; it returns false to
+// quit.
+func metaRemote(c *client.Client, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return false
+	case ".ping":
+		if err := c.Ping(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Println("pong")
+		}
+	case ".stats":
+		st, err := c.Stats()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return true
+		}
+		printEngineStats(st.Engine)
+		s := st.Server
+		fmt.Printf("server: connections=%d active=%d execs=%d queries=%d errors=%d in_flight=%d\n",
+			s.Accepted, s.Active, s.Execs, s.Queries, s.Errors, s.InFlight)
+	case ".dump":
+		script, err := c.Dump()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return true
+		}
+		if len(fields) == 2 {
+			if err := os.WriteFile(fields[1], []byte(script), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				fmt.Println("dumped to", fields[1])
+			}
+			return true
+		}
+		fmt.Print(script)
+	case ".help":
+		fmt.Println(`statements end with ';' and may span lines
+meta-commands (remote session):
+  .stats           engine + server counters
+  .dump [FILE]     write a script recreating the remote database
+  .ping            check the server is alive
+  .quit            exit`)
+	case ".tables", ".rules", ".analyze", ".trace", ".load":
+		fmt.Fprintf(os.Stderr, "%s is not available over -connect (try .dump or .help)\n", fields[0])
+	default:
+		fmt.Fprintf(os.Stderr, "unknown meta-command %s (try .help)\n", fields[0])
+	}
+	return true
+}
+
+func printEngineStats(s sopr.Stats) {
+	fmt.Printf("committed=%d rolled_back=%d external_transitions=%d rule_considerations=%d rule_firings=%d\n",
+		s.Committed, s.RolledBack, s.ExternalTransitions, s.RuleConsiderations, s.RuleFirings)
 }

@@ -31,11 +31,38 @@ func (s *SynchronizedDB) Exec(src string) (*Result, error) {
 	return s.db.Exec(src)
 }
 
+// MustExec is Exec that panics on error — for examples and tests.
+func (s *SynchronizedDB) MustExec(src string) *Result {
+	res, err := s.Exec(src)
+	if err != nil {
+		panic(fmt.Sprintf("sopr: %v", err))
+	}
+	return res
+}
+
 // Query evaluates a SELECT under the lock.
 func (s *SynchronizedDB) Query(src string) (*Rows, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.db.Query(src)
+}
+
+// MustQuery is Query that panics on error.
+func (s *SynchronizedDB) MustQuery(src string) *Rows {
+	r, err := s.Query(src)
+	if err != nil {
+		panic(fmt.Sprintf("sopr: %v", err))
+	}
+	return r
+}
+
+// TraceTo installs (or, with nil, removes) a line-per-event trace writer on
+// the wrapped DB, under the lock. Trace events are emitted while some
+// goroutine holds the lock in Exec, so writes to w are serialized.
+func (s *SynchronizedDB) TraceTo(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.db.TraceTo(w)
 }
 
 // Stats returns counters under the lock.

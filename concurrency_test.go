@@ -1,6 +1,7 @@
 package sopr
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -65,6 +66,74 @@ func TestSynchronizedDB(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "CREATE TABLE t") {
 		t.Error("dump through wrapper")
+	}
+}
+
+// TestSynchronizedDBPassthroughs checks the wrapper is a drop-in for *DB:
+// MustExec/MustQuery behave like their DB counterparts (including the panic
+// on error) and TraceTo writes the same event lines.
+func TestSynchronizedDBPassthroughs(t *testing.T) {
+	sdb := Synchronized(Open())
+	sdb.MustExec(`create table t (a int)`)
+	sdb.MustExec(`create rule r when inserted into t then delete from t where a < 0 end`)
+
+	var b strings.Builder
+	sdb.TraceTo(&b)
+	res := sdb.MustExec(`insert into t values (1), (-2)`)
+	if len(res.Firings) != 1 || res.Firings[0].Rule != "r" {
+		t.Errorf("firings = %+v", res.Firings)
+	}
+	for _, frag := range []string{"external transition", "fire r", "commit"} {
+		if !strings.Contains(b.String(), frag) {
+			t.Errorf("trace missing %q:\n%s", frag, b.String())
+		}
+	}
+	sdb.TraceTo(nil)
+	n := len(b.String())
+
+	rows := sdb.MustQuery(`select a from t`)
+	if len(rows.Data) != 1 || rows.Data[0][0] != int64(1) {
+		t.Errorf("rows = %+v", rows.Data)
+	}
+	if len(b.String()) != n {
+		t.Error("tracing not stopped")
+	}
+
+	for name, fn := range map[string]func(){
+		"MustExec":  func() { sdb.MustExec(`insert into nosuch values (1)`) },
+		"MustQuery": func() { sdb.MustQuery(`select * from nosuch`) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on error", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	db := Open()
+	db.MustExec(`create table t (a int)`)
+	_, err := db.Exec("insert into t values (1);\n insert bogus;")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *ParseError", err, err)
+	}
+	if pe.Line != 2 || pe.Col < 2 {
+		t.Errorf("position = %d:%d, want line 2", pe.Line, pe.Col)
+	}
+	if !strings.Contains(err.Error(), "syntax error at line 2") {
+		t.Errorf("message: %q", err.Error())
+	}
+	// Execution failures are not ParseErrors.
+	if _, err := db.Exec(`select * from nosuch`); errors.As(err, &pe) {
+		t.Errorf("exec failure classified as parse error: %v", err)
+	}
+	if _, err := db.Query(`select from from`); !errors.As(err, &pe) {
+		t.Errorf("Query parse failure not a ParseError: %v", err)
 	}
 }
 

@@ -1,0 +1,386 @@
+// Package server implements the soprd network front-end: it accepts TCP
+// connections, frames requests with the wire protocol, and serves them from
+// one shared engine. Sessions are request/response: each connection issues
+// one request at a time, and the shared SynchronizedDB serializes operation
+// blocks across connections, preserving the paper's single-stream model of
+// system execution (Section 2.1) — concurrent clients are simply interleaved
+// as a stream of transactions.
+//
+// Robustness against slow or broken peers: every read of a request frame and
+// every write of a response runs under a deadline, frames beyond the
+// configured maximum are rejected before their payload is read, and framing
+// errors close the connection (the stream cannot be trusted afterwards).
+// Shutdown stops accepting, closes idle connections, and drains requests
+// that are already executing before returning.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sopr"
+	"sopr/internal/wire"
+)
+
+// Config tunes a Server. Zero values select the defaults.
+type Config struct {
+	// MaxFrame caps request and response payload sizes (default
+	// wire.DefaultMaxFrame).
+	MaxFrame int
+	// ReadTimeout bounds the wait for the next request frame on an open
+	// connection; a client idle longer is disconnected (default 5m).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response (default 30s).
+	WriteTimeout time.Duration
+	// Logf, when set, receives one line per connection-level event.
+	Logf func(format string, args ...any)
+}
+
+const (
+	defaultReadTimeout  = 5 * time.Minute
+	defaultWriteTimeout = 30 * time.Second
+)
+
+// ErrServerClosed is returned by Serve after Shutdown completes.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server serves the wire protocol from one shared database.
+type Server struct {
+	db  *sopr.SynchronizedDB
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup // one per live connection goroutine
+
+	accepted    atomic.Int64
+	active      atomic.Int64
+	execs       atomic.Int64
+	queries     atomic.Int64
+	dumps       atomic.Int64
+	statsReqs   atomic.Int64
+	pings       atomic.Int64
+	errorsSent  atomic.Int64
+	badFrames   atomic.Int64
+	inFlight    atomic.Int64
+	drainedReqs atomic.Int64
+}
+
+// conn is one client session. busy and cut are guarded by Server.mu.
+type conn struct {
+	nc   net.Conn
+	busy bool // processing a request
+	cut  bool // socket closed by Shutdown; drop anything half-read
+}
+
+// New builds a Server over a shared database. The database may be used by
+// other goroutines too; the server adds no ordering beyond the wrapper's.
+func New(db *sopr.SynchronizedDB, cfg Config) *Server {
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = defaultReadTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = defaultWriteTimeout
+	}
+	return &Server{db: db, cfg: cfg, conns: map[*conn]struct{}{}}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Listen starts listening on addr (host:port; port 0 picks a free one).
+// Use the returned listener with Serve; its Addr reports the bound address.
+func Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error: ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		c := &conn{nc: nc}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.active.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// Shutdown stops accepting connections, disconnects idle sessions, and
+// waits for requests already executing to complete and be answered (each is
+// counted in DrainedReqs). It returns ctx's error if the drain does not
+// finish in time, after force-closing the stragglers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		if !c.busy {
+			c.cut = true
+			c.nc.Close() // unblocks the pending frame read
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the front-end's own counters (the engine's counters come
+// from the shared database).
+func (s *Server) Stats() wire.ServerStats {
+	return wire.ServerStats{
+		Accepted:    s.accepted.Load(),
+		Active:      s.active.Load(),
+		Execs:       s.execs.Load(),
+		Queries:     s.queries.Load(),
+		Dumps:       s.dumps.Load(),
+		StatsReqs:   s.statsReqs.Load(),
+		Pings:       s.pings.Load(),
+		Errors:      s.errorsSent.Load(),
+		BadFrames:   s.badFrames.Load(),
+		InFlight:    s.inFlight.Load(),
+		DrainedReqs: s.drainedReqs.Load(),
+	}
+}
+
+// beginRequest marks c busy so Shutdown will drain rather than cut it.
+// It reports false when the connection was already closed by Shutdown.
+func (s *Server) beginRequest(c *conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.cut {
+		return false
+	}
+	c.busy = true
+	return true
+}
+
+// endRequest marks c idle again; it reports whether the server is draining,
+// in which case the session must end.
+func (s *Server) endRequest(c *conn) (draining bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.busy = false
+	return s.draining
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.nc.Close()
+	s.active.Add(-1)
+	s.wg.Done()
+}
+
+func (s *Server) serveConn(c *conn) {
+	defer s.removeConn(c)
+	peer := c.nc.RemoteAddr()
+	s.logf("conn %v: open", peer)
+	for {
+		c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		typ, payload, err := wire.ReadFrame(c.nc, s.cfg.MaxFrame)
+		if err != nil {
+			switch {
+			case err == io.EOF:
+				s.logf("conn %v: closed by peer", peer)
+			case errors.Is(err, wire.ErrFrameTooLarge):
+				// The oversized payload is still in the stream; tell the
+				// client why, then cut the connection.
+				s.badFrames.Add(1)
+				s.writeError(c, wire.ErrorResponse{Code: wire.CodeTooLarge, Message: err.Error()})
+				s.logf("conn %v: %v", peer, err)
+			case errors.Is(err, net.ErrClosed):
+				s.logf("conn %v: closed during shutdown", peer)
+			default:
+				s.badFrames.Add(1)
+				s.logf("conn %v: read: %v", peer, err)
+			}
+			return
+		}
+		if !s.beginRequest(c) {
+			return // shutdown cut the session between frames
+		}
+		s.inFlight.Add(1)
+		ok := s.handle(c, typ, payload)
+		s.inFlight.Add(-1)
+		draining := s.endRequest(c)
+		if draining {
+			s.drainedReqs.Add(1)
+		}
+		if !ok || draining {
+			return
+		}
+	}
+}
+
+// handle dispatches one request and writes its response; it reports whether
+// the connection is still usable.
+func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
+	switch typ {
+	case wire.MsgPing:
+		s.pings.Add(1)
+		return s.write(c, wire.MsgPong, nil)
+
+	case wire.MsgExec:
+		s.execs.Add(1)
+		var req wire.ExecRequest
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			s.badFrames.Add(1)
+			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeBadFrame, Message: err.Error()})
+		}
+		res, err := s.db.Exec(req.Src)
+		if err != nil {
+			return s.writeError(c, execError(err))
+		}
+		resp, err := execResponse(res)
+		if err != nil {
+			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeInternal, Message: err.Error()})
+		}
+		return s.write(c, wire.MsgExecResult, resp)
+
+	case wire.MsgQuery:
+		s.queries.Add(1)
+		var req wire.QueryRequest
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			s.badFrames.Add(1)
+			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeBadFrame, Message: err.Error()})
+		}
+		rows, err := s.db.Query(req.Src)
+		if err != nil {
+			return s.writeError(c, execError(err))
+		}
+		wrows, err := wire.RowsOf(rows.Columns, rows.Data)
+		if err != nil {
+			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeInternal, Message: err.Error()})
+		}
+		return s.write(c, wire.MsgQueryResult, wrows)
+
+	case wire.MsgDump:
+		s.dumps.Add(1)
+		var b strings.Builder
+		if err := s.db.Dump(&b); err != nil {
+			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeInternal, Message: err.Error()})
+		}
+		return s.write(c, wire.MsgDumpResult, wire.DumpResponse{Script: b.String()})
+
+	case wire.MsgStats:
+		s.statsReqs.Add(1)
+		es := s.db.Stats()
+		return s.write(c, wire.MsgStatsResult, wire.StatsResponse{
+			Engine: wire.EngineStats{
+				Committed:           es.Committed,
+				RolledBack:          es.RolledBack,
+				ExternalTransitions: es.ExternalTransitions,
+				RuleConsiderations:  es.RuleConsiderations,
+				RuleFirings:         es.RuleFirings,
+			},
+			Server: s.Stats(),
+		})
+
+	default:
+		s.badFrames.Add(1)
+		return s.writeError(c, wire.ErrorResponse{
+			Code:    wire.CodeBadFrame,
+			Message: fmt.Sprintf("unknown request type %s", wire.TypeName(typ)),
+		})
+	}
+}
+
+// execError classifies a script failure, attaching the line for parse errors.
+func execError(err error) wire.ErrorResponse {
+	var pe *sopr.ParseError
+	if errors.As(err, &pe) {
+		return wire.ErrorResponse{Code: wire.CodeParse, Message: err.Error(), Line: pe.Line}
+	}
+	return wire.ErrorResponse{Code: wire.CodeExec, Message: err.Error()}
+}
+
+// execResponse converts a sopr.Result for the wire.
+func execResponse(res *sopr.Result) (wire.ExecResponse, error) {
+	out := wire.ExecResponse{RolledBack: res.RolledBack, RollbackRule: res.RollbackRule}
+	for _, f := range res.Firings {
+		out.Firings = append(out.Firings, wire.Firing{Rule: f.Rule, Effect: f.Effect})
+	}
+	for _, q := range res.Results {
+		rows, err := wire.RowsOf(q.Columns, q.Data)
+		if err != nil {
+			return wire.ExecResponse{}, err
+		}
+		out.Results = append(out.Results, rows)
+	}
+	return out, nil
+}
+
+func (s *Server) writeError(c *conn, er wire.ErrorResponse) bool {
+	s.errorsSent.Add(1)
+	return s.write(c, wire.MsgError, er)
+}
+
+func (s *Server) write(c *conn, typ byte, v any) bool {
+	c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if err := wire.WriteMessage(c.nc, typ, v, s.cfg.MaxFrame); err != nil {
+		s.logf("conn %v: write %s: %v", c.nc.RemoteAddr(), wire.TypeName(typ), err)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,24 @@
+package sqlparse
+
+import "fmt"
+
+// SyntaxError is a lexical or grammatical error with 1-based position
+// information. Callers that present scripts spanning many lines (the shell,
+// the network server) use Line/Col to point at the failing spot; Error keeps
+// the historical "syntax error at line L, column C: msg" text.
+type SyntaxError struct {
+	Pos  int // byte offset into the source
+	Line int // 1-based line
+	Col  int // 1-based column
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax error at line %d, column %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// syntaxErrorAt builds a SyntaxError for a byte offset in src.
+func syntaxErrorAt(src string, pos int, msg string) *SyntaxError {
+	line, col := position(src, pos)
+	return &SyntaxError{Pos: pos, Line: line, Col: col, Msg: msg}
+}

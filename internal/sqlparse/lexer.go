@@ -41,18 +41,6 @@ func (t token) String() string {
 	}
 }
 
-// lexError reports a lexical error with position context. line and col are
-// filled in by lex before returning.
-type lexError struct {
-	pos       int
-	line, col int
-	msg       string
-}
-
-func (e *lexError) Error() string {
-	return fmt.Sprintf("syntax error at line %d, column %d: %s", e.line, e.col, e.msg)
-}
-
 // position converts a byte offset into 1-based line and column numbers.
 func position(src string, off int) (line, col int) {
 	line, col = 1, 1
@@ -74,8 +62,7 @@ func position(src string, off int) (line, col int) {
 // Comments: -- to end of line.
 func lex(src string) ([]token, error) {
 	mkErr := func(pos int, msg string) error {
-		line, col := position(src, pos)
-		return &lexError{pos: pos, line: line, col: col, msg: msg}
+		return syntaxErrorAt(src, pos, msg)
 	}
 	var toks []token
 	i := 0

@@ -89,8 +89,7 @@ func (p *parser) peekAt(k int) token {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	line, col := position(p.src, p.peek().pos)
-	return fmt.Errorf("syntax error at line %d, column %d: %s", line, col, fmt.Sprintf(format, args...))
+	return syntaxErrorAt(p.src, p.peek().pos, fmt.Sprintf(format, args...))
 }
 
 // isKw reports whether tok is the identifier kw (already lowercase).

@@ -27,12 +27,15 @@
 package sopr
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"sopr/internal/engine"
 	"sopr/internal/exec"
 	"sopr/internal/rules"
+	"sopr/internal/sqlparse"
 	"sopr/internal/value"
 )
 
@@ -116,6 +119,28 @@ func Open(opts ...Option) *DB {
 	return &DB{eng: engine.New(cfg)}
 }
 
+// ParseError reports a script syntax error with its 1-based position; Exec
+// and Query return it (wrapped in the error chain) whenever the script fails
+// to parse, so shells and servers can point at the offending line.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("syntax error at line %d, column %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// wrapErr converts internal syntax errors to the public ParseError.
+func wrapErr(err error) error {
+	var se *sqlparse.SyntaxError
+	if errors.As(err, &se) {
+		return &ParseError{Line: se.Line, Col: se.Col, Msg: se.Msg}
+	}
+	return err
+}
+
 // Rows is a query result: column names and data rows. Cells are nil (SQL
 // NULL), int64, float64, string, or bool.
 type Rows struct {
@@ -126,6 +151,72 @@ type Rows struct {
 
 // String renders the rows as an aligned text table.
 func (r *Rows) String() string { return r.table }
+
+// NewRows builds a Rows from raw columns and cells (nil, int64, float64,
+// string, or bool) and renders its table form. The network client uses it to
+// rebuild results received over the wire; the output matches what the
+// engine produces for the same data.
+func NewRows(columns []string, data [][]any) *Rows {
+	r := &Rows{Columns: columns, Data: data}
+	widths := make([]int, len(columns))
+	for i, c := range columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(data))
+	for ri, row := range data {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := cellString(v)
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	for _, row := range cells {
+		b.WriteByte('\n')
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+	}
+	r.table = b.String()
+	return r
+}
+
+// cellString renders one raw cell the way the engine's table printer does.
+func cellString(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case int64:
+		return value.NewInt(x).String()
+	case float64:
+		return value.NewFloat(x).String()
+	case string:
+		return x // strings print unquoted in tables
+	case bool:
+		return value.NewBool(x).String()
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
 
 func wrapResult(res *exec.Result) *Rows {
 	if res == nil {
@@ -176,7 +267,7 @@ type Result struct {
 func (db *DB) Exec(src string) (*Result, error) {
 	txn, err := db.eng.Exec(src)
 	res := wrapTxn(txn)
-	return res, err
+	return res, wrapErr(err)
 }
 
 func wrapTxn(txn *engine.TxnResult) *Result {
@@ -206,7 +297,7 @@ func (db *DB) MustExec(src string) *Result {
 func (db *DB) Query(src string) (*Rows, error) {
 	res, err := db.eng.QueryString(src)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	return wrapResult(res), nil
 }
