@@ -184,6 +184,8 @@ func (c *Client) Stats() (*Stats, error) {
 			ExternalTransitions: resp.Engine.ExternalTransitions,
 			RuleConsiderations:  resp.Engine.RuleConsiderations,
 			RuleFirings:         resp.Engine.RuleFirings,
+			IndexLookups:        resp.Engine.IndexLookups,
+			HeapScans:           resp.Engine.HeapScans,
 		},
 		Server: ServerStats(resp.Server),
 	}, nil

@@ -316,6 +316,6 @@ meta-commands (remote session):
 }
 
 func printEngineStats(s sopr.Stats) {
-	fmt.Printf("committed=%d rolled_back=%d external_transitions=%d rule_considerations=%d rule_firings=%d\n",
-		s.Committed, s.RolledBack, s.ExternalTransitions, s.RuleConsiderations, s.RuleFirings)
+	fmt.Printf("committed=%d rolled_back=%d external_transitions=%d rule_considerations=%d rule_firings=%d index_lookups=%d heap_scans=%d\n",
+		s.Committed, s.RolledBack, s.ExternalTransitions, s.RuleConsiderations, s.RuleFirings, s.IndexLookups, s.HeapScans)
 }

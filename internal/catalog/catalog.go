@@ -106,12 +106,27 @@ func (t *Table) String() string {
 // single-stream: "multiple users, concurrent processing, and failures are
 // all transparent").
 type Catalog struct {
-	tables map[string]*Table
+	tables  map[string]*Table
+	indexes map[string]*Index
+}
+
+// Index describes a secondary hash index over one column of a table.
+// The catalog records the definition; the physical structure lives in
+// internal/storage alongside the table's heap.
+type Index struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+// String renders the definition as a CREATE INDEX statement.
+func (ix *Index) String() string {
+	return "CREATE INDEX " + ix.Name + " ON " + ix.Table + " (" + ix.Column + ")"
 }
 
 // New returns an empty catalog.
 func New() *Catalog {
-	return &Catalog{tables: make(map[string]*Table)}
+	return &Catalog{tables: make(map[string]*Table), indexes: make(map[string]*Index)}
 }
 
 // Create adds a table schema. It fails if the name is taken.
@@ -123,13 +138,19 @@ func (c *Catalog) Create(t *Table) error {
 	return nil
 }
 
-// Drop removes a table schema. It fails if the table does not exist.
+// Drop removes a table schema along with any indexes defined on the table.
+// It fails if the table does not exist.
 func (c *Catalog) Drop(name string) error {
 	n := strings.ToLower(name)
 	if _, ok := c.tables[n]; !ok {
 		return fmt.Errorf("catalog: table %q does not exist", name)
 	}
 	delete(c.tables, n)
+	for ixName, ix := range c.indexes {
+		if ix.Table == n {
+			delete(c.indexes, ixName)
+		}
+	}
 	return nil
 }
 
@@ -156,4 +177,74 @@ func (c *Catalog) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// CreateIndex records a secondary index definition after validating that
+// the index name is free, the table exists, and the column exists. Names
+// are normalized to lower case, like table and column names. Index names
+// share one namespace across all tables (as in DROP INDEX name). The
+// returned definition has all names normalized.
+func (c *Catalog) CreateIndex(name, table, column string) (*Index, error) {
+	n := strings.ToLower(name)
+	if n == "" {
+		return nil, fmt.Errorf("catalog: empty index name")
+	}
+	if _, ok := c.indexes[n]; ok {
+		return nil, fmt.Errorf("catalog: index %q already exists", n)
+	}
+	t, err := c.Lookup(table)
+	if err != nil {
+		return nil, err
+	}
+	col := strings.ToLower(column)
+	if !t.HasColumn(col) {
+		return nil, fmt.Errorf("catalog: table %q has no column %q", t.Name, col)
+	}
+	ix := &Index{Name: n, Table: t.Name, Column: col}
+	c.indexes[n] = ix
+	return ix, nil
+}
+
+// DropIndex removes an index definition. It fails if the index does not
+// exist.
+func (c *Catalog) DropIndex(name string) error {
+	n := strings.ToLower(name)
+	if _, ok := c.indexes[n]; !ok {
+		return fmt.Errorf("catalog: index %q does not exist", name)
+	}
+	delete(c.indexes, n)
+	return nil
+}
+
+// Index returns the named index definition, or an error.
+func (c *Catalog) Index(name string) (*Index, error) {
+	ix, ok := c.indexes[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: index %q does not exist", name)
+	}
+	return ix, nil
+}
+
+// IndexNames returns the sorted names of all indexes.
+func (c *Catalog) IndexNames() []string {
+	names := make([]string, 0, len(c.indexes))
+	for n := range c.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IndexesOn returns the indexes defined on the named table, sorted by
+// index name.
+func (c *Catalog) IndexesOn(table string) []*Index {
+	t := strings.ToLower(table)
+	var out []*Index
+	for _, ix := range c.indexes {
+		if ix.Table == t {
+			out = append(out, ix)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }

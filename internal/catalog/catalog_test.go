@@ -122,3 +122,63 @@ func TestCatalogCRUD(t *testing.T) {
 		t.Error("dropped table still present")
 	}
 }
+
+func TestCatalogIndexes(t *testing.T) {
+	c := New()
+	emp := mustTable(t, "emp", []Column{
+		{Name: "name", Type: value.KindString},
+		{Name: "emp_no", Type: value.KindInt},
+	})
+	if err := c.Create(emp); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := c.CreateIndex("Emp_No_IX", "EMP", "Emp_No")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Names are normalized to lower case, like tables.
+	if ix.Name != "emp_no_ix" || ix.Table != "emp" || ix.Column != "emp_no" {
+		t.Errorf("index not lowercased: %+v", ix)
+	}
+	if ix.String() != "CREATE INDEX emp_no_ix ON emp (emp_no)" {
+		t.Errorf("String: %s", ix)
+	}
+	if got, err := c.Index("EMP_NO_IX"); err != nil || got != ix {
+		t.Errorf("Index lookup: %v, %v", got, err)
+	}
+	if _, err := c.CreateIndex("emp_no_ix", "emp", "name"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := c.CreateIndex("", "emp", "name"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := c.CreateIndex("x", "nosuch", "a"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := c.CreateIndex("x", "emp", "nosuch"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := c.CreateIndex("name_ix", "emp", "name"); err != nil {
+		t.Fatal(err)
+	}
+	if names := c.IndexNames(); len(names) != 2 || names[0] != "emp_no_ix" || names[1] != "name_ix" {
+		t.Errorf("IndexNames = %v", names)
+	}
+	on := c.IndexesOn("emp")
+	if len(on) != 2 || on[0].Name != "emp_no_ix" || on[1].Name != "name_ix" {
+		t.Errorf("IndexesOn = %v", on)
+	}
+	if err := c.DropIndex("name_ix"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("name_ix"); err == nil {
+		t.Error("double DropIndex accepted")
+	}
+	// Dropping a table removes its indexes.
+	if err := c.Drop("emp"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.IndexNames()) != 0 {
+		t.Errorf("indexes survived table drop: %v", c.IndexNames())
+	}
+}

@@ -58,6 +58,17 @@ func (e *Engine) Dump(w io.Writer) error {
 			}
 		}
 	}
+	// Indexes after the data (a reload bulk-builds each index once) and
+	// before the rules.
+	for _, name := range cat.IndexNames() {
+		ix, err := cat.Index(name)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "CREATE INDEX %s ON %s (%s);\n", ix.Name, ix.Table, ix.Column); err != nil {
+			return err
+		}
+	}
 	for _, name := range e.defOrder {
 		r := e.ruleSet[name]
 		cr := &sqlast.CreateRule{

@@ -327,6 +327,10 @@ func (e *Engine) execDefinition(st sqlast.Statement) error {
 		return e.store.CreateTable(tab)
 	case *sqlast.DropTable:
 		return e.store.DropTable(s.Name)
+	case *sqlast.CreateIndex:
+		return e.store.CreateIndex(s.Name, s.Table, s.Column)
+	case *sqlast.DropIndex:
+		return e.store.DropIndex(s.Name)
 	case *sqlast.CreateRule:
 		return e.DefineRule(s)
 	case *sqlast.CreateRulePriority:

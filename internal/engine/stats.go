@@ -14,7 +14,15 @@ type Stats struct {
 	// action executions (rule-generated transitions).
 	RuleConsiderations int64
 	RuleFirings        int64
+	// Access-path counters from the storage layer: selections served from
+	// a secondary hash index (CREATE INDEX) vs. full heap table scans.
+	IndexLookups int64
+	HeapScans    int64
 }
 
 // Stats returns a snapshot of the engine's counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.HeapScans, s.IndexLookups = e.store.AccessStats()
+	return s
+}

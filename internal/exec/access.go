@@ -1,0 +1,403 @@
+package exec
+
+// Index-aware access path. evalSelect and matchTuples materialize their
+// base-table inputs through this sargability pass: a top-level AND
+// conjunct of the form `col = <probe>` or `col IN (<probes>)`, where col
+// belongs to the table being materialized and every probe is independent
+// of the current query block, lets the storage layer's secondary hash
+// index (CREATE INDEX) produce the candidate tuples instead of a full
+// heap scan.
+//
+// Semantics preservation: the index returns, in heap-scan order, exactly
+// the tuples for which the conjunct's comparison is True, and the full
+// WHERE clause is still evaluated on every candidate afterwards, so
+// three-valued logic, residual predicates, result order and
+// select-observation (Section 5.1) are indistinguishable from the scan
+// path. Whenever a conjunct cannot be proven independent of the block —
+// or an index cannot answer a probe exactly (see storage.probeKey) — the
+// pass declines and the scan path runs. Like the hash-join fast path,
+// indexed access evaluates WHERE only on candidate rows, so a predicate
+// whose evaluation errors on non-candidate rows may not error here.
+
+import (
+	"sopr/internal/catalog"
+	"sopr/internal/sqlast"
+	"sopr/internal/storage"
+	"sopr/internal/value"
+)
+
+// fromBinding is the planning-time view of one FROM entry: enough to
+// resolve column references before any rows are materialized. schema is
+// nil when the table is unknown (the scan path will report the error).
+type fromBinding struct {
+	binding string
+	schema  *catalog.Table
+}
+
+// planBindings builds the planning view of a FROM list, tolerating
+// unknown tables.
+func (e *Env) planBindings(from []*sqlast.TableRef) []fromBinding {
+	infos := make([]fromBinding, len(from))
+	for i, tr := range from {
+		infos[i].binding = tr.Binding()
+		if schema, err := e.lookupSchema(tr.Table); err == nil {
+			infos[i].schema = schema
+		}
+	}
+	return infos
+}
+
+// indexProbe is a planned index access on one FROM entry: the column
+// position and the probe values of an equality (one value) or IN
+// (several values) conjunct.
+type indexProbe struct {
+	col  int
+	vals []value.Value
+}
+
+// materializeFrom resolves one FROM entry of sel, routing base-table
+// entries through a secondary index when a sargable conjunct allows it
+// and falling back to resolveTableRef (heap scan) otherwise.
+func (e *Env) materializeFrom(tr *sqlast.TableRef, target int, sel *sqlast.Select, infos []fromBinding, parent *scope) (*relation, error) {
+	if tr.Trans == sqlast.TransNone && !e.NoIndex && sel.Where != nil && infos[target].schema != nil {
+		if probe := e.findIndexProbe(sel.Where, target, infos, parent); probe != nil {
+			schema := infos[target].schema
+			tuples, ok, err := e.Store.IndexedLookup(schema.Name, probe.col, probe.vals...)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				rel := &relation{binding: tr.Binding(), table: schema.Name, cols: schema.ColumnNames()}
+				for _, t := range tuples {
+					rel.rows = append(rel.rows, TransRow{Handle: t.Handle, Values: t.Values})
+				}
+				return rel, nil
+			}
+		}
+	}
+	return e.resolveTableRef(tr)
+}
+
+// findIndexProbe searches the top-level AND conjuncts of where for a
+// sargable conjunct on FROM entry target: `col = probe`, `probe = col`,
+// `col IN (probes)`, or `col IN (subquery)`. It returns nil when no such
+// conjunct exists, when no index covers the column, or when a probe
+// cannot be proven independent of the current block; the caller then
+// scans.
+func (e *Env) findIndexProbe(where sqlast.Expr, target int, infos []fromBinding, parent *scope) *indexProbe {
+	switch x := where.(type) {
+	case *sqlast.Binary:
+		if x.Op == sqlast.OpAnd {
+			if p := e.findIndexProbe(x.L, target, infos, parent); p != nil {
+				return p
+			}
+			return e.findIndexProbe(x.R, target, infos, parent)
+		}
+		if x.Op != sqlast.OpEq {
+			return nil
+		}
+		if p := e.probeFromEq(x.L, x.R, target, infos, parent); p != nil {
+			return p
+		}
+		return e.probeFromEq(x.R, x.L, target, infos, parent)
+	case *sqlast.InList:
+		if x.Negate {
+			return nil
+		}
+		col, ok := e.sargableCol(x.X, target, infos)
+		if !ok {
+			return nil
+		}
+		vals := make([]value.Value, 0, len(x.List))
+		for _, item := range x.List {
+			v, ok := e.probeValue(item, infos, parent)
+			if !ok {
+				return nil
+			}
+			vals = append(vals, v)
+		}
+		return &indexProbe{col: col, vals: vals}
+	case *sqlast.InSelect:
+		if x.Negate || e.Observer != nil {
+			// With select-triggered rules on, plan-time evaluation of the
+			// subquery could observe tuples the per-row scan path would
+			// not (e.g. when the outer table is empty); decline.
+			return nil
+		}
+		col, ok := e.sargableCol(x.X, target, infos)
+		if !ok {
+			return nil
+		}
+		if e.selectMayReferToBlock(x.Sub, infos, nil) {
+			return nil
+		}
+		res, err := e.evalSelect(x.Sub, parent)
+		if err != nil || len(res.Columns) != 1 {
+			// The scan path reports any genuine error per row; declining
+			// reproduces its behavior exactly (including the no-rows case
+			// where the error never surfaces).
+			return nil
+		}
+		vals := make([]value.Value, len(res.Rows))
+		for i, r := range res.Rows {
+			vals[i] = r[0]
+		}
+		return &indexProbe{col: col, vals: vals}
+	default:
+		return nil
+	}
+}
+
+// probeFromEq plans `lhs = rhs` with lhs the indexed column: lhs must be
+// a column reference resolving uniquely to the target entry, an index
+// must cover it, and rhs must evaluate independently of the block.
+func (e *Env) probeFromEq(lhs, rhs sqlast.Expr, target int, infos []fromBinding, parent *scope) *indexProbe {
+	col, ok := e.sargableCol(lhs, target, infos)
+	if !ok {
+		return nil
+	}
+	v, ok := e.probeValue(rhs, infos, parent)
+	if !ok {
+		return nil
+	}
+	return &indexProbe{col: col, vals: []value.Value{v}}
+}
+
+// sargableCol resolves ref as a column reference landing uniquely on FROM
+// entry target (mirroring scope.lookup's innermost-level resolution) and
+// reports whether a secondary index covers that column. Ambiguous or
+// foreign references decline.
+func (e *Env) sargableCol(ref sqlast.Expr, target int, infos []fromBinding) (int, bool) {
+	cr, ok := ref.(*sqlast.ColumnRef)
+	if !ok {
+		return 0, false
+	}
+	entry, col := -1, -1
+	for i, fb := range infos {
+		if fb.schema == nil {
+			continue
+		}
+		if cr.Qualifier != "" && cr.Qualifier != fb.binding {
+			continue
+		}
+		if j := fb.schema.ColumnIndex(cr.Column); j >= 0 {
+			if entry >= 0 {
+				return 0, false // ambiguous in this block
+			}
+			entry, col = i, j
+		}
+	}
+	if entry != target {
+		return 0, false
+	}
+	return col, e.Store.HasIndex(infos[target].schema.Name, col)
+}
+
+// probeValue evaluates a probe expression that must be independent of the
+// current block: literals (including arithmetic over them), outer-scope
+// column references, and — when select observation is off — subqueries
+// free of block references. ok is false when independence cannot be
+// proven or evaluation fails (the scan path then reproduces any genuine
+// error).
+func (e *Env) probeValue(rhs sqlast.Expr, infos []fromBinding, parent *scope) (value.Value, bool) {
+	if e.mayReferToBlock(rhs, infos, nil) {
+		return value.Null, false
+	}
+	if e.Observer != nil && exprUsesSelect(rhs) {
+		return value.Null, false
+	}
+	if parent == nil {
+		parent = &scope{}
+	}
+	v, err := e.evalExpr(parent, rhs)
+	if err != nil {
+		return value.Null, false
+	}
+	return v, true
+}
+
+// mayReferToBlock conservatively reports whether x contains a column
+// reference that would resolve to one of the current block's FROM
+// bindings. shadows holds the FROM bindings of enclosing subqueries
+// between x and the block; a reference they bind never escapes to the
+// block (resolution is innermost-out, as in scope.lookup). Unknown
+// constructs report true (decline).
+func (e *Env) mayReferToBlock(x sqlast.Expr, block []fromBinding, shadows [][]fromBinding) bool {
+	switch v := x.(type) {
+	case nil:
+		return false
+	case *sqlast.Literal:
+		return false
+	case *sqlast.ColumnRef:
+		for _, level := range shadows {
+			if refResolvesIn(v, level) {
+				return false
+			}
+		}
+		return refResolvesIn(v, block)
+	case *sqlast.Binary:
+		return e.mayReferToBlock(v.L, block, shadows) || e.mayReferToBlock(v.R, block, shadows)
+	case *sqlast.Unary:
+		return e.mayReferToBlock(v.X, block, shadows)
+	case *sqlast.IsNull:
+		return e.mayReferToBlock(v.X, block, shadows)
+	case *sqlast.InList:
+		if e.mayReferToBlock(v.X, block, shadows) {
+			return true
+		}
+		for _, item := range v.List {
+			if e.mayReferToBlock(item, block, shadows) {
+				return true
+			}
+		}
+		return false
+	case *sqlast.InSelect:
+		return e.mayReferToBlock(v.X, block, shadows) || e.selectMayReferToBlock(v.Sub, block, shadows)
+	case *sqlast.Exists:
+		return e.selectMayReferToBlock(v.Sub, block, shadows)
+	case *sqlast.ScalarSub:
+		return e.selectMayReferToBlock(v.Sub, block, shadows)
+	case *sqlast.SubCompare:
+		return e.mayReferToBlock(v.X, block, shadows) || e.selectMayReferToBlock(v.Sub, block, shadows)
+	case *sqlast.Between:
+		return e.mayReferToBlock(v.X, block, shadows) ||
+			e.mayReferToBlock(v.Lo, block, shadows) ||
+			e.mayReferToBlock(v.Hi, block, shadows)
+	case *sqlast.Like:
+		return e.mayReferToBlock(v.X, block, shadows) || e.mayReferToBlock(v.Pattern, block, shadows)
+	case *sqlast.FuncCall:
+		for _, a := range v.Args {
+			if e.mayReferToBlock(a, block, shadows) {
+				return true
+			}
+		}
+		return false
+	case *sqlast.Case:
+		if e.mayReferToBlock(v.Operand, block, shadows) || e.mayReferToBlock(v.Else, block, shadows) {
+			return true
+		}
+		for _, w := range v.Whens {
+			if e.mayReferToBlock(w.Cond, block, shadows) || e.mayReferToBlock(w.Result, block, shadows) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// selectMayReferToBlock extends mayReferToBlock into a subquery: the
+// subquery's own FROM list shadows the block for every expression inside
+// it. An unresolvable FROM table reports true (decline).
+func (e *Env) selectMayReferToBlock(sel *sqlast.Select, block []fromBinding, shadows [][]fromBinding) bool {
+	level := e.planBindings(sel.From)
+	for _, fb := range level {
+		if fb.schema == nil {
+			return true
+		}
+	}
+	inner := append([][]fromBinding{level}, shadows...)
+	for _, it := range sel.Items {
+		if !it.Star && e.mayReferToBlock(it.Expr, block, inner) {
+			return true
+		}
+	}
+	if e.mayReferToBlock(sel.Where, block, inner) || e.mayReferToBlock(sel.Having, block, inner) {
+		return true
+	}
+	for _, g := range sel.GroupBy {
+		if e.mayReferToBlock(g, block, inner) {
+			return true
+		}
+	}
+	for _, ob := range sel.OrderBy {
+		if e.mayReferToBlock(ob.Expr, block, inner) {
+			return true
+		}
+	}
+	return false
+}
+
+// refResolvesIn reports whether the reference resolves against any
+// binding at one scope level, mirroring scope.lookup's matching.
+func refResolvesIn(cr *sqlast.ColumnRef, level []fromBinding) bool {
+	for _, fb := range level {
+		if fb.schema == nil {
+			continue
+		}
+		if cr.Qualifier != "" && cr.Qualifier != fb.binding {
+			continue
+		}
+		if fb.schema.HasColumn(cr.Column) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprUsesSelect reports whether the expression embeds any subquery.
+func exprUsesSelect(x sqlast.Expr) bool {
+	switch v := x.(type) {
+	case *sqlast.InSelect, *sqlast.Exists, *sqlast.ScalarSub, *sqlast.SubCompare:
+		return true
+	case *sqlast.Binary:
+		return exprUsesSelect(v.L) || exprUsesSelect(v.R)
+	case *sqlast.Unary:
+		return exprUsesSelect(v.X)
+	case *sqlast.IsNull:
+		return exprUsesSelect(v.X)
+	case *sqlast.InList:
+		if exprUsesSelect(v.X) {
+			return true
+		}
+		for _, item := range v.List {
+			if exprUsesSelect(item) {
+				return true
+			}
+		}
+		return false
+	case *sqlast.Between:
+		return exprUsesSelect(v.X) || exprUsesSelect(v.Lo) || exprUsesSelect(v.Hi)
+	case *sqlast.Like:
+		return exprUsesSelect(v.X) || exprUsesSelect(v.Pattern)
+	case *sqlast.FuncCall:
+		for _, a := range v.Args {
+			if exprUsesSelect(a) {
+				return true
+			}
+		}
+		return false
+	case *sqlast.Case:
+		if v.Operand != nil && exprUsesSelect(v.Operand) {
+			return true
+		}
+		if v.Else != nil && exprUsesSelect(v.Else) {
+			return true
+		}
+		for _, w := range v.Whens {
+			if exprUsesSelect(w.Cond) || exprUsesSelect(w.Result) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// indexedMatches serves matchTuples' predicate scan through an index when
+// where carries a sargable conjunct on the single bound table. ok is
+// false when the pass declines (caller scans). The returned tuples are in
+// heap-scan order and still need the full predicate applied.
+func (e *Env) indexedMatches(schema *catalog.Table, binding string, where sqlast.Expr) (tuples []*storage.Tuple, ok bool, err error) {
+	if e.NoIndex || where == nil {
+		return nil, false, nil
+	}
+	infos := []fromBinding{{binding: binding, schema: schema}}
+	probe := e.findIndexProbe(where, 0, infos, nil)
+	if probe == nil {
+		return nil, false, nil
+	}
+	return e.Store.IndexedLookup(schema.Name, probe.col, probe.vals...)
+}

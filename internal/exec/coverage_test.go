@@ -5,6 +5,7 @@ package exec
 // every expression form.
 
 import (
+	"math"
 	"testing"
 
 	"sopr/internal/sqlast"
@@ -89,22 +90,41 @@ func TestScalarFuncErrors(t *testing.T) {
 }
 
 func TestHashKeyNormalization(t *testing.T) {
-	if _, ok := hashKey(value.Null); ok {
+	if _, ok := value.KeyNumeric(value.Null); ok {
 		t.Error("NULL must not produce a key")
 	}
-	ik, _ := hashKey(value.NewInt(3))
-	fk, _ := hashKey(value.NewFloat(3.0))
+	ik, _ := value.KeyNumeric(value.NewInt(3))
+	fk, _ := value.KeyNumeric(value.NewFloat(3.0))
 	if ik != fk {
-		t.Errorf("3 and 3.0 keys differ: %q vs %q", ik, fk)
+		t.Errorf("3 and 3.0 float-image keys differ: %v vs %v", ik, fk)
 	}
-	sk, _ := hashKey(value.NewString("3"))
+	sk, _ := value.KeyNumeric(value.NewString("3"))
 	if sk == ik {
 		t.Error("string '3' collides with number 3")
 	}
-	bt, _ := hashKey(value.NewBool(true))
-	bf, _ := hashKey(value.NewBool(false))
+	bt, _ := value.KeyNumeric(value.NewBool(true))
+	bf, _ := value.KeyNumeric(value.NewBool(false))
 	if bt == bf {
 		t.Error("booleans collide")
+	}
+	// The exact keyspace keeps int64s above 2^53 distinct (the old string
+	// keys collapsed them through float64), while the float-image keyspace
+	// intentionally matches value.Compare's cross-kind conversion.
+	const big = int64(1) << 53
+	a, _ := value.KeyExact(value.NewInt(big))
+	b, _ := value.KeyExact(value.NewInt(big + 1))
+	if a == b {
+		t.Error("exact keys collapse 2^53 and 2^53+1")
+	}
+	na, _ := value.KeyNumeric(value.NewInt(big))
+	nb, _ := value.KeyNumeric(value.NewFloat(float64(big)))
+	if na != nb {
+		t.Error("float-image keys split 2^53 and its float64 image")
+	}
+	z, _ := value.KeyNumeric(value.NewFloat(0.0))
+	nz, _ := value.KeyNumeric(value.NewFloat(math.Copysign(0, -1)))
+	if z != nz {
+		t.Error("0.0 and -0.0 keys differ (they compare equal)")
 	}
 }
 

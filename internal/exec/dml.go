@@ -161,25 +161,46 @@ func (e *Env) matchTuples(table, alias string, where sqlast.Expr) ([]*storage.Tu
 	b := &boundRow{binding: binding, table: schema.Name, cols: schema.ColumnNames()}
 	sc := &scope{vars: []*boundRow{b}}
 	var matched []*storage.Tuple
-	var evalErr error
-	scanErr := e.Store.Scan(schema.Name, func(t *storage.Tuple) bool {
+	keep := func(t *storage.Tuple) (bool, error) {
 		if where == nil {
-			matched = append(matched, t)
-			return true
+			return true, nil
 		}
 		b.row = t.Values
 		b.handle = t.Handle
 		v, err := e.evalExpr(sc, where)
 		if err != nil {
-			evalErr = err
-			return false
+			return false, err
 		}
 		tb, err := truth(v)
+		if err != nil {
+			return false, err
+		}
+		return tb.IsTrue(), nil
+	}
+	// Indexed access path: a sargable conjunct narrows the candidates; the
+	// full predicate is still applied to each, in heap-scan order.
+	if cands, ok, err := e.indexedMatches(schema, binding, where); err != nil {
+		return nil, err
+	} else if ok {
+		for _, t := range cands {
+			hit, err := keep(t)
+			if err != nil {
+				return nil, err
+			}
+			if hit {
+				matched = append(matched, t)
+			}
+		}
+		return matched, nil
+	}
+	var evalErr error
+	scanErr := e.Store.Scan(schema.Name, func(t *storage.Tuple) bool {
+		hit, err := keep(t)
 		if err != nil {
 			evalErr = err
 			return false
 		}
-		if tb.IsTrue() {
+		if hit {
 			matched = append(matched, t)
 		}
 		return true

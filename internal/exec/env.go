@@ -50,6 +50,10 @@ type Env struct {
 	// NoHashJoin disables the hash equi-join fast path (used by the
 	// ablation benchmark; semantics are identical either way).
 	NoHashJoin bool
+	// NoIndex disables the secondary-index access path (see access.go),
+	// forcing heap scans. Used by the differential tests and the ablation
+	// benchmark; semantics are identical either way.
+	NoIndex bool
 }
 
 // boundRow is one variable binding in a scope: the relation's binding name,

@@ -1,8 +1,6 @@
 package exec
 
 import (
-	"fmt"
-
 	"sopr/internal/sqlast"
 	"sopr/internal/value"
 )
@@ -81,42 +79,49 @@ func resolveInPair(ref *sqlast.ColumnRef, r0, r1 *relation) (int, *relation) {
 	}
 }
 
-// hashKey normalizes a value for join-key equality, matching
-// value.Compare's cross-kind numeric semantics. ok is false for NULL
-// (NULL = NULL is unknown, never a join match).
-func hashKey(v value.Value) (string, bool) {
-	switch v.Kind() {
-	case value.KindNull:
-		return "", false
-	case value.KindInt:
-		return fmt.Sprintf("n%g", float64(v.Int())), true
-	case value.KindFloat:
-		return fmt.Sprintf("n%g", v.Float()), true
-	case value.KindString:
-		return "s" + v.Str(), true
-	case value.KindBool:
-		if v.Bool() {
-			return "b1", true
-		}
-		return "b0", true
-	default:
-		return "", false
+// joinKeysExact selects the keyspace for the equi-join's hash table:
+// when both join columns are declared INTEGER every stored value is an
+// int64 (coerceRow enforces column kind homogeneity) and int-int
+// comparison is exact, so the exact-integer keyspace applies and distinct
+// int64s above 2^53 keep distinct buckets. Any other combination goes
+// through the float-image keyspace, matching value.Compare's cross-kind
+// equality (which converts mixed int/float operands to float64).
+func (e *Env) joinKeysExact(rels []*relation, c0, c1 int) bool {
+	k0, ok0 := e.relColumnKind(rels[0], c0)
+	k1, ok1 := e.relColumnKind(rels[1], c1)
+	return ok0 && ok1 && k0 == value.KindInt && k1 == value.KindInt
+}
+
+// relColumnKind reports the declared kind of a relation's column, when
+// the relation is backed by a catalog schema (base or transition table).
+func (e *Env) relColumnKind(rel *relation, col int) (value.Kind, bool) {
+	if rel.table == "" {
+		return value.KindNull, false
 	}
+	schema, err := e.lookupSchema(rel.table)
+	if err != nil || col < 0 || col >= len(schema.Columns) {
+		return value.KindNull, false
+	}
+	return schema.Columns[col].Type, true
 }
 
 // forEachComboHash drives the hash equi-join for two relations. It emits
 // exactly the combinations the nested-loop driver would emit, in the same
 // order.
 func (e *Env) forEachComboHash(sel *sqlast.Select, sc *scope, rels []*relation, c0, c1 int, fn func() error) error {
+	keyOf := value.KeyNumeric
+	if e.joinKeysExact(rels, c0, c1) {
+		keyOf = value.KeyExact
+	}
 	// Build the index on the inner (second) relation.
-	index := make(map[string][]int, len(rels[1].rows))
+	index := make(map[value.Key][]int, len(rels[1].rows))
 	for i, tr := range rels[1].rows {
-		if k, ok := hashKey(tr.Values[c1]); ok {
+		if k, ok := keyOf(tr.Values[c1]); ok {
 			index[k] = append(index[k], i)
 		}
 	}
 	for _, outer := range rels[0].rows {
-		k, ok := hashKey(outer.Values[c0])
+		k, ok := keyOf(outer.Values[c0])
 		if !ok {
 			continue
 		}

@@ -83,11 +83,13 @@ type sortedRow struct {
 // evalSelect evaluates a query block in an optional parent scope (for
 // correlated subqueries).
 func (e *Env) evalSelect(sel *sqlast.Select, parent *scope) (*Result, error) {
-	// Materialize FROM inputs.
+	// Materialize FROM inputs, routing base tables through a secondary
+	// index when a sargable WHERE conjunct allows it (see access.go).
+	infos := e.planBindings(sel.From)
 	rels := make([]*relation, len(sel.From))
 	seen := make(map[string]bool)
 	for i, tr := range sel.From {
-		rel, err := e.resolveTableRef(tr)
+		rel, err := e.materializeFrom(tr, i, sel, infos, parent)
 		if err != nil {
 			return nil, err
 		}

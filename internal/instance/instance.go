@@ -72,6 +72,14 @@ func (e *Engine) Exec(src string) error {
 			if err := e.store.CreateTable(tab); err != nil {
 				return err
 			}
+		case *sqlast.CreateIndex:
+			if err := e.store.CreateIndex(s.Name, s.Table, s.Column); err != nil {
+				return err
+			}
+		case *sqlast.DropIndex:
+			if err := e.store.DropIndex(s.Name); err != nil {
+				return err
+			}
 		case *sqlast.CreateRule:
 			if err := e.defineRule(s); err != nil {
 				return err

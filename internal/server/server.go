@@ -237,7 +237,13 @@ func (s *Server) serveConn(c *conn) {
 	peer := c.nc.RemoteAddr()
 	s.logf("conn %v: open", peer)
 	for {
-		c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		// A failed deadline set means the connection is already dead (or
+		// closing); without a deadline the next read could block forever,
+		// so tear the session down instead.
+		if err := c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			s.logf("conn %v: set read deadline: %v", peer, err)
+			return
+		}
 		typ, payload, err := wire.ReadFrame(c.nc, s.cfg.MaxFrame)
 		if err != nil {
 			switch {
@@ -333,6 +339,8 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 				ExternalTransitions: es.ExternalTransitions,
 				RuleConsiderations:  es.RuleConsiderations,
 				RuleFirings:         es.RuleFirings,
+				IndexLookups:        es.IndexLookups,
+				HeapScans:           es.HeapScans,
 			},
 			Server: s.Stats(),
 		})
@@ -377,7 +385,12 @@ func (s *Server) writeError(c *conn, er wire.ErrorResponse) bool {
 }
 
 func (s *Server) write(c *conn, typ byte, v any) bool {
-	c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	// As in serveConn: a connection that cannot take a deadline cannot be
+	// written with bounded blocking, so report the session unusable.
+	if err := c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+		s.logf("conn %v: set write deadline: %v", c.nc.RemoteAddr(), err)
+		return false
+	}
 	if err := wire.WriteMessage(c.nc, typ, v, s.cfg.MaxFrame); err != nil {
 		s.logf("conn %v: write %s: %v", c.nc.RemoteAddr(), wire.TypeName(typ), err)
 		return false

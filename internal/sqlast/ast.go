@@ -306,6 +306,23 @@ type DropTable struct {
 	Name string
 }
 
+// CreateIndex is `CREATE INDEX name ON table (column)`: a secondary hash
+// index accelerating equality selections on the column (see
+// internal/storage).
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+// DropIndex is `DROP INDEX name`.
+type DropIndex struct {
+	Name string
+}
+
+func (*CreateIndex) stmtNode() {}
+func (*DropIndex) stmtNode()   {}
+
 func (*CreateTable) stmtNode() {}
 func (*DropTable) stmtNode()   {}
 

@@ -341,6 +341,12 @@ func (s *CreateTable) String() string {
 
 func (s *DropTable) String() string { return "DROP TABLE " + s.Name }
 
+func (s *CreateIndex) String() string {
+	return "CREATE INDEX " + s.Name + " ON " + s.Table + " (" + s.Column + ")"
+}
+
+func (s *DropIndex) String() string { return "DROP INDEX " + s.Name }
+
 // String renders the basic transition predicate in the paper's syntax.
 func (p TransPred) String() string {
 	switch p.Op {

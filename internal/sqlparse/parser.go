@@ -188,6 +188,8 @@ func (p *parser) parseCreate() (sqlast.Statement, error) {
 	switch {
 	case p.acceptKw("table"):
 		return p.parseCreateTable()
+	case p.acceptKw("index"):
+		return p.parseCreateIndex()
 	case isKw(p.peek(), "rule"):
 		p.pos++
 		// `create rule priority r1 before r2` vs `create rule name when ...`
@@ -208,8 +210,35 @@ func (p *parser) parseCreate() (sqlast.Statement, error) {
 		}
 		return p.parseCreateRule()
 	default:
-		return nil, p.errorf("expected TABLE or RULE after CREATE, found %s", p.peek())
+		return nil, p.errorf("expected TABLE, INDEX or RULE after CREATE, found %s", p.peek())
 	}
+}
+
+// parseCreateIndex parses `CREATE INDEX name ON table (column)` with the
+// leading CREATE INDEX already consumed.
+func (p *parser) parseCreateIndex() (sqlast.Statement, error) {
+	name, err := p.expectIdent("index name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	column, err := p.expectIdent("column name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &sqlast.CreateIndex{Name: name, Table: table, Column: column}, nil
 }
 
 var typeNames = map[string]value.Kind{
@@ -279,6 +308,12 @@ func (p *parser) parseDrop() (sqlast.Statement, error) {
 			return nil, err
 		}
 		return &sqlast.DropTable{Name: name}, nil
+	case p.acceptKw("index"):
+		name, err := p.expectIdent("index name")
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.DropIndex{Name: name}, nil
 	case p.acceptKw("rule"):
 		name, err := p.expectIdent("rule name")
 		if err != nil {
@@ -286,7 +321,7 @@ func (p *parser) parseDrop() (sqlast.Statement, error) {
 		}
 		return &sqlast.DropRule{Name: name}, nil
 	default:
-		return nil, p.errorf("expected TABLE or RULE after DROP, found %s", p.peek())
+		return nil, p.errorf("expected TABLE, INDEX or RULE after DROP, found %s", p.peek())
 	}
 }
 

@@ -83,6 +83,35 @@ func TestParseCreateTable(t *testing.T) {
 	}
 }
 
+func TestParseCreateDropIndex(t *testing.T) {
+	s := parse1(t, `CREATE INDEX emp_no_ix ON emp (emp_no)`)
+	ci, ok := s.(*sqlast.CreateIndex)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if ci.Name != "emp_no_ix" || ci.Table != "emp" || ci.Column != "emp_no" {
+		t.Fatalf("bad create index: %+v", ci)
+	}
+	d := parse1(t, `drop index EMP_NO_IX`)
+	di, ok := d.(*sqlast.DropIndex)
+	if !ok || di.Name != "emp_no_ix" {
+		t.Fatalf("bad drop index: %#v", d)
+	}
+	// Malformed forms fail with a parse error, not a panic.
+	for _, bad := range []string{
+		`create index on emp (emp_no)`,
+		`create index ix emp (emp_no)`,
+		`create index ix on emp emp_no`,
+		`create index ix on emp (emp_no, salary)`,
+		`create index ix on emp ()`,
+		`drop index`,
+	} {
+		if _, err := ParseStatement(bad); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+}
+
 func TestParseInsertValues(t *testing.T) {
 	s := parse1(t, `INSERT INTO emp VALUES ('jane', 1, 95000.0, 1), ('jim', 2, NULL, 1)`)
 	ins := s.(*sqlast.Insert)
@@ -543,6 +572,8 @@ func TestRoundTrip(t *testing.T) {
 		`UPDATE emp e SET salary = (0.95 * salary), name = 'x' WHERE name LIKE 'a%'`,
 		`CREATE TABLE emp (name VARCHAR, emp_no INTEGER NOT NULL, salary FLOAT, dept_no INTEGER)`,
 		`DROP TABLE emp`,
+		`CREATE INDEX emp_no_ix ON emp (emp_no)`,
+		`DROP INDEX emp_no_ix`,
 		`CREATE RULE r WHEN INSERTED INTO emp OR DELETED FROM emp OR UPDATED emp.salary OR UPDATED emp IF (a = 1) THEN DELETE FROM emp WHERE (a = 2); UPDATE emp SET a = 3 END`,
 		`CREATE RULE r WHEN UPDATED t.c THEN ROLLBACK END`,
 		`CREATE RULE r SCOPE SINCE CONSIDERED WHEN UPDATED t THEN ROLLBACK END`,

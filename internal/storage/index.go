@@ -1,0 +1,295 @@
+// Secondary hash indexes.
+//
+// A CREATE INDEX declares a persistent hash index over one column of a
+// table: a map from column-value key to the handles of the tuples holding
+// that value. Indexes are maintained incrementally by the tuple-mutation
+// primitives in storage.go (insertTuple, removeHandle, setValues), which
+// the undo log also goes through, so rollback unwinds index state for
+// free. NULLs are not indexed: `col = x` is never True when col is NULL.
+//
+// Keyspaces. Stored values are keyed with value.KeyExact; because
+// coerceRow forces every stored value to its column's declared kind, an
+// index over an INTEGER column holds only exact-integer keys and an index
+// over a FLOAT column holds only float-image keys. Probes arriving with
+// the other numeric kind are converted by probeKey into the column's
+// keyspace, reproducing value.Compare's cross-kind equality; probes the
+// index cannot answer exactly (an integral float at or beyond 2^53
+// probing an INTEGER column has several int64 preimages) make the lookup
+// decline so the caller falls back to a heap scan.
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sopr/internal/catalog"
+	"sopr/internal/value"
+)
+
+// secondaryIndex is the physical structure behind one CREATE INDEX.
+// Bucket order is arbitrary; IndexedLookup re-orders matches by physical
+// position so indexed access preserves heap-scan order.
+type secondaryIndex struct {
+	def     *catalog.Index
+	col     int        // column position in the schema
+	kind    value.Kind // declared column kind, selects the probe keyspace
+	buckets map[value.Key][]Handle
+}
+
+// newSecondaryIndex builds an index over the table's current contents.
+func newSecondaryIndex(def *catalog.Index, td *tableData) *secondaryIndex {
+	col := td.schema.ColumnIndex(def.Column)
+	ix := &secondaryIndex{
+		def:     def,
+		col:     col,
+		kind:    td.schema.Columns[col].Type,
+		buckets: make(map[value.Key][]Handle),
+	}
+	for _, t := range td.rows {
+		ix.add(t.Values, t.Handle)
+	}
+	return ix
+}
+
+func (ix *secondaryIndex) add(row Row, h Handle) {
+	k, ok := value.KeyExact(row[ix.col])
+	if !ok {
+		return // NULL is not indexed
+	}
+	ix.buckets[k] = append(ix.buckets[k], h)
+}
+
+func (ix *secondaryIndex) remove(row Row, h Handle) {
+	k, ok := value.KeyExact(row[ix.col])
+	if !ok {
+		return
+	}
+	b := ix.buckets[k]
+	for i, hh := range b {
+		if hh == h {
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			if len(b) == 0 {
+				delete(ix.buckets, k)
+			} else {
+				ix.buckets[k] = b
+			}
+			return
+		}
+	}
+}
+
+// probeOutcome classifies what an equality probe against an index can
+// establish.
+type probeOutcome int
+
+const (
+	probeHit   probeOutcome = iota // the key identifies the only possible bucket
+	probeEmpty                     // no stored value can compare equal to the probe
+	probeScan                      // the index cannot answer exactly; fall back to scanning
+)
+
+// maxExactFloat is 2^53, the first float64 whose integer preimage under
+// float64-conversion is ambiguous.
+const maxExactFloat = float64(1 << 53)
+
+// probeKey converts an equality-probe value into the keyspace of a column
+// of kind ck. The contract mirrors value.Compare: a stored value compares
+// equal to the probe iff its KeyExact key equals the returned key (on
+// probeHit), no stored value compares equal (on probeEmpty), or the index
+// cannot decide (on probeScan).
+func probeKey(v value.Value, ck value.Kind) (value.Key, probeOutcome) {
+	if v.IsNull() {
+		return value.Key{}, probeEmpty
+	}
+	if v.Kind() == ck {
+		k, _ := value.KeyExact(v)
+		return k, probeHit
+	}
+	switch {
+	case ck == value.KindFloat && v.Kind() == value.KindInt:
+		// Compare takes the int through its float64 image; stored floats
+		// match exactly when they equal that image.
+		k, _ := value.KeyNumeric(v)
+		return k, probeHit
+	case ck == value.KindInt && v.Kind() == value.KindFloat:
+		f := v.Float()
+		if f != math.Trunc(f) || math.IsNaN(f) {
+			// Every int64's float64 image is integral, so a non-integral
+			// (or NaN) probe matches no stored integer.
+			return value.Key{}, probeEmpty
+		}
+		if f >= maxExactFloat || f <= -maxExactFloat {
+			// Several distinct int64s share this float64 image; the
+			// exact-integer keyspace cannot answer the probe.
+			return value.Key{}, probeScan
+		}
+		k, _ := value.KeyExact(value.NewInt(int64(f)))
+		return k, probeHit
+	default:
+		// Incomparable kinds: Compare yields unknown for every stored
+		// value, so the selection is provably empty.
+		return value.Key{}, probeEmpty
+	}
+}
+
+// CreateIndex defines a secondary hash index named name over
+// table(column) and builds it from the table's current contents. Like
+// other DDL it is not undoable and is rejected inside a transaction.
+func (s *Store) CreateIndex(name, table, column string) error {
+	if s.inTxn {
+		return fmt.Errorf("storage: CREATE INDEX inside a transaction is not supported")
+	}
+	def, err := s.cat.CreateIndex(name, table, column)
+	if err != nil {
+		return err
+	}
+	td := s.tables[def.Table]
+	td.indexes = append(td.indexes, newSecondaryIndex(def, td))
+	return nil
+}
+
+// DropIndex removes a secondary index. Not undoable; rejected inside a
+// transaction.
+func (s *Store) DropIndex(name string) error {
+	if s.inTxn {
+		return fmt.Errorf("storage: DROP INDEX inside a transaction is not supported")
+	}
+	def, err := s.cat.Index(name)
+	if err != nil {
+		return err
+	}
+	if err := s.cat.DropIndex(name); err != nil {
+		return err
+	}
+	td := s.tables[def.Table]
+	for i, ix := range td.indexes {
+		if ix.def.Name == def.Name {
+			td.indexes = append(td.indexes[:i], td.indexes[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// HasIndex reports whether a secondary index covers the given column of
+// the named table. The executor's access-path pass asks this before
+// spending any work computing probe values.
+func (s *Store) HasIndex(table string, col int) bool {
+	td, err := s.table(table)
+	if err != nil {
+		return false
+	}
+	for _, ix := range td.indexes {
+		if ix.col == col {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexedLookup serves the selection `table.column = v` (or, with several
+// values, `column IN (v1, v2, ...)`) from a secondary index. On ok, the
+// returned tuples are exactly those for which a heap scan would find the
+// comparison True, in heap-scan (physical) order — indexed and scanned
+// access are indistinguishable to the caller. ok is false when no index
+// covers the column or some probe cannot be answered exactly; the caller
+// must then fall back to scanning, and no counters move.
+func (s *Store) IndexedLookup(table string, col int, vals ...value.Value) (tuples []*Tuple, ok bool, err error) {
+	td, err := s.table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	var ix *secondaryIndex
+	for _, cand := range td.indexes {
+		if cand.col == col {
+			ix = cand
+			break
+		}
+	}
+	if ix == nil {
+		return nil, false, nil
+	}
+	var handles []Handle
+	var seen map[value.Key]bool
+	if len(vals) > 1 {
+		seen = make(map[value.Key]bool, len(vals))
+	}
+	for _, v := range vals {
+		k, outcome := probeKey(v, ix.kind)
+		switch outcome {
+		case probeScan:
+			return nil, false, nil
+		case probeEmpty:
+			continue
+		}
+		if seen != nil {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		handles = append(handles, ix.buckets[k]...)
+	}
+	s.indexLookups++
+	if len(handles) == 0 {
+		return nil, true, nil
+	}
+	// Distinct keys hold disjoint handle sets, so the handles are unique;
+	// sort by physical position to reproduce heap-scan order.
+	sort.Slice(handles, func(i, j int) bool { return td.index[handles[i]] < td.index[handles[j]] })
+	tuples = make([]*Tuple, len(handles))
+	for i, h := range handles {
+		tuples[i] = td.rows[td.index[h]]
+	}
+	return tuples, true, nil
+}
+
+// AccessStats reports the cumulative access-path counters: full heap
+// scans started (Scan calls) and selections served from a secondary
+// index.
+func (s *Store) AccessStats() (heapScans, indexLookups int64) {
+	return s.heapScans, s.indexLookups
+}
+
+// CheckIndexes verifies every secondary index against a from-scratch
+// rebuild of the same definition, returning the first discrepancy found.
+// Tests run it after randomized operation histories (including rollbacks)
+// to prove incremental maintenance matches the ground truth.
+func (s *Store) CheckIndexes() error {
+	for name, td := range s.tables {
+		for _, ix := range td.indexes {
+			fresh := newSecondaryIndex(ix.def, td)
+			if len(fresh.buckets) != len(ix.buckets) {
+				return fmt.Errorf("storage: index %q on %q: %d live keys vs %d rebuilt",
+					ix.def.Name, name, len(ix.buckets), len(fresh.buckets))
+			}
+			for k, want := range fresh.buckets {
+				if !sameHandles(ix.buckets[k], want) {
+					return fmt.Errorf("storage: index %q on %q: bucket %v: live handles %v vs rebuilt %v",
+						ix.def.Name, name, k, ix.buckets[k], want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sameHandles reports set equality of two handle slices (buckets never
+// hold duplicates).
+func sameHandles(a, b []Handle) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]Handle(nil), a...)
+	bs := append([]Handle(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -70,9 +70,10 @@ type Tuple struct {
 // element, so scan order is deterministic for a given operation history but
 // not insertion-ordered.
 type tableData struct {
-	schema *catalog.Table
-	rows   []*Tuple
-	index  map[Handle]int
+	schema  *catalog.Table
+	rows    []*Tuple
+	index   map[Handle]int
+	indexes []*secondaryIndex
 }
 
 // undoKind discriminates undo-log records.
@@ -100,6 +101,10 @@ type Store struct {
 	tables map[string]*tableData
 	undo   []undoRec
 	inTxn  bool
+
+	// Access-path counters, reported by AccessStats.
+	heapScans    int64
+	indexLookups int64
 }
 
 // New returns an empty store with its own catalog.
@@ -195,8 +200,7 @@ func (s *Store) Rollback() error {
 		case undoDelete:
 			td.insertTuple(&Tuple{Handle: rec.handle, Table: rec.table, Values: rec.oldRow})
 		case undoUpdate:
-			pos := td.index[rec.handle]
-			td.rows[pos].Values = rec.oldRow
+			td.setValues(rec.handle, rec.oldRow)
 		}
 	}
 	s.inTxn = false
@@ -204,13 +208,22 @@ func (s *Store) Rollback() error {
 	return nil
 }
 
+// insertTuple, removeHandle and setValues are the only primitives that
+// mutate a table's tuples. Both forward operations and the undo log's
+// compensations go through them, so secondary indexes stay in sync on
+// commit and rollback alike.
+
 func (td *tableData) insertTuple(t *Tuple) {
 	td.index[t.Handle] = len(td.rows)
 	td.rows = append(td.rows, t)
+	for _, ix := range td.indexes {
+		ix.add(t.Values, t.Handle)
+	}
 }
 
 func (td *tableData) removeHandle(h Handle) {
 	pos := td.index[h]
+	t := td.rows[pos]
 	last := len(td.rows) - 1
 	if pos != last {
 		td.rows[pos] = td.rows[last]
@@ -218,6 +231,20 @@ func (td *tableData) removeHandle(h Handle) {
 	}
 	td.rows = td.rows[:last]
 	delete(td.index, h)
+	for _, ix := range td.indexes {
+		ix.remove(t.Values, h)
+	}
+}
+
+// setValues replaces the values of the tuple with handle h in place,
+// re-keying secondary indexes for the changed row.
+func (td *tableData) setValues(h Handle, next Row) {
+	t := td.rows[td.index[h]]
+	for _, ix := range td.indexes {
+		ix.remove(t.Values, h)
+		ix.add(next, h)
+	}
+	t.Values = next
 }
 
 // coerceRow validates and coerces a row against the table schema.
@@ -309,7 +336,7 @@ func (s *Store) Update(h Handle, assign map[int]value.Value) (table string, old 
 		}
 		next[idx] = cv
 	}
-	t.Values = next
+	td.setValues(h, next)
 	if s.inTxn {
 		s.undo = append(s.undo, undoRec{kind: undoUpdate, handle: h, table: t.Table, oldRow: old})
 	}
@@ -337,6 +364,7 @@ func (s *Store) Scan(table string, fn func(*Tuple) bool) error {
 	if err != nil {
 		return err
 	}
+	s.heapScans++
 	for _, t := range td.rows {
 		if !fn(t) {
 			return nil
@@ -392,6 +420,15 @@ func (s *Store) Clone() *Store {
 			dst.insertTuple(&Tuple{Handle: tup.Handle, Table: tup.Table, Values: tup.Values.Clone()})
 		}
 		c.tables[name] = dst
+	}
+	for _, name := range s.cat.IndexNames() {
+		def, _ := s.cat.Index(name)
+		ndef, err := c.cat.CreateIndex(def.Name, def.Table, def.Column)
+		if err != nil {
+			panic(err)
+		}
+		dst := c.tables[ndef.Table]
+		dst.indexes = append(dst.indexes, newSecondaryIndex(ndef, dst))
 	}
 	return c
 }

@@ -416,6 +416,73 @@ func Coerce(v Value, to Kind) (Value, error) {
 	return Null, fmt.Errorf("value: cannot convert %s value %s to %s", v.kind, v, to)
 }
 
+// Key is a comparable hash key for a Value, shared by the executor's hash
+// joins and the storage layer's secondary indexes. Keys are valid Go map
+// keys and their construction allocates nothing for numeric values. Two
+// keyspaces exist because Compare's equality is not transitive across
+// kinds: KeyExact keeps distinct int64s distinct (int-int comparisons are
+// exact), while KeyNumeric collapses every numeric to its float64 image
+// (mixed int/float comparisons go through float64). Callers must pick the
+// keyspace that matches the comparison they are replacing and never mix
+// keys from different keyspaces in one table.
+type Key struct {
+	kind byte   // 'i' exact integer, 'f' float64 image, 's' string, 'b' bool
+	num  int64  // integer value, float image bits, or 0/1 for booleans
+	str  string // string payload
+}
+
+// KeyExact returns v's key in the exact keyspace of its own kind: integers
+// by value, floats by sign-normalized bit pattern, strings and booleans
+// directly. Two values of the same kind have equal keys iff Compare reports
+// them equal. Values of different numeric kinds may compare equal under
+// Compare while their exact keys differ (an int64 above 2^53 and its
+// float64 image); use KeyNumeric when one keyspace must span both. ok is
+// false for NULL, which has no key (no equality comparison with NULL is
+// ever True).
+func KeyExact(v Value) (k Key, ok bool) {
+	switch v.kind {
+	case KindInt:
+		return Key{kind: 'i', num: v.i}, true
+	case KindFloat:
+		return floatKey(v.f), true
+	case KindString:
+		return Key{kind: 's', str: v.s}, true
+	case KindBool:
+		if v.b {
+			return Key{kind: 'b', num: 1}, true
+		}
+		return Key{kind: 'b'}, true
+	default:
+		return Key{}, false
+	}
+}
+
+// KeyNumeric returns v's key in the float-image keyspace: every numeric
+// value is keyed by its float64 image, so an int64 and a float64 share a
+// key exactly when Compare reports them equal. Distinct int64s above 2^53
+// share an image and hence a key; callers whose values are all integers
+// should prefer KeyExact. Non-numeric kinds key as in KeyExact. ok is
+// false for NULL.
+func KeyNumeric(v Value) (k Key, ok bool) {
+	switch v.kind {
+	case KindInt:
+		return floatKey(float64(v.i)), true
+	case KindFloat:
+		return floatKey(v.f), true
+	default:
+		return KeyExact(v)
+	}
+}
+
+// floatKey keys a float64 by bit pattern, normalizing -0.0 to 0.0 so the
+// two zeros (equal under Compare) share a key.
+func floatKey(f float64) Key {
+	if f == 0 {
+		f = 0
+	}
+	return Key{kind: 'f', num: int64(math.Float64bits(f))}
+}
+
 // Like implements the SQL LIKE operator with % (any run) and _ (any single
 // character) wildcards. NULL operands yield Unknown.
 func Like(s, pattern Value) Tribool {

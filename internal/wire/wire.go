@@ -110,6 +110,8 @@ type EngineStats struct {
 	ExternalTransitions int64 `json:"external_transitions"`
 	RuleConsiderations  int64 `json:"rule_considerations"`
 	RuleFirings         int64 `json:"rule_firings"`
+	IndexLookups        int64 `json:"index_lookups"`
+	HeapScans           int64 `json:"heap_scans"`
 }
 
 // ServerStats are the network front-end's own counters, kept separately

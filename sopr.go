@@ -389,6 +389,8 @@ type Stats struct {
 	ExternalTransitions int64 // externally-generated transitions executed
 	RuleConsiderations  int64 // rule condition evaluations
 	RuleFirings         int64 // rule action executions
+	IndexLookups        int64 // selections served from a secondary index
+	HeapScans           int64 // full heap table scans
 }
 
 // Stats returns a snapshot of the database's cumulative counters.
@@ -400,6 +402,8 @@ func (db *DB) Stats() Stats {
 		ExternalTransitions: s.ExternalTransitions,
 		RuleConsiderations:  s.RuleConsiderations,
 		RuleFirings:         s.RuleFirings,
+		IndexLookups:        s.IndexLookups,
+		HeapScans:           s.HeapScans,
 	}
 }
 
