@@ -1,0 +1,36 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"sopr/internal/value"
+)
+
+func TestNaNIndexDivergenceRepro(t *testing.T) {
+	e := newTestEnv(t)
+	mustExec(t, e, "create table t (f float)")
+	// Inf - Inf stores NaN
+	mustExec(t, e, "insert into t values (1e308 * 10 - 1e308 * 10)")
+	mustExec(t, e, "insert into t values (5.0)")
+
+	cmp, ok := value.Compare(value.NewFloat(math.NaN()), value.NewFloat(5.0))
+	t.Logf("Compare(NaN,5.0) = %d %v", cmp, ok)
+
+	q := "select f from t where f = 5.0"
+	e.NoIndex = true
+	scan, err := e.Query(q)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	e.NoIndex = false
+	mustExec(t, e, "create index ixf on t (f)")
+	idx, err := e.Query(q)
+	if err != nil {
+		t.Fatalf("indexed: %v", err)
+	}
+	t.Logf("scan rows=%d indexed rows=%d", len(scan.Rows), len(idx.Rows))
+	if len(scan.Rows) != len(idx.Rows) {
+		t.Fatalf("DIVERGENCE: scan=%d indexed=%d", len(scan.Rows), len(idx.Rows))
+	}
+}
