@@ -15,6 +15,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -43,6 +44,27 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("remote %s error: %s", e.Code, e.Message)
+}
+
+// ConnError is a transport-level failure: the dial, send, or receive died,
+// as opposed to the server answering with an error. After a ConnError from
+// a request the connection is unusable — the caller should Close and
+// re-Dial; after a RemoteError it remains usable.
+type ConnError struct {
+	Op  string // what failed: "dial", "send exec", "recv query", ...
+	Err error
+}
+
+func (e *ConnError) Error() string { return fmt.Sprintf("client: %s: %v", e.Op, e.Err) }
+
+// Unwrap exposes the underlying network error to errors.Is/As.
+func (e *ConnError) Unwrap() error { return e.Err }
+
+// IsConn reports whether err is a transport-level failure (as opposed to a
+// server-reported RemoteError).
+func IsConn(err error) bool {
+	var ce *ConnError
+	return errors.As(err, &ce)
 }
 
 // ServerStats are the server front-end's counters (see Stats).
@@ -77,25 +99,73 @@ func WithMaxFrame(n int) Option { return func(c *Client) { c.maxFrame = n } }
 // disconnect idle clients on its own schedule regardless).
 func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
 
+// WithDialRetry retries a failed dial up to n more times, sleeping backoff
+// before the first retry and doubling it each attempt (capped at 30x, with
+// up to 50% random jitter added so restarting fleets do not reconnect in
+// lockstep). Only transient failures are retried: an unresolvable or
+// malformed address fails immediately.
+func WithDialRetry(n int, backoff time.Duration) Option {
+	return func(c *Client) {
+		c.dialRetries = n
+		c.dialBackoff = backoff
+	}
+}
+
 // Client is a connection to a soprd server.
 type Client struct {
 	mu       sync.Mutex
 	conn     net.Conn
 	maxFrame int
 	timeout  time.Duration
+
+	dialRetries int
+	dialBackoff time.Duration
 }
 
 // Dial connects to a soprd server at addr (host:port).
 func Dial(addr string, opts ...Option) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
-	}
-	c := &Client{conn: conn, maxFrame: wire.DefaultMaxFrame, timeout: 2 * time.Minute}
+	c := &Client{maxFrame: wire.DefaultMaxFrame, timeout: 2 * time.Minute, dialBackoff: 100 * time.Millisecond}
 	for _, o := range opts {
 		o(c)
 	}
-	return c, nil
+	backoff := c.dialBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	maxBackoff := 30 * backoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		var conn net.Conn
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			c.conn = conn
+			return c, nil
+		}
+		if attempt >= c.dialRetries || !retryableDial(err) {
+			break
+		}
+		sleep := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		time.Sleep(sleep)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+	return nil, &ConnError{Op: "dial", Err: err}
+}
+
+// retryableDial distinguishes transient dial failures (refused, timeout,
+// unreachable — the server may just not be up yet) from permanent ones (a
+// malformed address or a name that does not resolve).
+func retryableDial(err error) bool {
+	var ae *net.AddrError
+	if errors.As(err, &ae) {
+		return false
+	}
+	var de *net.DNSError
+	if errors.As(err, &de) {
+		return de.IsTemporary || de.IsTimeout
+	}
+	return true
 }
 
 // Close terminates the connection. Requests in other goroutines fail.
@@ -103,16 +173,26 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip sends one request and decodes its response into out (whose type
 // must match wantType's payload; nil out for payload-less responses).
+// Transport failures come back as *ConnError, server-reported failures as
+// *RemoteError.
 func (c *Client) roundTrip(reqType byte, req any, wantType byte, out any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		// A deadline that cannot be set means the connection is already
+		// closed or broken; without one a dead peer could block us forever.
+		return &ConnError{Op: "deadline " + wire.TypeName(reqType), Err: err}
+	}
 	if err := wire.WriteMessage(c.conn, reqType, req, c.maxFrame); err != nil {
-		return fmt.Errorf("client: send %s: %w", wire.TypeName(reqType), err)
+		if errors.Is(err, wire.ErrFrameTooLarge) {
+			// Nothing touched the wire; the connection is still usable.
+			return fmt.Errorf("client: send %s: %w", wire.TypeName(reqType), err)
+		}
+		return &ConnError{Op: "send " + wire.TypeName(reqType), Err: err}
 	}
 	typ, payload, err := wire.ReadFrame(c.conn, c.maxFrame)
 	if err != nil {
-		return fmt.Errorf("client: %s: %w", wire.TypeName(reqType), err)
+		return &ConnError{Op: "recv " + wire.TypeName(reqType), Err: err}
 	}
 	switch typ {
 	case wantType:
@@ -186,6 +266,10 @@ func (c *Client) Stats() (*Stats, error) {
 			RuleFirings:         resp.Engine.RuleFirings,
 			IndexLookups:        resp.Engine.IndexLookups,
 			HeapScans:           resp.Engine.HeapScans,
+			WALAppends:          resp.Engine.WALAppends,
+			WALBytes:            resp.Engine.WALBytes,
+			RecoveredRecords:    resp.Engine.RecoveredRecords,
+			Checkpoints:         resp.Engine.Checkpoints,
 		},
 		Server: ServerStats(resp.Server),
 	}, nil

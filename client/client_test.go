@@ -30,9 +30,61 @@ func startServer(t *testing.T, db *sopr.DB) string {
 }
 
 func TestDialFailure(t *testing.T) {
-	if c, err := client.Dial("127.0.0.1:1"); err == nil {
+	c, err := client.Dial("127.0.0.1:1")
+	if err == nil {
 		c.Close()
 		t.Fatal("Dial to a closed port succeeded")
+	}
+	if !client.IsConn(err) {
+		t.Fatalf("dial failure is not a ConnError: %v", err)
+	}
+}
+
+// TestDialRetry: the server comes up while the client is already dialing;
+// WithDialRetry must ride out the refused attempts and connect.
+func TestDialRetry(t *testing.T) {
+	// Reserve a port, then free it so the first dial attempts get refused.
+	ln, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	db := sopr.Open()
+	db.MustExec(`create table t (id int)`)
+	srv := server.New(sopr.Synchronized(db), server.Config{})
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		ln, err := server.Listen(addr)
+		if err != nil {
+			return // the test's dial loop will fail and report
+		}
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	c, err := client.Dial(addr, client.WithDialRetry(20, 50*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Dial with retry never connected: %v", err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping after retried dial: %v", err)
+	}
+
+	// A malformed address is permanent: no retries, immediate failure.
+	start := time.Now()
+	if c2, err := client.Dial("not a host:port at all", client.WithDialRetry(10, time.Second)); err == nil {
+		c2.Close()
+		t.Fatal("Dial accepted a malformed address")
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("permanent dial failure was retried")
 	}
 }
 

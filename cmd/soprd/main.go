@@ -4,11 +4,16 @@
 // preserving the paper's single-stream model of execution (Section 2.1).
 //
 //	$ soprd -addr :5477 -init schema.sql
+//	$ soprd -addr :5477 -data /var/lib/sopr -fsync always
 //	$ soprsh -connect localhost:5477
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, idle
-// sessions are disconnected, and transactions already executing drain
-// before the process exits (bounded by -shutdown-timeout).
+// With -data, committed transactions are written ahead to a segmented log
+// of net transition effects and the database survives restarts: startup
+// loads the newest checkpoint, replays the log tail, and refuses to serve
+// if recovery fails. The -init script runs only when the data directory is
+// fresh. SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// idle sessions are disconnected, transactions already executing drain
+// (bounded by -shutdown-timeout), and a final checkpoint is written.
 package main
 
 import (
@@ -29,6 +34,10 @@ import (
 type options struct {
 	addr            string
 	initFile        string
+	dataDir         string
+	fsync           string
+	fsyncInterval   time.Duration
+	ckptInterval    time.Duration
 	maxFrame        int
 	readTimeout     time.Duration
 	writeTimeout    time.Duration
@@ -42,7 +51,11 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", ":5477", "listen address")
-	flag.StringVar(&o.initFile, "init", "", "SQL script (e.g. a .dump) executed before serving")
+	flag.StringVar(&o.initFile, "init", "", "SQL script (e.g. a .dump) executed before serving (with -data: only when the directory is fresh)")
+	flag.StringVar(&o.dataDir, "data", "", "data directory for the write-ahead log and checkpoints (empty = in-memory)")
+	flag.StringVar(&o.fsync, "fsync", "always", "log fsync policy: always, interval, or never")
+	flag.DurationVar(&o.fsyncInterval, "fsync-interval", 0, "background sync period for -fsync interval (0 = 100ms)")
+	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", 0, "write a checkpoint this often (0 = only at shutdown)")
 	flag.IntVar(&o.maxFrame, "max-frame", 0, "max request/response frame payload in bytes (0 = 8 MiB)")
 	flag.DurationVar(&o.readTimeout, "read-timeout", 0, "disconnect clients idle this long (0 = 5m)")
 	flag.DurationVar(&o.writeTimeout, "write-timeout", 0, "max time to write one response (0 = 30s)")
@@ -60,12 +73,12 @@ func main() {
 	}
 }
 
-// run builds the database and server, serves until a signal arrives on
-// sigc, then drains and exits. When ready is non-nil it receives the bound
-// address once the listener is up (used by tests to pick a free port).
-func run(o options, sigc <-chan os.Signal, ready chan<- net.Addr) error {
-	logger := log.New(os.Stderr, "soprd: ", log.LstdFlags)
-
+// openDB builds the database per the options: durable when -data is set
+// (recovering prior state, running -init only on a fresh directory),
+// in-memory otherwise. Any failure — unparseable -fsync, recovery error,
+// broken init script — is returned before anything serves: a half
+// initialized database must never reach the listener.
+func openDB(o options, logger *log.Logger) (*sopr.DB, error) {
 	var opts []sopr.Option
 	if o.selectTriggers {
 		opts = append(opts, sopr.WithSelectTriggers())
@@ -73,20 +86,92 @@ func run(o options, sigc <-chan os.Signal, ready chan<- net.Addr) error {
 	if o.maxTransitions > 0 {
 		opts = append(opts, sopr.WithMaxRuleTransitions(o.maxTransitions))
 	}
-	db := sopr.Open(opts...)
-	if o.initFile != "" {
+
+	loadInit := func(db *sopr.DB) error {
 		f, err := os.Open(o.initFile)
 		if err != nil {
 			return err
 		}
-		err = db.Load(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("init script %s: %w", o.initFile, err)
+		lerr := db.Load(f)
+		cerr := f.Close()
+		if lerr != nil {
+			// db.Load surfaces *sopr.ParseError, so the message carries the
+			// offending line and column.
+			return fmt.Errorf("init script %s: %w", o.initFile, lerr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("init script %s: %w", o.initFile, cerr)
 		}
 		logger.Printf("loaded %s (%d tables, %d rules)", o.initFile, len(db.Tables()), len(db.Rules()))
+		return nil
+	}
+
+	if o.dataDir == "" {
+		db := sopr.Open(opts...)
+		if o.initFile != "" {
+			if err := loadInit(db); err != nil {
+				return nil, err
+			}
+		}
+		return db, nil
+	}
+
+	policy, err := sopr.ParseSyncPolicy(o.fsync)
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, sopr.WithFsync(policy))
+	if o.fsyncInterval > 0 {
+		opts = append(opts, sopr.WithFsyncInterval(o.fsyncInterval))
+	}
+	db, err := sopr.OpenDurable(o.dataDir, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rec := db.Recovery()
+	for _, skipped := range rec.SkippedCheckpoints {
+		logger.Printf("warning: skipped unreadable checkpoint %s", skipped)
+	}
+	if db.Recovered() {
+		if rec.TruncatedBytes > 0 {
+			logger.Printf("truncated %d torn bytes from the log tail", rec.TruncatedBytes)
+		}
+		logger.Printf("recovered %s: checkpoint=%v, %d records replayed (%d tables, %d rules)",
+			o.dataDir, rec.CheckpointLoaded, rec.RecordsReplayed, len(db.Tables()), len(db.Rules()))
+		if o.initFile != "" {
+			logger.Printf("data directory has prior state; ignoring -init %s", o.initFile)
+		}
+		if rec.RecordsReplayed > 0 {
+			// Compact right away so the next restart replays nothing.
+			if err := db.Checkpoint(); err != nil {
+				_ = db.Close() // first error wins
+				return nil, fmt.Errorf("checkpoint after recovery: %w", err)
+			}
+		}
+		return db, nil
+	}
+	if o.initFile != "" {
+		if err := loadInit(db); err != nil {
+			_ = db.Close() // first error wins
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// run builds the database and server, serves until a signal arrives on
+// sigc, then drains and exits. When ready is non-nil it receives the bound
+// address once the listener is up (used by tests to pick a free port).
+func run(o options, sigc <-chan os.Signal, ready chan<- net.Addr) error {
+	logger := log.New(os.Stderr, "soprd: ", log.LstdFlags)
+
+	db, err := openDB(o, logger)
+	if err != nil {
+		return err
 	}
 	sdb := sopr.Synchronized(db)
+	durable := o.dataDir != ""
+	defer func() { _ = sdb.Close() }() // error paths below close explicitly
 	if o.trace {
 		sdb.TraceTo(os.Stderr)
 	}
@@ -109,6 +194,29 @@ func run(o options, sigc <-chan os.Signal, ready chan<- net.Addr) error {
 		ready <- ln.Addr()
 	}
 
+	// Periodic checkpoints compact the log while serving; a failed
+	// checkpoint is logged but not fatal (the log still has everything).
+	ckptStop := make(chan struct{})
+	ckptDone := make(chan struct{})
+	go func() {
+		defer close(ckptDone)
+		if !durable || o.ckptInterval <= 0 {
+			return
+		}
+		t := time.NewTicker(o.ckptInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if err := sdb.Checkpoint(); err != nil {
+					logger.Printf("checkpoint: %v", err)
+				}
+			case <-ckptStop:
+				return
+			}
+		}
+	}()
+
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()
 
@@ -121,11 +229,23 @@ func run(o options, sigc <-chan os.Signal, ready chan<- net.Addr) error {
 			logger.Printf("drain incomplete: %v", err)
 		}
 		<-serveDone
+		close(ckptStop)
+		<-ckptDone
+		if durable {
+			if err := sdb.Checkpoint(); err != nil {
+				logger.Printf("final checkpoint: %v", err)
+			}
+			if err := sdb.Close(); err != nil {
+				logger.Printf("close log: %v", err)
+			}
+		}
 		st := srv.Stats()
 		logger.Printf("served %d connections, %d execs, %d queries; %d requests drained",
 			st.Accepted, st.Execs, st.Queries, st.DrainedReqs)
 		return nil
 	case err := <-serveDone:
+		close(ckptStop)
+		<-ckptDone
 		return err
 	}
 }

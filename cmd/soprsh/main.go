@@ -24,11 +24,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"sopr"
 	"sopr/client"
+	"sopr/internal/wal"
 )
 
 // execer is the part of the engine the statement loop needs; *sopr.DB
@@ -205,13 +207,13 @@ func meta(db *sopr.DB, cmd string) bool {
 		printEngineStats(s)
 	case ".dump":
 		if len(fields) == 2 {
-			f, err := os.Create(fields[1])
+			// Crash-safe: the script lands in a temp file that is fsynced
+			// and renamed over the target, so a crash mid-dump can never
+			// leave a truncated file where a good dump (or nothing) was.
+			err := wal.AtomicWriteFile(wal.OS{}, fields[1], func(w io.Writer) error {
+				return db.Dump(w)
+			})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-				return true
-			}
-			defer f.Close()
-			if err := db.Dump(f); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			} else {
 				fmt.Println("dumped to", fields[1])
@@ -292,7 +294,11 @@ func metaRemote(c *client.Client, cmd string) bool {
 			return true
 		}
 		if len(fields) == 2 {
-			if err := os.WriteFile(fields[1], []byte(script), 0o644); err != nil {
+			err := wal.AtomicWriteFile(wal.OS{}, fields[1], func(w io.Writer) error {
+				_, werr := io.WriteString(w, script)
+				return werr
+			})
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			} else {
 				fmt.Println("dumped to", fields[1])
@@ -318,4 +324,6 @@ meta-commands (remote session):
 func printEngineStats(s sopr.Stats) {
 	fmt.Printf("committed=%d rolled_back=%d external_transitions=%d rule_considerations=%d rule_firings=%d index_lookups=%d heap_scans=%d\n",
 		s.Committed, s.RolledBack, s.ExternalTransitions, s.RuleConsiderations, s.RuleFirings, s.IndexLookups, s.HeapScans)
+	fmt.Printf("wal: appends=%d bytes=%d recovered_records=%d checkpoints=%d\n",
+		s.WALAppends, s.WALBytes, s.RecoveredRecords, s.Checkpoints)
 }

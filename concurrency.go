@@ -79,6 +79,28 @@ func (s *SynchronizedDB) Dump(w io.Writer) error {
 	return s.db.Dump(w)
 }
 
+// Checkpoint writes a checkpoint image under the lock (no transaction can
+// be in flight while it runs, so the image is a consistent snapshot).
+func (s *SynchronizedDB) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Checkpoint()
+}
+
+// Close closes the wrapped database's write-ahead log under the lock.
+func (s *SynchronizedDB) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Close()
+}
+
+// Recovered reports whether the wrapped database recovered prior state.
+func (s *SynchronizedDB) Recovered() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.db.Recovered()
+}
+
 // TraceTo writes a human-readable line per rule-processing event to w
 // (the same format the soprsh `.trace on` command uses). Pass nil to stop
 // tracing. It is a convenience over OnTrace.

@@ -20,8 +20,9 @@ func (db *DB) DumpString() (string, error) {
 	return b.String(), nil
 }
 
-// Load executes a dump script against this database.
-func (db *DB) Load(r io.Reader) error { return db.eng.Load(r) }
+// Load executes a dump script against this database. Syntax errors are
+// reported as *ParseError with their 1-based position, like Exec.
+func (db *DB) Load(r io.Reader) error { return wrapErr(db.eng.Load(r)) }
 
 // LoadString is Load from a string.
-func (db *DB) LoadString(src string) error { return db.eng.Load(strings.NewReader(src)) }
+func (db *DB) LoadString(src string) error { return wrapErr(db.eng.Load(strings.NewReader(src))) }

@@ -23,14 +23,8 @@ func (e *Engine) Dump(w io.Writer) error {
 		return fmt.Errorf("engine: cannot dump during a transaction")
 	}
 	cat := e.store.Catalog()
-	for _, name := range cat.Names() {
-		t, err := cat.Lookup(name)
-		if err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "%s;\n", t.String()); err != nil {
-			return err
-		}
+	if err := e.dumpTables(w); err != nil {
+		return err
 	}
 	for _, name := range cat.Names() {
 		tuples, err := e.store.Tuples(name)
@@ -60,6 +54,31 @@ func (e *Engine) Dump(w io.Writer) error {
 	}
 	// Indexes after the data (a reload bulk-builds each index once) and
 	// before the rules.
+	if err := e.dumpIndexes(w); err != nil {
+		return err
+	}
+	return e.dumpRules(w)
+}
+
+// dumpTables writes the CREATE TABLE statements. Shared by Dump and the
+// WAL checkpoint writer.
+func (e *Engine) dumpTables(w io.Writer) error {
+	cat := e.store.Catalog()
+	for _, name := range cat.Names() {
+		t, err := cat.Lookup(name)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s;\n", t.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dumpIndexes writes the CREATE INDEX statements.
+func (e *Engine) dumpIndexes(w io.Writer) error {
+	cat := e.store.Catalog()
 	for _, name := range cat.IndexNames() {
 		ix, err := cat.Index(name)
 		if err != nil {
@@ -69,6 +88,11 @@ func (e *Engine) Dump(w io.Writer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// dumpRules writes the rule definitions, priorities and deactivations.
+func (e *Engine) dumpRules(w io.Writer) error {
 	for _, name := range e.defOrder {
 		r := e.ruleSet[name]
 		cr := &sqlast.CreateRule{

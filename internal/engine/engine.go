@@ -16,6 +16,7 @@ import (
 	"sopr/internal/sqlast"
 	"sopr/internal/sqlparse"
 	"sopr/internal/storage"
+	"sopr/internal/wal"
 )
 
 // Config controls engine behavior.
@@ -153,6 +154,11 @@ type Engine struct {
 	cfg      Config
 	seq      int64
 	stats    Stats
+	// wal, when attached, receives every committed transaction's net
+	// effect and every definition statement (see durability.go). walEff
+	// accumulates the current transaction's composed effect for the log.
+	wal    *wal.Log
+	walEff *rules.Effect
 	// Trace, when set, receives rule-processing events.
 	Trace func(TraceEvent)
 }
@@ -316,8 +322,21 @@ func (e *Engine) QueryString(src string) (*exec.Result, error) {
 	return e.Query(sel)
 }
 
-// execDefinition handles DDL and rule-management statements.
+// execDefinition handles DDL and rule-management statements, logging each
+// successful one to the write-ahead log when attached. (Recovery replays
+// definitions through this path too — before AttachWAL, so nothing is
+// re-logged.)
 func (e *Engine) execDefinition(st sqlast.Statement) error {
+	if err := e.applyDefinition(st); err != nil {
+		return err
+	}
+	if e.wal != nil {
+		return e.logDefinition(st)
+	}
+	return nil
+}
+
+func (e *Engine) applyDefinition(st sqlast.Statement) error {
 	switch s := st.(type) {
 	case *sqlast.CreateTable:
 		tab, err := exec.CreateTableSchema(s)
@@ -448,10 +467,14 @@ func (e *Engine) RunTransaction(ops []sqlast.Statement) (*TxnResult, error) {
 		return nil, err
 	}
 	res := &TxnResult{}
+	if e.wal != nil {
+		e.walEff = rules.NewEffect()
+	}
 
 	fail := func(err error) (*TxnResult, error) {
 		e.store.Rollback()
 		e.clearTransInfo()
+		e.walEff = nil
 		e.stats.RolledBack++
 		return res, err
 	}
@@ -471,6 +494,9 @@ func (e *Engine) RunTransaction(ops []sqlast.Statement) (*TxnResult, error) {
 		}
 		e.stats.ExternalTransitions++
 		e.trace(TraceEvent{Kind: TraceExternalTransition, Effect: blockEff.String()})
+		if e.walEff != nil {
+			e.walEff.Apply(blockEff)
+		}
 		if first {
 			// init-trans-info for every rule, restricted to the tables the
 			// rule can reference.
@@ -488,15 +514,26 @@ func (e *Engine) RunTransaction(ops []sqlast.Statement) (*TxnResult, error) {
 		}
 		if done { // rolled back by a rule
 			e.clearTransInfo()
+			e.walEff = nil
 			e.stats.RolledBack++
 			return res, nil
 		}
 	}
 
+	// Log before commit: the net effect must be durable (per the fsync
+	// policy) before the transaction can be acknowledged. A log failure
+	// rolls the transaction back, so the log can run behind the database
+	// only by unacknowledged work.
+	if e.wal != nil {
+		if err := e.logCommit(e.walEff); err != nil {
+			return fail(err)
+		}
+	}
 	if err := e.store.Commit(); err != nil {
 		return fail(err)
 	}
 	e.clearTransInfo()
+	e.walEff = nil
 	e.stats.Committed++
 	e.trace(TraceEvent{Kind: TraceCommit})
 	return res, nil
@@ -625,6 +662,9 @@ func (e *Engine) processRules(res *TxnResult, transitions *int, deadline time.Ti
 		// (init-trans-info); every other rule composes (modify-trans-info).
 		r.TransInfo = actEff.CloneFiltered(r.Keep)
 		e.applyToAll(r, actEff)
+		if e.walEff != nil {
+			e.walEff.Apply(actEff)
+		}
 
 		// A new transition occurred: previously false conditions may now
 		// hold (or rules may be newly triggered) — reconsider everything.

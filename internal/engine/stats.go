@@ -18,11 +18,22 @@ type Stats struct {
 	// a secondary hash index (CREATE INDEX) vs. full heap table scans.
 	IndexLookups int64
 	HeapScans    int64
+	// Durability counters: write-ahead-log appends and bytes (zero when no
+	// log is attached), records replayed during crash recovery, and
+	// checkpoints written.
+	WALAppends       int64
+	WALBytes         int64
+	RecoveredRecords int64
+	Checkpoints      int64
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.HeapScans, s.IndexLookups = e.store.AccessStats()
+	if e.wal != nil {
+		ws := e.wal.Stats()
+		s.WALAppends, s.WALBytes = ws.Appends, ws.Bytes
+	}
 	return s
 }

@@ -341,6 +341,10 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 				RuleFirings:         es.RuleFirings,
 				IndexLookups:        es.IndexLookups,
 				HeapScans:           es.HeapScans,
+				WALAppends:          es.WALAppends,
+				WALBytes:            es.WALBytes,
+				RecoveredRecords:    es.RecoveredRecords,
+				Checkpoints:         es.Checkpoints,
 			},
 			Server: s.Stats(),
 		})

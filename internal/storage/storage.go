@@ -399,6 +399,88 @@ func (s *Store) Tuples(table string) ([]*Tuple, error) {
 // tests asserting non-reuse.
 func (s *Store) NextHandle() Handle { return s.next + 1 }
 
+// ---------------------------------------------------------------------------
+// Recovery primitives
+//
+// Crash recovery replays composed net transition effects from the
+// write-ahead log; the effects address tuples by their system handles, so
+// replay must reproduce handles exactly rather than allocate fresh ones.
+// These primitives are only legal outside transactions (recovery happens
+// before the engine serves anything) and go through the same insertTuple /
+// removeHandle / setValues mutation paths as normal operation, so
+// secondary indexes stay consistent.
+// ---------------------------------------------------------------------------
+
+// ReplayInsert inserts a tuple with an explicit, pre-assigned handle and
+// advances the handle counter past it.
+func (s *Store) ReplayInsert(table string, h Handle, row Row) error {
+	if s.inTxn {
+		return fmt.Errorf("storage: replay inside a transaction")
+	}
+	if h == 0 {
+		return fmt.Errorf("storage: replay insert with zero handle")
+	}
+	td, err := s.table(table)
+	if err != nil {
+		return err
+	}
+	vals, err := coerceRow(td.schema, row)
+	if err != nil {
+		return err
+	}
+	if _, live := s.find(h); live {
+		return fmt.Errorf("storage: replay insert of live handle %d", h)
+	}
+	td.insertTuple(&Tuple{Handle: h, Table: td.schema.Name, Values: vals})
+	if h > s.next {
+		s.next = h
+	}
+	return nil
+}
+
+// ReplayDelete removes the tuple with the given handle.
+func (s *Store) ReplayDelete(h Handle) error {
+	if s.inTxn {
+		return fmt.Errorf("storage: replay inside a transaction")
+	}
+	t, ok := s.find(h)
+	if !ok {
+		return fmt.Errorf("storage: replay delete of unknown handle %d", h)
+	}
+	s.tables[t.Table].removeHandle(h)
+	return nil
+}
+
+// ReplaySet overwrites the full row of a live tuple (update replay: the
+// log records final values, not deltas).
+func (s *Store) ReplaySet(h Handle, row Row) error {
+	if s.inTxn {
+		return fmt.Errorf("storage: replay inside a transaction")
+	}
+	t, ok := s.find(h)
+	if !ok {
+		return fmt.Errorf("storage: replay set of unknown handle %d", h)
+	}
+	td := s.tables[t.Table]
+	vals, err := coerceRow(td.schema, row)
+	if err != nil {
+		return err
+	}
+	td.setValues(h, vals)
+	return nil
+}
+
+// RestoreNextHandle advances the handle counter so that the next
+// allocation follows last, exactly as it would have pre-crash. Handles
+// consumed by transactions that rolled back after the last logged commit
+// are deliberately not reproduced; handles only ever need to be unique and
+// monotone, never dense.
+func (s *Store) RestoreNextHandle(last Handle) {
+	if last > s.next {
+		s.next = last
+	}
+}
+
 // Clone deep-copies the store: catalog, data, and handle counter. The clone
 // has no open transaction. Clone exists for reference implementations and
 // benchmarks that need to recompute effects from a previous state.

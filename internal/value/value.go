@@ -195,6 +195,20 @@ func Compare(a, b Value) (cmp int, ok bool) {
 		}
 		x, _ := a.AsFloat()
 		y, _ := b.AsFloat()
+		// NaN (reachable via overflow arithmetic like Inf - Inf) gets a
+		// total order — equal to itself, after every other float — so that
+		// x<y and x>y both failing cannot fall through to "equal" and the
+		// heap-scan and index access paths agree on every comparison.
+		if math.IsNaN(x) || math.IsNaN(y) {
+			switch {
+			case math.IsNaN(x) && math.IsNaN(y):
+				return 0, true
+			case math.IsNaN(x):
+				return 1, true
+			default:
+				return -1, true
+			}
+		}
 		switch {
 		case x < y:
 			return -1, true
@@ -474,11 +488,15 @@ func KeyNumeric(v Value) (k Key, ok bool) {
 	}
 }
 
-// floatKey keys a float64 by bit pattern, normalizing -0.0 to 0.0 so the
-// two zeros (equal under Compare) share a key.
+// floatKey keys a float64 by bit pattern, normalizing -0.0 to 0.0 and every
+// NaN payload to the canonical NaN so values equal under Compare share a
+// key.
 func floatKey(f float64) Key {
 	if f == 0 {
 		f = 0
+	}
+	if math.IsNaN(f) {
+		f = math.NaN()
 	}
 	return Key{kind: 'f', num: int64(math.Float64bits(f))}
 }

@@ -1,0 +1,143 @@
+// Checkpoint files: a full database image written atomically, framed with
+// the same checksummed record envelope as log segments. Layout:
+//
+//	CkptMeta   (handle counter, covered LSN, schema script)
+//	CkptRows*  (tuple batches, handles included)
+//	CkptRules  (rule definitions script)
+//	CkptEnd    (completeness marker)
+//
+// The image preserves system tuple handles — a plain SQL dump would
+// reassign them on reload, and then the log tail, which addresses tuples
+// by handle, could not be replayed. The schema and rule scripts inside
+// the image, though, are exactly what the dump machinery produces.
+package wal
+
+import (
+	"fmt"
+	"io"
+)
+
+// Checkpoint is one loaded checkpoint image.
+type Checkpoint struct {
+	Meta   CkptMeta
+	Tables []CkptRows // in written order; a table may span several batches
+	Rules  string
+}
+
+// CheckpointWriter streams a database image into a checkpoint file. The
+// engine calls Meta once, then Rows per tuple batch, then Rules once.
+type CheckpointWriter struct {
+	w   io.Writer
+	lsn uint64
+	err error
+}
+
+func (cw *CheckpointWriter) write(kind byte, v any) error {
+	if cw.err != nil {
+		return cw.err
+	}
+	payload, err := marshalPayload(v)
+	if err != nil {
+		cw.err = err
+		return err
+	}
+	// Checkpoint records reuse the frame format; the LSN field carries the
+	// covered LSN on every record (it is not a sequence number here).
+	if _, err := cw.w.Write(encodeFrame(kind, cw.lsn, payload)); err != nil {
+		cw.err = err
+		return err
+	}
+	return nil
+}
+
+// Meta writes the image header: the handle counter and the schema script.
+func (cw *CheckpointWriter) Meta(lastHandle uint64, schema string) error {
+	return cw.write(KindCkptMeta, &CkptMeta{LastHandle: lastHandle, LSN: cw.lsn, Schema: schema})
+}
+
+// Rows writes one batch of a table's tuples.
+func (cw *CheckpointWriter) Rows(table string, tuples []TupleRec) error {
+	return cw.write(KindCkptRows, &CkptRows{Table: table, Tuples: tuples})
+}
+
+// Rules writes the rule-definition script.
+func (cw *CheckpointWriter) Rules(sql string) error {
+	return cw.write(KindCkptRules, &CkptRules{SQL: sql})
+}
+
+// writeCheckpoint writes the image atomically: build streams records into
+// a temp file which is synced and renamed into place (AtomicWriteFile, the
+// same helper soprsh uses for dumps).
+func writeCheckpoint(fs FS, path string, lsn uint64, build func(*CheckpointWriter) error) error {
+	return AtomicWriteFile(fs, path, func(w io.Writer) error {
+		cw := &CheckpointWriter{w: w, lsn: lsn}
+		if err := build(cw); err != nil {
+			return err
+		}
+		return cw.write(KindCkptEnd, struct{}{})
+	})
+}
+
+// loadCheckpoint reads and validates one checkpoint file. Any framing
+// error, decode error, missing end marker, or out-of-order section makes
+// the whole file unusable — the caller falls back to an older checkpoint.
+func loadCheckpoint(fs FS, path string) (*Checkpoint, error) {
+	data, err := readAll(fs, path)
+	if err != nil {
+		return nil, err
+	}
+	recs, validLen := scanFrames(data)
+	if validLen != len(data) {
+		return nil, fmt.Errorf("wal: checkpoint %s corrupt at offset %d", path, validLen)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("wal: checkpoint %s is empty", path)
+	}
+	ck := &Checkpoint{}
+	seenMeta, seenEnd := false, false
+	for i, raw := range recs {
+		if seenEnd {
+			return nil, fmt.Errorf("wal: checkpoint %s has records after the end marker", path)
+		}
+		switch raw.kind {
+		case KindCkptMeta:
+			if i != 0 {
+				return nil, fmt.Errorf("wal: checkpoint %s meta record out of order", path)
+			}
+			if err := unmarshalStrict(raw.payload, &ck.Meta, path); err != nil {
+				return nil, err
+			}
+			seenMeta = true
+		case KindCkptRows:
+			var rows CkptRows
+			if err := unmarshalStrict(raw.payload, &rows, path); err != nil {
+				return nil, err
+			}
+			ck.Tables = append(ck.Tables, rows)
+		case KindCkptRules:
+			var rules CkptRules
+			if err := unmarshalStrict(raw.payload, &rules, path); err != nil {
+				return nil, err
+			}
+			ck.Rules = rules.SQL
+		case KindCkptEnd:
+			seenEnd = true
+		default:
+			return nil, fmt.Errorf("wal: checkpoint %s has unexpected record kind %d", path, raw.kind)
+		}
+	}
+	if !seenMeta {
+		return nil, fmt.Errorf("wal: checkpoint %s has no meta record", path)
+	}
+	if !seenEnd {
+		return nil, fmt.Errorf("wal: checkpoint %s has no end marker (incomplete write)", path)
+	}
+	return ck, nil
+}
+
+func unmarshalStrict(payload []byte, v any, path string) error {
+	if err := unmarshalJSON(payload, v); err != nil {
+		return fmt.Errorf("wal: checkpoint %s: %w", path, err)
+	}
+	return nil
+}

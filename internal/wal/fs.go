@@ -1,0 +1,502 @@
+// Filesystem abstraction for the write-ahead log. All WAL and checkpoint
+// I/O goes through the FS interface so that tests can inject faults at any
+// byte (see FaultFS) and run entirely in memory (see MemFS). Production
+// code uses OS, a thin wrapper over the os package.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the subset of *os.File the log needs.
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the log writes through. Paths are plain
+// slash-joined strings; implementations may interpret them however they
+// like as long as they are consistent.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create truncates or creates name for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// ReadDir lists the file names in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate shortens name to size bytes.
+	Truncate(name string, size int64) error
+	// Size reports the byte size of name.
+	Size(name string) (int64, error)
+	// SyncDir flushes directory metadata (created/renamed/removed entries)
+	// for dir. Implementations without directory handles may no-op.
+	SyncDir(dir string) error
+}
+
+// ---------------------------------------------------------------------------
+// OS filesystem
+// ---------------------------------------------------------------------------
+
+// OS is the production FS: the real filesystem via package os.
+type OS struct{}
+
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file replacement
+// ---------------------------------------------------------------------------
+
+// AtomicWriteFile writes a file without ever exposing a partial version at
+// path: the content goes to a temp file in the same directory, is fsynced,
+// and is renamed over path, after which the directory itself is synced.
+// A crash at any point leaves either the old file or the new one, never a
+// torn mix. The soprsh .dump command and the WAL checkpoint writer share
+// this helper.
+func AtomicWriteFile(fs FS, path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		_ = f.Close()     // double Close is harmless on every FS here
+		_ = fs.Remove(tmp) // best effort: the temp file is garbage either way
+		return err
+	}
+	if err := write(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		return cleanup(err)
+	}
+	return fs.SyncDir(dir)
+}
+
+// ---------------------------------------------------------------------------
+// In-memory filesystem
+// ---------------------------------------------------------------------------
+
+// MemFS is an in-memory FS for tests. It tracks, per file, how many bytes
+// have been made durable by Sync, so a test can simulate an operating
+// system crash that discards unsynced page-cache contents (DropUnsynced).
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+type memFile struct {
+	data   []byte
+	synced int // bytes guaranteed durable
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), dirs: make(map[string]bool)}
+}
+
+// DropUnsynced simulates an OS crash: every file loses the bytes written
+// after its last Sync.
+func (m *MemFS) DropUnsynced() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		if f.synced < len(f.data) {
+			f.data = f.data[:f.synced]
+		}
+	}
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[filepath.Clean(dir)] = true
+	return nil
+}
+
+func (m *MemFS) open(name string, truncate, create bool) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	f, ok := m.files[name]
+	if !ok {
+		if !create {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		f = &memFile{}
+		m.files[name] = f
+	} else if truncate {
+		f.data = nil
+		f.synced = 0
+	}
+	return &memHandle{fs: m, f: f, pos: 0, atEnd: true}, nil
+}
+
+func (m *MemFS) Create(name string) (File, error)     { return m.open(name, true, true) }
+func (m *MemFS) OpenAppend(name string) (File, error) { return m.open(name, false, true) }
+
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	f, ok := m.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return &memHandle{fs: m, f: f, readOnly: true}, nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldname, newname = filepath.Clean(oldname), filepath.Clean(newname)
+	f, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	m.files[newname] = f
+	delete(m.files, oldname)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	f, ok := m.files[name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if int(size) < len(f.data) {
+		f.data = f.data[:size]
+	}
+	if f.synced > len(f.data) {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+func (m *MemFS) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[filepath.Clean(name)]
+	if !ok {
+		return 0, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+	}
+	return int64(len(f.data)), nil
+}
+
+func (m *MemFS) SyncDir(string) error { return nil }
+
+// memHandle is one open descriptor on a memFile.
+type memHandle struct {
+	fs       *MemFS
+	f        *memFile
+	pos      int
+	atEnd    bool // writes append regardless of pos (O_APPEND)
+	readOnly bool
+	closed   bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if h.pos >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if h.readOnly {
+		return 0, errors.New("memfs: write to read-only handle")
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+// ErrInjected is the root of every failure produced by FaultFS, so tests
+// can tell injected faults from genuine bugs.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS wraps an FS with byte- and call-level failpoints. Counters are
+// global across all files opened through it. The zero failpoint values
+// disable each fault. After CrashAtByte triggers, the FaultFS is "dead":
+// every subsequent write and sync fails, modeling a machine that stops
+// mid-write and never comes back within the process lifetime.
+type FaultFS struct {
+	Inner FS
+
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	written int64
+	crashed bool
+
+	// FailWriteN fails the Nth write call (1-based) without writing.
+	FailWriteN int
+	// ShortWriteN writes only the first half of the Nth write, then fails.
+	ShortWriteN int
+	// FailSyncN fails the Nth Sync call (the data was written, so it may
+	// or may not survive — exactly the ambiguity a real fsync failure has).
+	FailSyncN int
+	// CrashAtByte, when > 0, lets writes through until the global written
+	// byte count reaches it; the write crossing the boundary is torn at
+	// the boundary and everything after fails.
+	CrashAtByte int64
+}
+
+// NewFaultFS wraps inner with all failpoints disabled.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{Inner: inner} }
+
+// Crashed reports whether the CrashAtByte failpoint has triggered.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// checkWrite decides the fate of one write of len(p) bytes: how many bytes
+// to pass through and which error (if any) to return after them.
+func (f *FaultFS) checkWrite(p []byte) (allow int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, fmt.Errorf("%w: crashed", ErrInjected)
+	}
+	f.writes++
+	if f.FailWriteN > 0 && f.writes == f.FailWriteN {
+		return 0, fmt.Errorf("%w: write %d failed", ErrInjected, f.writes)
+	}
+	if f.ShortWriteN > 0 && f.writes == f.ShortWriteN {
+		return len(p) / 2, fmt.Errorf("%w: short write %d", ErrInjected, f.writes)
+	}
+	if f.CrashAtByte > 0 && f.written+int64(len(p)) >= f.CrashAtByte {
+		f.crashed = true
+		allow = int(f.CrashAtByte - f.written)
+		if allow < 0 {
+			allow = 0
+		}
+		f.written += int64(allow)
+		return allow, fmt.Errorf("%w: crash at byte %d", ErrInjected, f.CrashAtByte)
+	}
+	f.written += int64(len(p))
+	return len(p), nil
+}
+
+func (f *FaultFS) checkSync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return fmt.Errorf("%w: crashed", ErrInjected)
+	}
+	f.syncs++
+	if f.FailSyncN > 0 && f.syncs == f.FailSyncN {
+		return fmt.Errorf("%w: sync %d failed", ErrInjected, f.syncs)
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error { return f.Inner.MkdirAll(dir) }
+
+func (f *FaultFS) Create(name string) (File, error) {
+	inner, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	inner, err := f.Inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) { return f.Inner.Open(name) }
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir(dir) }
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if f.Crashed() {
+		return fmt.Errorf("%w: crashed", ErrInjected)
+	}
+	return f.Inner.Rename(oldname, newname)
+}
+
+func (f *FaultFS) Remove(name string) error { return f.Inner.Remove(name) }
+
+func (f *FaultFS) Truncate(name string, size int64) error { return f.Inner.Truncate(name, size) }
+
+func (f *FaultFS) Size(name string) (int64, error) { return f.Inner.Size(name) }
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.checkSync(); err != nil {
+		return err
+	}
+	return f.Inner.SyncDir(dir)
+}
+
+// faultFile applies the FaultFS failpoints to one open file.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	allow, ferr := f.fs.checkWrite(p)
+	n := 0
+	if allow > 0 {
+		var err error
+		n, err = f.inner.Write(p[:allow])
+		if err != nil {
+			return n, err
+		}
+	}
+	if ferr != nil {
+		return n, ferr
+	}
+	return len(p), nil
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.checkSync(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

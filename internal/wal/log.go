@@ -1,0 +1,597 @@
+// The segmented append-only log. A data directory holds numbered segment
+// files plus checkpoint files:
+//
+//	wal-0000000000000001.log      records with LSN >= 1
+//	wal-0000000000000042.log      records with LSN >= 42
+//	checkpoint-0000000000000041.ckpt   full state through LSN 41
+//
+// A segment's name is the LSN of its first record; LSNs within a segment
+// are consecutive, so every record's LSN is implied by its position and
+// verified against the one stored in its frame. Open replays the newest
+// loadable checkpoint plus the record tail after it, truncating a torn
+// final segment. Append goes to the last segment, rotating at SegmentSize.
+// WriteCheckpoint rotates, writes the checkpoint atomically, and prunes
+// segments (and older checkpoints) that the new checkpoint covers.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: a transaction reported
+	// committed is durable. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer: a crash loses at most the
+	// last interval's transactions, never corrupts the log.
+	SyncInterval
+	// SyncNever leaves persistence to the operating system.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy converts a -fsync flag value.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// Options configure a Log at Open. Zero values select the defaults.
+type Options struct {
+	// FS is the filesystem to write through (default the real one).
+	FS FS
+	// Policy is the fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the background sync period for SyncInterval (default
+	// 100ms).
+	Interval time.Duration
+	// SegmentSize is the rotation threshold in bytes (default 4 MiB).
+	SegmentSize int64
+	// KeepCheckpoints is how many checkpoint files survive pruning
+	// (default 2: the newest plus one fallback).
+	KeepCheckpoints int
+}
+
+const (
+	defaultInterval    = 100 * time.Millisecond
+	defaultSegmentSize = 4 << 20
+	segPrefix          = "wal-"
+	segSuffix          = ".log"
+	ckptPrefix         = "checkpoint-"
+	ckptSuffix         = ".ckpt"
+)
+
+// ErrLogFailed wraps the first append or sync error; once it happens the
+// log refuses all further writes. The in-memory database may be ahead of
+// the durable log at that point, so continuing to acknowledge commits
+// would lie to clients — the owner should surface the error and stop.
+var ErrLogFailed = errors.New("wal: log failed; no further writes accepted")
+
+// Stats are cumulative counters over the log's lifetime.
+type Stats struct {
+	Appends int64 // records appended
+	Bytes   int64 // bytes appended (framing included)
+	Syncs   int64 // fsync calls issued
+}
+
+// Recovery reports what Open found in the data directory.
+type Recovery struct {
+	// Checkpoint is the newest loadable checkpoint, nil if none.
+	Checkpoint *Checkpoint
+	// Records is the log tail after the checkpoint, in LSN order.
+	Records []Record
+	// TruncatedBytes counts torn-tail bytes discarded from the final
+	// segment.
+	TruncatedBytes int64
+	// SkippedCheckpoints lists checkpoint files that failed to load and
+	// were passed over for an older one.
+	SkippedCheckpoints []string
+}
+
+// Log is an open write-ahead log. Its methods are safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	fs   FS
+	dir  string
+	opts Options
+
+	seg     File   // active segment
+	segName string // its path
+	segSize int64
+	nextLSN uint64
+	stats   Stats
+	failed  error // sticky first write failure
+	closed  bool
+
+	syncStop chan struct{}
+	syncDone chan struct{}
+}
+
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("%s%016d%s", segPrefix, firstLSN, segSuffix)
+}
+
+func ckptName(lsn uint64) string {
+	return fmt.Sprintf("%s%016d%s", ckptPrefix, lsn, ckptSuffix)
+}
+
+// parseSeq extracts the LSN from a segment or checkpoint file name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Open opens (creating if necessary) the log in dir and returns the
+// recovered state. The caller replays Recovery into its engine before
+// appending. Open never panics on corrupt input: a torn final segment is
+// truncated; a checkpoint that fails to load falls back to an older one;
+// anything else — corruption that would silently lose acknowledged
+// transactions — is a fatal error, and the caller must refuse to serve.
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	if opts.FS == nil {
+		opts.FS = OS{}
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = defaultInterval
+	}
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = defaultSegmentSize
+	}
+	if opts.KeepCheckpoints <= 0 {
+		opts.KeepCheckpoints = 2
+	}
+	fs := opts.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: list dir: %w", err)
+	}
+
+	var segStarts []uint64
+	var ckptLSNs []uint64
+	for _, name := range names {
+		if n, ok := parseSeq(name, segPrefix, segSuffix); ok {
+			segStarts = append(segStarts, n)
+		}
+		if n, ok := parseSeq(name, ckptPrefix, ckptSuffix); ok {
+			ckptLSNs = append(ckptLSNs, n)
+		}
+	}
+	sort.Slice(segStarts, func(i, j int) bool { return segStarts[i] < segStarts[j] })
+	sort.Slice(ckptLSNs, func(i, j int) bool { return ckptLSNs[i] < ckptLSNs[j] })
+
+	rec := &Recovery{}
+
+	// Newest loadable checkpoint wins; unreadable ones are skipped with a
+	// note (the fallback is only sound because segments are pruned after,
+	// never before, a checkpoint is fully durable).
+	ckptLSN := uint64(0)
+	for i := len(ckptLSNs) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, ckptName(ckptLSNs[i]))
+		ck, err := loadCheckpoint(fs, path)
+		if err != nil {
+			rec.SkippedCheckpoints = append(rec.SkippedCheckpoints, fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		rec.Checkpoint = ck
+		ckptLSN = ck.Meta.LSN
+		break
+	}
+
+	// Read every segment; only the last may be torn.
+	type segInfo struct {
+		start uint64
+		recs  []rawRecord
+	}
+	var segs []segInfo
+	for i, start := range segStarts {
+		path := filepath.Join(dir, segName(start))
+		data, err := readAll(fs, path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: read segment %s: %w", path, err)
+		}
+		recs, validLen := scanFrames(data)
+		if validLen < len(data) {
+			if i != len(segStarts)-1 {
+				return nil, nil, fmt.Errorf("wal: segment %s is corrupt at offset %d but is not the final segment; refusing to recover past a hole", path, validLen)
+			}
+			if err := fs.Truncate(path, int64(validLen)); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+			}
+			rec.TruncatedBytes = int64(len(data) - validLen)
+		}
+		for j, r := range recs {
+			if want := start + uint64(j); r.lsn != want {
+				return nil, nil, fmt.Errorf("wal: segment %s record %d has lsn %d, want %d", path, j, r.lsn, want)
+			}
+		}
+		segs = append(segs, segInfo{start: start, recs: recs})
+	}
+
+	// Continuity: each segment must pick up where the previous ended.
+	next := uint64(0)
+	for _, s := range segs {
+		if next != 0 && s.start != next {
+			return nil, nil, fmt.Errorf("wal: gap in log: segment %s starts at lsn %d, expected %d", segName(s.start), s.start, next)
+		}
+		next = s.start + uint64(len(s.recs))
+	}
+
+	// Coverage: the loaded checkpoint plus the surviving segments must
+	// reach back to LSN 1 with no hole between them. If the newest
+	// checkpoint failed to load, the records it covered may already be
+	// pruned — recovering from an older checkpoint (or from nothing) would
+	// then silently drop acknowledged transactions, so refuse instead.
+	if len(segs) > 0 && segs[0].start > ckptLSN+1 {
+		return nil, nil, fmt.Errorf("wal: checkpoint covers through lsn %d but the oldest segment starts at lsn %d; records between them were pruned against a checkpoint that did not load", ckptLSN, segs[0].start)
+	}
+	if len(segs) == 0 && rec.Checkpoint == nil && len(rec.SkippedCheckpoints) > 0 {
+		return nil, nil, fmt.Errorf("wal: no checkpoint loads and no log segments survive: %s", strings.Join(rec.SkippedCheckpoints, "; "))
+	}
+
+	// Decode the tail after the checkpoint.
+	for _, s := range segs {
+		for _, raw := range s.recs {
+			if raw.lsn <= ckptLSN {
+				continue
+			}
+			r, err := decodeRecord(raw)
+			if err != nil {
+				return nil, nil, err
+			}
+			rec.Records = append(rec.Records, r)
+		}
+	}
+	if len(rec.Records) > 0 && rec.Records[0].LSN != ckptLSN+1 {
+		return nil, nil, fmt.Errorf("wal: checkpoint covers through lsn %d but the oldest surviving record is lsn %d; segments are missing", ckptLSN, rec.Records[0].LSN)
+	}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		if tail := last.start + uint64(len(last.recs)); ckptLSN+1 > tail {
+			// The checkpoint is newer than every surviving record; fine —
+			// appends resume after the checkpoint LSN.
+			next = ckptLSN + 1
+		}
+	} else {
+		next = ckptLSN + 1
+	}
+	if next == 0 {
+		next = 1
+	}
+
+	l := &Log{fs: fs, dir: dir, opts: opts, nextLSN: next}
+
+	// Open the active segment: the last one if its LSNs continue the
+	// stream, else a fresh segment starting at nextLSN.
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		if last.start+uint64(len(last.recs)) == next {
+			l.segName = filepath.Join(dir, segName(last.start))
+			size, err := fs.Size(l.segName)
+			if err != nil {
+				return nil, nil, fmt.Errorf("wal: stat active segment: %w", err)
+			}
+			f, err := fs.OpenAppend(l.segName)
+			if err != nil {
+				return nil, nil, fmt.Errorf("wal: open active segment: %w", err)
+			}
+			l.seg, l.segSize = f, size
+		}
+	}
+	if l.seg == nil {
+		if err := l.startSegment(next); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if opts.Policy == SyncInterval {
+		l.syncStop = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, rec, nil
+}
+
+// readAll reads a whole file through the FS.
+func readAll(fs FS, path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	cerr := f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return data, nil
+}
+
+// startSegment creates and switches to a fresh segment whose first record
+// will be firstLSN. Callers hold l.mu (or are in Open, pre-publication).
+func (l *Log) startSegment(firstLSN uint64) error {
+	name := filepath.Join(l.dir, segName(firstLSN))
+	f, err := l.fs.Create(name)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: sync dir after creating segment: %w", err)
+	}
+	l.seg, l.segName, l.segSize = f, name, 0
+	return nil
+}
+
+// rotate closes the active segment (after syncing it) and starts a new one.
+// Callers hold l.mu.
+func (l *Log) rotate() error {
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: sync before rotate: %w", err)
+	}
+	l.stats.Syncs++
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	return l.startSegment(l.nextLSN)
+}
+
+// AppendCommit appends one committed transaction's net effect. With
+// SyncAlways the record is durable when AppendCommit returns.
+func (l *Log) AppendCommit(rec *CommitRecord) error {
+	payload, err := marshalPayload(rec)
+	if err != nil {
+		return err
+	}
+	return l.append(KindCommit, payload)
+}
+
+// AppendDDL appends one definition statement.
+func (l *Log) AppendDDL(stmt string) error {
+	payload, err := marshalPayload(&DDLRecord{Stmt: stmt})
+	if err != nil {
+		return err
+	}
+	return l.append(KindDDL, payload)
+}
+
+func (l *Log) append(kind byte, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return fmt.Errorf("%w: %w", ErrLogFailed, l.failed)
+	}
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if l.segSize >= l.opts.SegmentSize {
+		if err := l.rotate(); err != nil {
+			l.failed = err
+			return err
+		}
+	}
+	frame := encodeFrame(kind, l.nextLSN, payload)
+	n, err := l.seg.Write(frame)
+	l.segSize += int64(n)
+	l.stats.Bytes += int64(n)
+	if err != nil {
+		// The tail may be torn; recovery will truncate it. Refuse further
+		// writes so no later record can make the tear look like a hole.
+		l.failed = err
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if l.opts.Policy == SyncAlways {
+		if err := l.seg.Sync(); err != nil {
+			l.failed = err
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		l.stats.Syncs++
+	}
+	l.nextLSN++
+	l.stats.Appends++
+	return nil
+}
+
+// Sync forces the active segment to disk.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return fmt.Errorf("%w: %w", ErrLogFailed, l.failed)
+	}
+	if l.closed || l.seg == nil {
+		return nil
+	}
+	if err := l.seg.Sync(); err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.stats.Syncs++
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// A failed background sync poisons the log via the sticky
+			// error; the next append surfaces it to the caller.
+			_ = l.Sync() // failure is recorded in l.failed
+		case <-l.syncStop:
+			return
+		}
+	}
+}
+
+// Err reports the sticky failure, nil while the log is healthy.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// NextLSN reports the LSN the next append will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Close syncs and closes the active segment and stops the background
+// syncer. Appending after Close fails.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stop := l.syncStop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.syncDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg == nil {
+		return nil
+	}
+	var firstErr error
+	if l.failed == nil {
+		if err := l.seg.Sync(); err != nil {
+			firstErr = err
+		} else {
+			l.stats.Syncs++
+		}
+	}
+	if err := l.seg.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	l.seg = nil
+	return firstErr
+}
+
+// WriteCheckpoint rotates to a fresh segment, writes a checkpoint covering
+// every record appended so far (the build callback streams the database
+// image through a CheckpointWriter), then prunes fully-covered segments
+// and all but the newest KeepCheckpoints checkpoint files. A failure while
+// writing the checkpoint leaves the log fully usable: the previous
+// checkpoint and the unpruned segments still recover everything.
+func (l *Log) WriteCheckpoint(build func(*CheckpointWriter) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return fmt.Errorf("%w: %w", ErrLogFailed, l.failed)
+	}
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	lsn := l.nextLSN - 1 // everything through here is in the image
+	if l.segSize > 0 {
+		if err := l.rotate(); err != nil {
+			l.failed = err
+			return err
+		}
+	}
+	path := filepath.Join(l.dir, ckptName(lsn))
+	if err := writeCheckpoint(l.fs, path, lsn, build); err != nil {
+		return fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	l.prune(lsn)
+	return nil
+}
+
+// prune removes segments fully covered by the checkpoint at lsn and all
+// but the newest KeepCheckpoints checkpoints. Pruning is best-effort:
+// leftovers cost disk, not correctness, so errors are not fatal. Callers
+// hold l.mu.
+func (l *Log) prune(lsn uint64) {
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	var segStarts, ckptLSNs []uint64
+	for _, name := range names {
+		if n, ok := parseSeq(name, segPrefix, segSuffix); ok {
+			segStarts = append(segStarts, n)
+		}
+		if n, ok := parseSeq(name, ckptPrefix, ckptSuffix); ok {
+			ckptLSNs = append(ckptLSNs, n)
+		}
+	}
+	sort.Slice(segStarts, func(i, j int) bool { return segStarts[i] < segStarts[j] })
+	sort.Slice(ckptLSNs, func(i, j int) bool { return ckptLSNs[i] < ckptLSNs[j] })
+	// A segment is removable when the next segment starts at or before
+	// lsn+1 (so every record it holds is <= lsn). The active segment is
+	// never removable: it starts at lsn+1 or later... except when it is
+	// also where appends go, so skip it by name.
+	for i, start := range segStarts {
+		if i == len(segStarts)-1 {
+			break
+		}
+		if segStarts[i+1] <= lsn+1 {
+			name := filepath.Join(l.dir, segName(start))
+			if name != l.segName {
+				_ = l.fs.Remove(name) // best effort
+			}
+		}
+	}
+	for i, n := range ckptLSNs {
+		if len(ckptLSNs)-i > l.opts.KeepCheckpoints {
+			_ = l.fs.Remove(filepath.Join(l.dir, ckptName(n))) // best effort
+		}
+	}
+	_ = l.fs.SyncDir(l.dir) // best effort
+}

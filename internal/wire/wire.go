@@ -112,6 +112,10 @@ type EngineStats struct {
 	RuleFirings         int64 `json:"rule_firings"`
 	IndexLookups        int64 `json:"index_lookups"`
 	HeapScans           int64 `json:"heap_scans"`
+	WALAppends          int64 `json:"wal_appends"`
+	WALBytes            int64 `json:"wal_bytes"`
+	RecoveredRecords    int64 `json:"recovered_records"`
+	Checkpoints         int64 `json:"checkpoints"`
 }
 
 // ServerStats are the network front-end's own counters, kept separately

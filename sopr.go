@@ -37,6 +37,7 @@ import (
 	"sopr/internal/rules"
 	"sopr/internal/sqlparse"
 	"sopr/internal/value"
+	"sopr/internal/wal"
 )
 
 // Strategy selects the tie-break among equal-priority triggered rules
@@ -70,37 +71,44 @@ const (
 	SinceTriggered
 )
 
-// Option configures a DB at Open.
-type Option func(*engine.Config)
+// config gathers everything Open and OpenDurable can be configured with:
+// the engine behavior plus the durability settings (see durability.go).
+type config struct {
+	eng engine.Config
+	dur durConfig
+}
+
+// Option configures a DB at Open or OpenDurable.
+type Option func(*config)
 
 // WithMaxRuleTransitions caps rule-generated transitions per transaction
 // (the footnote 7 runaway guard; default 10000).
 func WithMaxRuleTransitions(n int) Option {
-	return func(c *engine.Config) { c.MaxRuleTransitions = n }
+	return func(c *config) { c.eng.MaxRuleTransitions = n }
 }
 
 // WithStrategy sets the rule-selection tie-break.
 func WithStrategy(s Strategy) Option {
-	return func(c *engine.Config) { c.Strategy = rules.Strategy(s) }
+	return func(c *config) { c.eng.Strategy = rules.Strategy(s) }
 }
 
 // WithDefaultScope sets the triggering scope given to new rules.
 func WithDefaultScope(s TriggerScope) Option {
-	return func(c *engine.Config) { c.DefaultScope = rules.TriggerScope(s) }
+	return func(c *config) { c.eng.DefaultScope = rules.TriggerScope(s) }
 }
 
 // WithSelectTriggers enables the Section 5.1 extension: SELECT statements
 // join operation blocks, effects gain an S component, and SELECTED
 // transition predicates become available.
 func WithSelectTriggers() Option {
-	return func(c *engine.Config) { c.EnableSelectTriggers = true }
+	return func(c *config) { c.eng.EnableSelectTriggers = true }
 }
 
 // WithRuleTimeout bounds wall-clock rule-processing time per transaction
 // (the footnote 7 timeout mechanism); exceeding it rolls the transaction
 // back with an error.
 func WithRuleTimeout(d time.Duration) Option {
-	return func(c *engine.Config) { c.RuleTimeout = d }
+	return func(c *config) { c.eng.RuleTimeout = d }
 }
 
 // DB is a database instance with the production rules facility. It is not
@@ -108,15 +116,21 @@ func WithRuleTimeout(d time.Duration) Option {
 // single stream of operation blocks (Section 2.1).
 type DB struct {
 	eng *engine.Engine
+	// walLog and recovery are set by OpenDurable (durability.go); walLog is
+	// nil for a plain in-memory Open.
+	walLog    *wal.Log
+	recovery  RecoveryInfo
+	recovered bool
 }
 
-// Open creates an empty database.
+// Open creates an empty in-memory database. For a database that survives
+// restarts, use OpenDurable.
 func Open(opts ...Option) *DB {
-	var cfg engine.Config
+	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &DB{eng: engine.New(cfg)}
+	return &DB{eng: engine.New(cfg.eng)}
 }
 
 // ParseError reports a script syntax error with its 1-based position; Exec
@@ -391,6 +405,10 @@ type Stats struct {
 	RuleFirings         int64 // rule action executions
 	IndexLookups        int64 // selections served from a secondary index
 	HeapScans           int64 // full heap table scans
+	WALAppends          int64 // records appended to the write-ahead log
+	WALBytes            int64 // bytes appended to the write-ahead log
+	RecoveredRecords    int64 // log records replayed during crash recovery
+	Checkpoints         int64 // checkpoints written
 }
 
 // Stats returns a snapshot of the database's cumulative counters.
@@ -404,6 +422,10 @@ func (db *DB) Stats() Stats {
 		RuleFirings:         s.RuleFirings,
 		IndexLookups:        s.IndexLookups,
 		HeapScans:           s.HeapScans,
+		WALAppends:          s.WALAppends,
+		WALBytes:            s.WALBytes,
+		RecoveredRecords:    s.RecoveredRecords,
+		Checkpoints:         s.Checkpoints,
 	}
 }
 
