@@ -13,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sopr"
@@ -33,17 +35,18 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: E1, E5, B1..B13, S1, or all")
+	exp := flag.String("exp", "all", "experiment to run: E1, E5, B1..B13, S1, S2, or all")
+	flag.IntVar(&s2TotalOps, "s2ops", 2000, "total read operations per S2 table cell")
 	flag.Parse()
 	runs := map[string]func(){
 		"E1": e1, "E5": e5, "B1": b1, "B2": b2, "B3": b3, "B4": b4,
 		"B5": b5, "B6": b6, "B7": b7, "B8": b8, "B9": b9, "B10": b10,
-		"B12": b12, "B13": b13, "S1": s1,
+		"B12": b12, "B13": b13, "S1": s1, "S2": s2,
 	}
 	if *exp != "all" {
 		fn, ok := runs[strings.ToUpper(*exp)]
 		if !ok {
-			fmt.Println("unknown experiment; use E1, B1..B13, S1 or all")
+			fmt.Println("unknown experiment; use E1, B1..B13, S1, S2 or all")
 			return
 		}
 		fn()
@@ -719,6 +722,122 @@ func s1run(nc, totalOps int) (int, time.Duration) {
 	close(start)
 	wg.Wait()
 	return nc * per, time.Since(t0)
+}
+
+// ---------------------------------------------------------------------------
+
+// s2TotalOps is the number of read operations measured per S2 table cell
+// (the -s2ops flag; CI smoke runs shrink it).
+var s2TotalOps = 2000
+
+// s2 measures the shared-lock read path: aggregate query throughput as
+// reader goroutines grow, with and without a concurrent writer. Queries
+// take SynchronizedDB's lock shared — they perform no transition and
+// trigger no rules, so nothing in the paper's §2.1 single-stream model
+// requires them to serialize with each other — while the writer's Exec
+// takes it exclusively. Each read is a filtered COUNT over a 4k-row heap
+// scan (no index on v), so per-operation work dominates lock overhead;
+// the writer runs rule-firing insert+delete transactions that keep the
+// scanned table at a constant size. On a multi-core host read-only
+// throughput scales with readers until cores run out; on a single core
+// the curve is flat (time-slicing, no parallelism) and the interesting
+// number is that added readers cost nothing. S1 is the historical
+// contrast: before the reader-writer scheme, queries funneled through one
+// mutex and the plateau was single-core throughput no matter the client
+// count.
+func s2() {
+	header("S2", "concurrent read throughput vs reader goroutines (shared lock)")
+	db := sopr.Open()
+	db.MustExec(`create table t (id int, v int); create table audit (id int, v int)`)
+	db.MustExec(b1Rule)
+	var ins strings.Builder
+	const rows = 4000
+	for i := 0; i < rows; i++ {
+		if i%500 == 0 {
+			if i > 0 {
+				db.MustExec(ins.String())
+			}
+			ins.Reset()
+			ins.WriteString("insert into t values ")
+		} else {
+			ins.WriteString(", ")
+		}
+		fmt.Fprintf(&ins, "(%d, %d)", i, i%97)
+	}
+	db.MustExec(ins.String())
+	sdb := sopr.Synchronized(db)
+
+	fmt.Printf("%-9s %-12s %12s %12s %12s\n", "readers", "writer", "reads/sec", "µs/read", "writes/sec")
+	var base float64
+	for _, withWriter := range []bool{false, true} {
+		for _, nr := range []int{1, 2, 4, 8} {
+			elapsed, writes := s2run(sdb, nr, s2TotalOps, withWriter)
+			total := (s2TotalOps / nr) * nr
+			rps := float64(total) / elapsed.Seconds()
+			wlabel := "none"
+			wps := "-"
+			if withWriter {
+				wlabel = "1 (busy)"
+				wps = fmt.Sprintf("%12.0f", float64(writes)/elapsed.Seconds())
+			} else if nr == 1 {
+				base = rps
+			}
+			fmt.Printf("%-9d %-12s %12.0f %12.1f %12s\n", nr, wlabel,
+				rps, float64(elapsed.Microseconds())/float64(total), wps)
+		}
+	}
+	if base > 0 {
+		fmt.Printf("(GOMAXPROCS=%d; read-only scaling is bounded by cores — expect ~min(readers, cores)× the 1-reader row)\n",
+			runtime.GOMAXPROCS(0))
+	}
+}
+
+// s2run drives nr reader goroutines through total/nr queries each (plus,
+// optionally, one writer goroutine looping rule-firing transactions until
+// the readers finish) and returns the readers' wall time and the number
+// of write transactions that committed meanwhile.
+func s2run(sdb *sopr.SynchronizedDB, nr, total int, withWriter bool) (time.Duration, int64) {
+	stop := make(chan struct{})
+	var writes atomic.Int64
+	var wwg sync.WaitGroup
+	if withWriter {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			i := 1_000_000_000 // ids disjoint from the resident rows
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sdb.MustExec(fmt.Sprintf(`insert into t values (%d, %d)`, i, i%97))
+				sdb.MustExec(fmt.Sprintf(`delete from t where id = %d`, i))
+				writes.Add(2)
+				i++
+			}
+		}()
+	}
+	per := total / nr
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for r := 0; r < nr; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for j := 0; j < per; j++ {
+				benchSink = sdb.MustQuery(fmt.Sprintf(`select count(*) from t where v = %d`, (r*31+j)%97))
+			}
+		}(r)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(stop)
+	wwg.Wait()
+	return elapsed, writes.Load()
 }
 
 // ---------------------------------------------------------------------------

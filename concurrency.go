@@ -9,12 +9,25 @@ import (
 // The paper's model of system execution is a single stream of operation
 // blocks — "multiple users, concurrent processing, and failures are all
 // transparent" (Section 2.1) — so DB itself is not safe for concurrent use.
-// SynchronizedDB serializes a DB behind a mutex for callers that want to
-// share one database between goroutines; each Exec call remains one
-// operation block, so rule semantics are unchanged: concurrent Execs are
-// simply interleaved as a stream of transactions.
+// SynchronizedDB shares one DB between goroutines with a reader-writer
+// lock.
+//
+// The single-stream constraint binds *writes* only: an operation block
+// produces a transition, triggers rules, and must therefore occupy the
+// stream alone, so Exec (and the other mutating entry points) take the
+// lock exclusively — concurrent Execs are simply interleaved as a stream
+// of transactions, and rule semantics are unchanged. Queries perform no
+// transition and trigger no rules (Section 2.1 places them outside the
+// operation-block stream unless the Section 5.1 select-trigger extension
+// routes them through Exec), so Query, Stats, Dump, and Recovered take
+// the lock shared: any number of them run concurrently, scaling reads
+// across cores, and every one of them still observes a committed,
+// writer-free state. This is sound because the engine's read path is
+// mutation-free — the only state it touches concurrently, the access-path
+// counters, is atomic (see storage.AccessStats), and the trace handler is
+// swapped atomically and emitted only from the exclusive path.
 type SynchronizedDB struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	db *DB
 }
 
@@ -24,7 +37,8 @@ func Synchronized(db *DB) *SynchronizedDB {
 	return &SynchronizedDB{db: db}
 }
 
-// Exec runs a script as one serialized operation block.
+// Exec runs a script as one serialized operation block, under the
+// exclusive lock: writes preserve the paper's single-stream semantics.
 func (s *SynchronizedDB) Exec(src string) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -40,10 +54,11 @@ func (s *SynchronizedDB) MustExec(src string) *Result {
 	return res
 }
 
-// Query evaluates a SELECT under the lock.
+// Query evaluates a SELECT under the shared lock: queries run concurrently
+// with each other (never with a write) and see only committed state.
 func (s *SynchronizedDB) Query(src string) (*Rows, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.db.Query(src)
 }
 
@@ -57,47 +72,56 @@ func (s *SynchronizedDB) MustQuery(src string) *Rows {
 }
 
 // TraceTo installs (or, with nil, removes) a line-per-event trace writer on
-// the wrapped DB, under the lock. Trace events are emitted while some
-// goroutine holds the lock in Exec, so writes to w are serialized.
+// the wrapped DB, under the exclusive lock. Trace events are emitted only
+// while some goroutine holds the exclusive lock in Exec, so writes to w
+// are serialized and no shared-lock reader ever runs the handler.
 func (s *SynchronizedDB) TraceTo(w io.Writer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.db.TraceTo(w)
 }
 
-// Stats returns counters under the lock.
+// Stats returns counters under the shared lock. The access-path counters
+// it reads are updated atomically by concurrent queries, so a snapshot
+// taken while other readers run is well-defined (each counter is a value
+// that was current at some instant during the call).
 func (s *SynchronizedDB) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.db.Stats()
 }
 
-// Dump serializes the database under the lock.
+// Dump serializes the database under the shared lock; with no writer
+// running, the image is a consistent committed snapshot.
 func (s *SynchronizedDB) Dump(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.db.Dump(w)
 }
 
-// Checkpoint writes a checkpoint image under the lock (no transaction can
-// be in flight while it runs, so the image is a consistent snapshot).
+// Checkpoint writes a checkpoint image under the exclusive lock (no
+// transaction can be in flight while it runs, so the image is a consistent
+// snapshot). Exclusive rather than shared because it also prunes log
+// segments — a durable-state mutation.
 func (s *SynchronizedDB) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.db.Checkpoint()
 }
 
-// Close closes the wrapped database's write-ahead log under the lock.
+// Close closes the wrapped database's write-ahead log under the exclusive
+// lock.
 func (s *SynchronizedDB) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.db.Close()
 }
 
-// Recovered reports whether the wrapped database recovered prior state.
+// Recovered reports whether the wrapped database recovered prior state,
+// under the shared lock (the flag is set once at open and never mutated).
 func (s *SynchronizedDB) Recovered() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.db.Recovered()
 }
 

@@ -9,6 +9,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"sopr/internal/exec"
@@ -159,8 +160,12 @@ type Engine struct {
 	// accumulates the current transaction's composed effect for the log.
 	wal    *wal.Log
 	walEff *rules.Effect
-	// Trace, when set, receives rule-processing events.
-	Trace func(TraceEvent)
+	// traceFn, when set, receives rule-processing events. It is swapped
+	// atomically (SetTrace) so installation can never be observed
+	// half-done by a goroutine holding SynchronizedDB's shared lock;
+	// events themselves are emitted only from the exclusive (write) path —
+	// queries perform no transition and therefore never trace.
+	traceFn atomic.Pointer[func(TraceEvent)]
 }
 
 // New returns an engine with an empty database.
@@ -212,9 +217,20 @@ func (e *Engine) SetRuleScope(name string, scope rules.TriggerScope) error {
 	return nil
 }
 
+// SetTrace installs (or, with nil, removes) the trace hook. The swap is a
+// single atomic store: a concurrent reader of the hook sees either the
+// old handler or the new one, never a partial write.
+func (e *Engine) SetTrace(fn func(TraceEvent)) {
+	if fn == nil {
+		e.traceFn.Store(nil)
+		return
+	}
+	e.traceFn.Store(&fn)
+}
+
 func (e *Engine) trace(ev TraceEvent) {
-	if e.Trace != nil {
-		e.Trace(ev)
+	if fn := e.traceFn.Load(); fn != nil {
+		(*fn)(ev)
 	}
 }
 
@@ -303,7 +319,11 @@ func (e *Engine) ExecStatements(stmts []sqlast.Statement) (*TxnResult, error) {
 }
 
 // Query evaluates a SELECT against the current state, outside any rule
-// context.
+// context. The whole path is mutation-free — a fresh Env per call, no
+// evaluation caches, no engine counters beyond the store's atomic
+// access-path pair — so any number of Query calls may run concurrently
+// with each other (never with Exec); SynchronizedDB's shared lock relies
+// on exactly this property.
 func (e *Engine) Query(sel *sqlast.Select) (*exec.Result, error) {
 	env := &exec.Env{Store: e.store}
 	return env.Query(sel)

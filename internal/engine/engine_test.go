@@ -488,7 +488,7 @@ func TestSelectTriggers(t *testing.T) {
 func TestTraceEvents(t *testing.T) {
 	e := newEmpEngine(t, Config{})
 	var kinds []TraceKind
-	e.Trace = func(ev TraceEvent) { kinds = append(kinds, ev.Kind) }
+	e.SetTrace(func(ev TraceEvent) { kinds = append(kinds, ev.Kind) })
 	mustExec(t, e, `create rule r when inserted into emp then delete from dept end`)
 	mustExec(t, e, `insert into emp values ('a', 1, 1, 1)`)
 	// After firing, r's trans-info is its own (empty-delete) effect → not

@@ -222,11 +222,11 @@ func TestRollbackConditionFalseDoesNotRollBack(t *testing.T) {
 func TestEmptyExternalBlockNoRules(t *testing.T) {
 	e := newEmpEngine(t, Config{})
 	considered := 0
-	e.Trace = func(ev TraceEvent) {
+	e.SetTrace(func(ev TraceEvent) {
 		if ev.Kind == TraceRuleConsidered {
 			considered++
 		}
-	}
+	})
 	mustExec(t, e, `create rule r when inserted into emp or deleted from emp or updated emp then rollback`)
 	mustExec(t, e, `delete from emp where emp_no = 42`) // matches nothing
 	if considered != 0 {

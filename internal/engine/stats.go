@@ -27,7 +27,13 @@ type Stats struct {
 	Checkpoints      int64
 }
 
-// Stats returns a snapshot of the engine's counters.
+// Stats returns a snapshot of the engine's counters. Safe under
+// SynchronizedDB's shared lock: the engine-level counters (e.stats) are
+// written only from the exclusive write path, which the reader-writer
+// lock orders against this read; the access-path counters are atomic
+// because concurrent queries increment them while Stats reads (see
+// storage.AccessStats); and the WAL keeps its counters behind its own
+// mutex.
 func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.HeapScans, s.IndexLookups = e.store.AccessStats()

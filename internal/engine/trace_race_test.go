@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSetTraceConcurrentWithExec exercises the atomic trace-handler swap:
+// one goroutine repeatedly installs and removes a handler while another runs
+// trace-emitting transactions. Under -race this fails if the handler were a
+// plain field; with the atomic.Pointer swap every emission sees either the
+// old handler, the new one, or none — never a torn state.
+func TestSetTraceConcurrentWithExec(t *testing.T) {
+	e := New(Config{})
+	if _, err := e.Exec(`create table t (a int);
+		create rule r when inserted into t then delete from t where a < 0 end`); err != nil {
+		t.Fatal(err)
+	}
+
+	var seen sync.Map // collected by whichever handler is installed
+	handler := func(ev TraceEvent) { seen.Store(ev.Kind, true) }
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				e.SetTrace(handler)
+			} else {
+				e.SetTrace(nil)
+			}
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		if _, err := e.Exec(fmt.Sprintf(`insert into t values (%d), (-%d)`, i, i+1)); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// With the swapper toggling every iteration, some emissions must have
+	// landed on an installed handler.
+	if _, ok := seen.Load(TraceRuleFired); !ok {
+		e.SetTrace(handler)
+		if _, err := e.Exec(`insert into t values (0), (-1)`); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := seen.Load(TraceRuleFired); !ok {
+			t.Error("handler never observed a rule firing")
+		}
+	}
+}

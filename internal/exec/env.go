@@ -43,6 +43,15 @@ type SelectObserver interface {
 // Env carries everything expression evaluation needs: the store, the
 // optional transition-table source (inside rule conditions/actions), and
 // the optional select observer.
+//
+// An Env is per-evaluation scratch state: every query gets a fresh one,
+// and evaluation keeps all intermediate state (scopes, materialized
+// relations, hash-join tables, aggregate groups) local to the call. That
+// discipline is load-bearing for concurrency — the shared-lock read path
+// (sopr.SynchronizedDB) runs many Envs over one Store at once, so nothing
+// here may write to the Store or to any package-level state. The only
+// shared words the read path touches are the Store's atomic access-path
+// counters.
 type Env struct {
 	Store    *storage.Store
 	Trans    TransTableSource

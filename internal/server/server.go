@@ -1,10 +1,14 @@
 // Package server implements the soprd network front-end: it accepts TCP
 // connections, frames requests with the wire protocol, and serves them from
 // one shared engine. Sessions are request/response: each connection issues
-// one request at a time, and the shared SynchronizedDB serializes operation
-// blocks across connections, preserving the paper's single-stream model of
-// system execution (Section 2.1) — concurrent clients are simply interleaved
-// as a stream of transactions.
+// one request at a time. The shared SynchronizedDB serializes operation
+// blocks (exec requests) across connections, preserving the paper's
+// single-stream model of system execution (Section 2.1) — concurrent
+// writers are simply interleaved as a stream of transactions — while
+// read-only requests (query, stats, dump; ping never touches the engine)
+// run under the wrapper's shared lock: independent connections issuing
+// reads execute concurrently and scale across cores instead of queueing
+// behind one mutex (experiment S2 measures this).
 //
 // Robustness against slow or broken peers: every read of a request frame and
 // every write of a response runs under a deadline, frames beyond the
@@ -280,7 +284,11 @@ func (s *Server) serveConn(c *conn) {
 }
 
 // handle dispatches one request and writes its response; it reports whether
-// the connection is still usable.
+// the connection is still usable. Locking is delegated to the shared
+// SynchronizedDB: MsgExec lands on its exclusive lock (one operation-block
+// stream, per the paper's Section 2.1), while MsgQuery, MsgStats, and
+// MsgDump land on its shared lock, so read requests from different
+// connections run concurrently.
 func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 	switch typ {
 	case wire.MsgPing:

@@ -232,7 +232,7 @@ func (s *Store) IndexedLookup(table string, col int, vals ...value.Value) (tuple
 		}
 		handles = append(handles, ix.buckets[k]...)
 	}
-	s.indexLookups++
+	s.indexLookups.Add(1)
 	if len(handles) == 0 {
 		return nil, true, nil
 	}
@@ -248,9 +248,12 @@ func (s *Store) IndexedLookup(table string, col int, vals ...value.Value) (tuple
 
 // AccessStats reports the cumulative access-path counters: full heap
 // scans started (Scan calls) and selections served from a secondary
-// index.
+// index. The counters are atomic — queries increment them concurrently
+// under SynchronizedDB's shared lock — so a snapshot taken while readers
+// run returns, for each counter, a value that was current at some instant
+// during the call.
 func (s *Store) AccessStats() (heapScans, indexLookups int64) {
-	return s.heapScans, s.indexLookups
+	return s.heapScans.Load(), s.indexLookups.Load()
 }
 
 // CheckIndexes verifies every secondary index against a from-scratch

@@ -12,6 +12,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"sopr/internal/catalog"
 	"sopr/internal/value"
@@ -92,9 +93,14 @@ type undoRec struct {
 	oldRow Row // for undoDelete (full tuple) and undoUpdate (pre-image)
 }
 
-// Store is the storage engine. It is not safe for concurrent use; the
+// Store is the storage engine. It is not safe for concurrent mutation; the
 // paper's model of system execution is a single stream of operation blocks
 // with concurrency "transparent" below the abstraction (Section 2.1).
+// Read-only methods (Scan, Get, Count, Tuples, IndexedLookup, HasIndex,
+// AccessStats, and catalog lookups) may run concurrently with each other
+// as long as no mutation is in flight — the contract SynchronizedDB's
+// reader-writer lock provides. The only state they touch is the
+// access-path counter pair, which is atomic for exactly that reason.
 type Store struct {
 	cat    *catalog.Catalog
 	next   Handle
@@ -102,9 +108,11 @@ type Store struct {
 	undo   []undoRec
 	inTxn  bool
 
-	// Access-path counters, reported by AccessStats.
-	heapScans    int64
-	indexLookups int64
+	// Access-path counters, reported by AccessStats. Atomic because the
+	// read path increments them: concurrent queries under a shared lock
+	// must not race with each other (or with a Stats snapshot).
+	heapScans    atomic.Int64
+	indexLookups atomic.Int64
 }
 
 // New returns an empty store with its own catalog.
@@ -364,7 +372,7 @@ func (s *Store) Scan(table string, fn func(*Tuple) bool) error {
 	if err != nil {
 		return err
 	}
-	s.heapScans++
+	s.heapScans.Add(1)
 	for _, t := range td.rows {
 		if !fn(t) {
 			return nil

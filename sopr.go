@@ -232,6 +232,14 @@ func cellString(v any) string {
 	}
 }
 
+// wrapResult converts an executor result into public Rows. The output is
+// a full snapshot, sharing no memory with live storage: each Data row is
+// freshly allocated here and each cell is an immutable scalar copied out
+// of a value.Value (the executor itself already builds result rows fresh
+// per query — see exec.evalPlainQuery — and storage updates swap whole
+// row slices rather than mutating them in place). A later or concurrent
+// Exec therefore can never change Rows a caller is holding; the
+// TestRowsSnapshotImmutable regression test pins this.
 func wrapResult(res *exec.Result) *Rows {
 	if res == nil {
 		return nil
@@ -380,20 +388,22 @@ type TraceEvent struct {
 }
 
 // OnTrace installs a trace hook receiving rule-processing events; pass nil
-// to remove it.
+// to remove it. The swap is atomic, so installing or removing a hook can
+// never be observed half-done; events are emitted only from the write
+// path (Exec and friends) — queries never trace.
 func (db *DB) OnTrace(fn func(TraceEvent)) {
 	if fn == nil {
-		db.eng.Trace = nil
+		db.eng.SetTrace(nil)
 		return
 	}
-	db.eng.Trace = func(ev engine.TraceEvent) {
+	db.eng.SetTrace(func(ev engine.TraceEvent) {
 		fn(TraceEvent{
 			Kind:     TraceKind(ev.Kind),
 			Rule:     ev.Rule,
 			CondHeld: ev.CondHeld,
 			Effect:   ev.Effect,
 		})
-	}
+	})
 }
 
 // Stats are cumulative engine counters.
