@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sopr/internal/gen"
+	"sopr/internal/oracle"
+)
+
+// f1 measures the differential semantics harness itself: how many
+// generated workloads per second the engine-vs-oracle comparison sustains
+// (every transaction is executed by up to three engine configurations and
+// the reference interpreter, with dump-reload, WAL-replay and permutation
+// checks on top), and what behavior mix the generator actually produces —
+// the coverage numbers that justify trusting a green differential run.
+func f1() {
+	header("F1", "differential oracle harness: throughput and coverage (testing apparatus)")
+	const n = 500
+	var txns, firings, rollbacks, runaways, committed, ordIndep, diverged int
+	t0 := time.Now()
+	for seed := int64(0); seed < n; seed++ {
+		w := gen.Generate(seed)
+		if w.OrderIndependent {
+			ordIndep++
+		}
+		if d := oracle.RunDiff(w, oracle.Options{Salt: uint64(seed)}); d != nil {
+			diverged++
+			fmt.Printf("  DIVERGENCE seed %d: %v\n", seed, d)
+		}
+		odb := oracle.New(w, oracle.Chooser(uint64(seed)))
+		for _, txn := range w.Txns {
+			txns++
+			out := odb.RunTxn(txn)
+			firings += len(out.Firings)
+			switch {
+			case out.Kind == oracle.RolledBack:
+				rollbacks++
+			case out.Kind == oracle.Errored && out.Runaway:
+				runaways++
+			case out.Kind == oracle.Committed:
+				committed++
+			}
+		}
+		benchSink = odb.State()
+	}
+	el := time.Since(t0)
+	fmt.Printf("workloads          %8d (%.0f/sec, %v total)\n", n, float64(n)/el.Seconds(), el.Round(time.Millisecond))
+	fmt.Printf("transactions       %8d (%d committed, %d rolled back, %d runaway-capped)\n",
+		txns, committed, rollbacks, runaways)
+	fmt.Printf("rule firings       %8d\n", firings)
+	fmt.Printf("order-independent  %8d workloads (permutation-checked)\n", ordIndep)
+	fmt.Printf("divergences        %8d\n", diverged)
+}

@@ -30,6 +30,14 @@ type Config struct {
 	// Strategy is the tie-break among equal-priority triggered rules
 	// (Section 4.4 discusses the design space).
 	Strategy rules.Strategy
+	// SelectHook, when non-nil, overrides Strategy: among the triggered
+	// rules maximal in the priority partial order it is handed the
+	// candidate names in ascending order and returns the chosen one (see
+	// rules.Selector.Choose). The differential test harness uses it to
+	// drive the engine and the reference oracle through identical
+	// selection sequences — any order it produces is legal under the
+	// paper's Section 4.4 freedom.
+	SelectHook func(candidates []string) string
 	// DefaultScope is the triggering scope given to newly defined rules
 	// (the paper's semantics by default; footnote 8 alternatives
 	// available).
@@ -47,6 +55,15 @@ type Config struct {
 	// save the subset ... relevant to the particular rule"). Used by the
 	// B10 ablation benchmark; semantics are identical either way.
 	FullTransInfo bool
+	// NoIndex disables the secondary-index access path for every
+	// evaluation the engine performs (queries, conditions, actions),
+	// forcing heap scans — the engine-wide form of exec.Env.NoIndex.
+	// Used by the differential harness's index-ablation parity check;
+	// semantics are identical either way.
+	NoIndex bool
+	// NoHashJoin disables the hash equi-join fast path engine-wide (see
+	// exec.Env.NoHashJoin). Semantics are identical either way.
+	NoHashJoin bool
 }
 
 const defaultMaxRuleTransitions = 10000
@@ -175,6 +192,7 @@ func New(cfg Config) *Engine {
 	}
 	sel := rules.NewSelector()
 	sel.Strategy = cfg.Strategy
+	sel.Choose = cfg.SelectHook
 	return &Engine{
 		store:    storage.New(),
 		ruleSet:  make(map[string]*rules.Rule),
@@ -325,8 +343,20 @@ func (e *Engine) ExecStatements(stmts []sqlast.Statement) (*TxnResult, error) {
 // with each other (never with Exec); SynchronizedDB's shared lock relies
 // on exactly this property.
 func (e *Engine) Query(sel *sqlast.Select) (*exec.Result, error) {
-	env := &exec.Env{Store: e.store}
-	return env.Query(sel)
+	return e.newEnv(nil).Query(sel)
+}
+
+// newEnv returns a fresh evaluation environment carrying the engine's
+// ablation flags (and, inside rule processing, the rule's transition
+// tables). Every evaluation the engine performs goes through here so that
+// Config.NoIndex/NoHashJoin ablations cover conditions and actions, not
+// just top-level queries.
+func (e *Engine) newEnv(trans *rules.TransSource) *exec.Env {
+	env := &exec.Env{Store: e.store, NoIndex: e.cfg.NoIndex, NoHashJoin: e.cfg.NoHashJoin}
+	if trans != nil {
+		env.Trans = trans
+	}
+	return env
 }
 
 // QueryString parses and evaluates a single SELECT.
@@ -585,7 +615,7 @@ func splitAtTriggeringPoints(ops []sqlast.Statement) [][]sqlast.Statement {
 // returns its composed effect.
 func (e *Engine) execExternalSegment(ops []sqlast.Statement, res *TxnResult) (*rules.Effect, error) {
 	eff := rules.NewEffect()
-	env := &exec.Env{Store: e.store}
+	env := e.newEnv(nil)
 	if e.cfg.EnableSelectTriggers {
 		env.Observer = &selCollector{eff: eff}
 	}
@@ -630,10 +660,7 @@ func (e *Engine) processRules(res *TxnResult, transitions *int, deadline time.Ti
 		r.LastConsidered = e.seq
 
 		// Evaluate the condition with the rule's transition tables.
-		env := &exec.Env{
-			Store: e.store,
-			Trans: &rules.TransSource{Store: e.store, Effect: r.TransInfo},
-		}
+		env := e.newEnv(&rules.TransSource{Store: e.store, Effect: r.TransInfo})
 		condHeld, err := env.EvalPredicate(r.Condition)
 		if err != nil {
 			return false, fmt.Errorf("engine: rule %q condition: %w", r.Name, err)
@@ -719,10 +746,7 @@ func (e *Engine) selectTriggeredRule(consideredFalse map[string]bool) (*rules.Ru
 // client with the transaction result).
 func (e *Engine) execRuleAction(r *rules.Rule) (*rules.Effect, []*exec.Result, error) {
 	eff := rules.NewEffect()
-	env := &exec.Env{
-		Store: e.store,
-		Trans: &rules.TransSource{Store: e.store, Effect: r.TransInfo},
-	}
+	env := e.newEnv(&rules.TransSource{Store: e.store, Effect: r.TransInfo})
 	if e.cfg.EnableSelectTriggers {
 		env.Observer = &selCollector{eff: eff}
 	}

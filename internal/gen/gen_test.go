@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"sopr/internal/sqlparse"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a, err := Generate(seed).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(seed).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+}
+
+func TestGeneratedWorkloadsParse(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		w := Generate(seed)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid workload: %v", seed, err)
+		}
+		if _, err := sqlparse.ParseStatements(w.SetupSQL()); err != nil {
+			t.Fatalf("seed %d: setup does not parse: %v\n%s", seed, err, w.SetupSQL())
+		}
+		for i := range w.Txns {
+			if _, err := sqlparse.ParseStatements(w.TxnSQL(i)); err != nil {
+				t.Fatalf("seed %d txn %d: does not parse: %v\n%s", seed, i, err, w.TxnSQL(i))
+			}
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		w := Generate(seed)
+		data, err := w.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		data2, err := w2.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("seed %d: JSON round-trip not stable", seed)
+		}
+	}
+}
+
+func TestOrderIndependentWorkloadsAppear(t *testing.T) {
+	n := 0
+	for seed := int64(0); seed < 200; seed++ {
+		if Generate(seed).OrderIndependent {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no order-independent workloads in 200 seeds; permutation check would never run")
+	}
+}
+
+func TestShrinkPreservesFailure(t *testing.T) {
+	// Failure predicate: the workload inserts somewhere. The minimum should
+	// be a single-statement transaction with few rows.
+	fails := func(w *Workload) bool {
+		for _, txn := range w.Txns {
+			for _, s := range txn {
+				if s.Kind == "insert" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	shrunk := 0
+	for seed := int64(0); seed < 40; seed++ {
+		w := Generate(seed)
+		if !fails(w) {
+			continue
+		}
+		m := Shrink(w, fails, 400)
+		if !fails(m) {
+			t.Fatalf("seed %d: shrunk workload no longer fails", seed)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("seed %d: shrunk workload invalid: %v", seed, err)
+		}
+		total := 0
+		for _, txn := range m.Txns {
+			total += len(txn)
+		}
+		if total != 1 || len(m.Rules) != 0 {
+			t.Fatalf("seed %d: expected minimal 1-stmt 0-rule workload, got %d stmts %d rules",
+				seed, total, len(m.Rules))
+		}
+		shrunk++
+	}
+	if shrunk == 0 {
+		t.Fatal("no workload exercised the shrinker")
+	}
+}

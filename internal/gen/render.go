@@ -1,0 +1,252 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SQL renders a literal in the dialect of GRAMMAR.md. Float literals keep
+// a decimal point so they re-parse as floats; Validate has already
+// rejected NaN and infinities, which have no SQL spelling.
+func (l Lit) SQL() string {
+	switch l.K {
+	case "i":
+		return strconv.FormatInt(l.I, 10)
+	case "f":
+		s := strconv.FormatFloat(l.F, 'f', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case "s":
+		return "'" + strings.ReplaceAll(l.S, "'", "''") + "'"
+	case "b":
+		if l.B {
+			return "true"
+		}
+		return "false"
+	default:
+		return "null"
+	}
+}
+
+func (s *Source) sql() string {
+	switch s.Trans {
+	case "inserted":
+		return "inserted " + s.Table
+	case "deleted":
+		return "deleted " + s.Table
+	case "old", "new":
+		out := s.Trans + " updated " + s.Table
+		if s.Column != "" {
+			out += "." + s.Column
+		}
+		return out
+	default:
+		return s.Table
+	}
+}
+
+func (sub *SubQuery) sql() string {
+	col := sub.Col
+	if col == "" {
+		col = "*"
+	}
+	out := "select " + col + " from " + sub.Src.sql()
+	if sub.Where != nil {
+		out += " where " + sub.Where.sql()
+	}
+	return out
+}
+
+func (wh *Where) sql() string {
+	switch {
+	case wh.Atom != nil:
+		a := wh.Atom
+		switch a.Op {
+		case "isnull":
+			return a.Col + " is null"
+		case "notnull":
+			return a.Col + " is not null"
+		case "in":
+			return a.Col + " in (" + a.Sub.sql() + ")"
+		default:
+			return a.Col + " " + a.Op + " " + a.Lit.SQL()
+		}
+	case wh.And != nil:
+		parts := make([]string, len(wh.And))
+		for i, c := range wh.And {
+			parts[i] = "(" + c.sql() + ")"
+		}
+		return strings.Join(parts, " and ")
+	case wh.Or != nil:
+		parts := make([]string, len(wh.Or))
+		for i, c := range wh.Or {
+			parts[i] = "(" + c.sql() + ")"
+		}
+		return strings.Join(parts, " or ")
+	case wh.Not != nil:
+		return "not (" + wh.Not.sql() + ")"
+	default:
+		return "true"
+	}
+}
+
+func (c *Cond) sql() string {
+	switch c.Kind {
+	case "exists":
+		return "exists (" + c.Sub.sql() + ")"
+	case "notexists":
+		return "not exists (" + c.Sub.sql() + ")"
+	default: // "agg"
+		inner := c.Agg + "("
+		if c.Sub.Col == "" {
+			inner += "*"
+		} else {
+			inner += c.Sub.Col
+		}
+		inner += ") "
+		q := "select " + strings.TrimSpace(inner) + " from " + c.Sub.Src.sql()
+		if c.Sub.Where != nil {
+			q += " where " + c.Sub.Where.sql()
+		}
+		return "(" + q + ") " + c.Op + " " + c.Lit.SQL()
+	}
+}
+
+// SQL renders one operation statement (no trailing semicolon).
+func (s *Stmt) SQL() string {
+	switch s.Kind {
+	case "process":
+		return "process rules"
+	case "insert":
+		rows := make([]string, len(s.Rows))
+		for i, row := range s.Rows {
+			vals := make([]string, len(row))
+			for j, l := range row {
+				vals[j] = l.SQL()
+			}
+			rows[i] = "(" + strings.Join(vals, ", ") + ")"
+		}
+		return "insert into " + s.Table + " values " + strings.Join(rows, ", ")
+	case "inssel":
+		items := make([]string, len(s.Proj))
+		for i, p := range s.Proj {
+			if p.Col != "" {
+				items[i] = p.Col
+			} else {
+				items[i] = p.Lit.SQL()
+			}
+		}
+		q := "select " + strings.Join(items, ", ") + " from " + s.Src.sql()
+		if s.Where != nil {
+			q += " where " + s.Where.sql()
+		}
+		return "insert into " + s.Table + " (" + q + ")"
+	case "delete":
+		out := "delete from " + s.Table
+		if s.Where != nil {
+			out += " where " + s.Where.sql()
+		}
+		return out
+	case "update":
+		assigns := make([]string, len(s.Set))
+		for i, a := range s.Set {
+			rhs := a.Lit.SQL()
+			if a.From != "" {
+				rhs = a.From
+				if a.ArithOp != "" {
+					rhs += " " + a.ArithOp + " " + a.Lit.SQL()
+				}
+			}
+			assigns[i] = a.Col + " = " + rhs
+		}
+		out := "update " + s.Table + " set " + strings.Join(assigns, ", ")
+		if s.Where != nil {
+			out += " where " + s.Where.sql()
+		}
+		return out
+	default:
+		return "-- unknown statement"
+	}
+}
+
+// SQL renders a rule definition, always with the explicit END terminator.
+func (r *Rule) SQL() string {
+	var b strings.Builder
+	b.WriteString("create rule " + r.Name)
+	switch r.Scope {
+	case "considered":
+		b.WriteString(" scope since considered")
+	case "triggered":
+		b.WriteString(" scope since triggered")
+	}
+	b.WriteString(" when ")
+	for i, p := range r.Preds {
+		if i > 0 {
+			b.WriteString(" or ")
+		}
+		switch p.Op {
+		case "inserted":
+			b.WriteString("inserted into " + p.Table)
+		case "deleted":
+			b.WriteString("deleted from " + p.Table)
+		case "updated":
+			b.WriteString("updated " + p.Table)
+			if p.Column != "" {
+				b.WriteString("." + p.Column)
+			}
+		}
+	}
+	if r.Cond != nil {
+		b.WriteString(" if " + r.Cond.sql())
+	}
+	b.WriteString(" then ")
+	if r.Rollback {
+		b.WriteString("rollback")
+	} else {
+		ops := make([]string, len(r.Action))
+		for i := range r.Action {
+			ops[i] = r.Action[i].SQL()
+		}
+		b.WriteString(strings.Join(ops, "; "))
+	}
+	b.WriteString(" end")
+	return b.String()
+}
+
+// SetupSQL renders the definition script: tables, indexes, rules and
+// priority edges, in that order (mirroring the dump writer's ordering).
+func (w *Workload) SetupSQL() string {
+	var b strings.Builder
+	for i := range w.Tables {
+		t := &w.Tables[i]
+		cols := make([]string, len(t.Cols))
+		for j, c := range t.Cols {
+			cols[j] = c.Name + " " + c.Kind
+		}
+		fmt.Fprintf(&b, "create table %s (%s);\n", t.Name, strings.Join(cols, ", "))
+	}
+	for _, ix := range w.Indexes {
+		fmt.Fprintf(&b, "create index %s on %s (%s);\n", ix.Name, ix.Table, ix.Column)
+	}
+	for i := range w.Rules {
+		b.WriteString(w.Rules[i].SQL())
+		b.WriteString(";\n")
+	}
+	for _, p := range w.Priorities {
+		fmt.Fprintf(&b, "create rule priority %s before %s;\n", p.Before, p.After)
+	}
+	return b.String()
+}
+
+// TxnSQL renders transaction i as a single operation-block script.
+func (w *Workload) TxnSQL(i int) string {
+	var b strings.Builder
+	for si := range w.Txns[i] {
+		b.WriteString(w.Txns[i][si].SQL())
+		b.WriteString(";\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,246 @@
+package gen
+
+import "encoding/json"
+
+// Shrink greedily minimizes a failing workload. fails must report whether
+// a candidate workload still reproduces the failure; it is only ever
+// called with workloads that pass Validate. budget bounds the number of
+// fails() evaluations (each one replays the whole workload through engine
+// and oracle). The returned workload still fails, or — if fails(w) is
+// false to begin with — w itself is returned unchanged.
+//
+// The pass structure is the classic delta-debugging ladder: drop whole
+// transactions, then statements, then rules (with their priority edges),
+// then indexes and priorities, then rule parts (conditions, extra
+// predicates, extra action statements, insert rows, WHERE clauses), then
+// literal values toward zero/empty. Passes repeat until a full sweep makes
+// no progress or the budget is exhausted.
+func Shrink(w *Workload, fails func(*Workload) bool, budget int) *Workload {
+	cur := clone(w)
+	if budget <= 0 || !fails(cur) {
+		return cur
+	}
+	budget--
+	try := func(cand *Workload) bool {
+		if budget <= 0 {
+			return false
+		}
+		if cand.Validate() != nil {
+			return false
+		}
+		budget--
+		if fails(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+
+	for progress := true; progress && budget > 0; {
+		progress = false
+
+		// Drop whole transactions, scanning from the end.
+		for i := len(cur.Txns) - 1; i >= 0 && budget > 0; i-- {
+			c := clone(cur)
+			c.Txns = append(c.Txns[:i:i], c.Txns[i+1:]...)
+			if len(c.Txns) > 0 && try(c) {
+				progress = true
+			}
+		}
+
+		// Drop individual statements.
+		for ti := 0; ti < len(cur.Txns); ti++ {
+			for si := len(cur.Txns[ti]) - 1; si >= 0 && budget > 0; si-- {
+				if ti >= len(cur.Txns) || si >= len(cur.Txns[ti]) {
+					break // an emptied transaction was removed; indices shifted
+				}
+				c := clone(cur)
+				txn := c.Txns[ti]
+				c.Txns[ti] = append(txn[:si:si], txn[si+1:]...)
+				if len(c.Txns[ti]) == 0 {
+					c.Txns = append(c.Txns[:ti:ti], c.Txns[ti+1:]...)
+					if len(c.Txns) == 0 {
+						continue
+					}
+				}
+				if try(c) {
+					progress = true
+				}
+			}
+		}
+
+		// Drop rules (and their priority edges).
+		for ri := len(cur.Rules) - 1; ri >= 0 && budget > 0; ri-- {
+			c := clone(cur)
+			name := c.Rules[ri].Name
+			c.Rules = append(c.Rules[:ri:ri], c.Rules[ri+1:]...)
+			var prio []Priority
+			for _, p := range c.Priorities {
+				if p.Before != name && p.After != name {
+					prio = append(prio, p)
+				}
+			}
+			c.Priorities = prio
+			if try(c) {
+				progress = true
+			}
+		}
+
+		// Drop indexes and priority edges.
+		for i := len(cur.Indexes) - 1; i >= 0 && budget > 0; i-- {
+			c := clone(cur)
+			c.Indexes = append(c.Indexes[:i:i], c.Indexes[i+1:]...)
+			if try(c) {
+				progress = true
+			}
+		}
+		for i := len(cur.Priorities) - 1; i >= 0 && budget > 0; i-- {
+			c := clone(cur)
+			c.Priorities = append(c.Priorities[:i:i], c.Priorities[i+1:]...)
+			if try(c) {
+				progress = true
+			}
+		}
+
+		// Simplify rules: drop conditions, spare predicates, spare action
+		// statements.
+		for ri := 0; ri < len(cur.Rules) && budget > 0; ri++ {
+			if cur.Rules[ri].Cond != nil {
+				c := clone(cur)
+				c.Rules[ri].Cond = nil
+				if try(c) {
+					progress = true
+				}
+			}
+			for pi := len(cur.Rules[ri].Preds) - 1; pi >= 0 && len(cur.Rules[ri].Preds) > 1 && budget > 0; pi-- {
+				c := clone(cur)
+				p := c.Rules[ri].Preds
+				c.Rules[ri].Preds = append(p[:pi:pi], p[pi+1:]...)
+				if try(c) {
+					progress = true
+				}
+			}
+			for si := len(cur.Rules[ri].Action) - 1; si >= 0 && len(cur.Rules[ri].Action) > 1 && budget > 0; si-- {
+				c := clone(cur)
+				a := c.Rules[ri].Action
+				c.Rules[ri].Action = append(a[:si:si], a[si+1:]...)
+				if try(c) {
+					progress = true
+				}
+			}
+		}
+
+		// Simplify statements everywhere: drop WHERE clauses and spare
+		// insert rows.
+		forEachStmt(cur, func(loc stmtLoc) {
+			if budget <= 0 {
+				return
+			}
+			s := loc.get(cur)
+			if s.Where != nil {
+				c := clone(cur)
+				loc.get(c).Where = nil
+				if try(c) {
+					progress = true
+				}
+			}
+			s = loc.get(cur)
+			for ri := len(s.Rows) - 1; ri >= 0 && len(loc.get(cur).Rows) > 1 && budget > 0; ri-- {
+				c := clone(cur)
+				cs := loc.get(c)
+				cs.Rows = append(cs.Rows[:ri:ri], cs.Rows[ri+1:]...)
+				if try(c) {
+					progress = true
+				}
+			}
+		})
+
+		// Shrink literals toward zero/empty/null.
+		forEachStmt(cur, func(loc stmtLoc) {
+			s := loc.get(cur)
+			for ri := range s.Rows {
+				for ci := range s.Rows[ri] {
+					if budget <= 0 {
+						return
+					}
+					l := s.Rows[ri][ci]
+					for _, cand := range shrunkLits(l) {
+						c := clone(cur)
+						loc.get(c).Rows[ri][ci] = cand
+						if try(c) {
+							progress = true
+							break
+						}
+					}
+				}
+			}
+		})
+	}
+	return cur
+}
+
+// shrunkLits proposes strictly simpler literals.
+func shrunkLits(l Lit) []Lit {
+	switch l.K {
+	case "i":
+		if l.I == 0 {
+			return []Lit{Null}
+		}
+		return []Lit{IntLit(0), IntLit(l.I / 2), Null}
+	case "f":
+		if l.F == 0 {
+			return []Lit{Null}
+		}
+		return []Lit{FloatLit(0), Null}
+	case "s":
+		if l.S == "" {
+			return []Lit{Null}
+		}
+		return []Lit{StrLit(""), Null}
+	case "b":
+		return []Lit{Null}
+	default:
+		return nil
+	}
+}
+
+// stmtLoc addresses one statement in a workload by position, so a clone
+// can be edited at the same spot.
+type stmtLoc struct {
+	rule int // -1 for a transaction statement
+	txn  int
+	idx  int
+}
+
+func (l stmtLoc) get(w *Workload) *Stmt {
+	if l.rule >= 0 {
+		return &w.Rules[l.rule].Action[l.idx]
+	}
+	return &w.Txns[l.txn][l.idx]
+}
+
+func forEachStmt(w *Workload, fn func(stmtLoc)) {
+	for ti := range w.Txns {
+		for si := range w.Txns[ti] {
+			fn(stmtLoc{rule: -1, txn: ti, idx: si})
+		}
+	}
+	for ri := range w.Rules {
+		for si := range w.Rules[ri].Action {
+			fn(stmtLoc{rule: ri, idx: si})
+		}
+	}
+}
+
+// clone deep-copies a workload via its JSON form.
+func clone(w *Workload) *Workload {
+	data, err := json.Marshal(w)
+	if err != nil {
+		panic("gen: clone marshal: " + err.Error())
+	}
+	var out Workload
+	if err := json.Unmarshal(data, &out); err != nil {
+		panic("gen: clone unmarshal: " + err.Error())
+	}
+	return &out
+}

@@ -1,0 +1,447 @@
+package oracle
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sopr/internal/gen"
+	"sopr/internal/value"
+)
+
+var writeCorpus = flag.Bool("writecorpus", false, "rewrite testdata/corpus/ entries from the targeted workloads")
+
+// targetedWorkloads are hand-crafted scenarios aimed at the semantic
+// corners of Sections 2-5 where the engine and the oracle are most likely
+// to drift apart: scope-modified transition windows, Definition 2.1
+// composition edge cases (delete-after-update, insert-then-delete
+// cancellation), rollback undo and physical heap order, the exact
+// transition-cap boundary, cross-kind coercion, three-valued logic, and
+// transitive priority domination. Each is constructed so the interesting
+// behavior is observable in the final state or the firing sequence, not
+// just incidentally exercised. They run through the full differential
+// check on every `go test`, and -writecorpus freezes them into
+// testdata/corpus/ where TestCorpusReplays replays them deterministically.
+func targetedWorkloads() map[string]*gen.Workload {
+	t2 := func(name string, cols ...gen.Col) gen.Table { return gen.Table{Name: name, Cols: cols} }
+	ic := func(name string) gen.Col { return gen.Col{Name: name, Kind: "int"} }
+	insert := func(table string, rows ...[]gen.Lit) gen.Stmt {
+		return gen.Stmt{Kind: "insert", Table: table, Rows: rows}
+	}
+	row := func(lits ...gen.Lit) []gen.Lit { return lits }
+	atom := func(col, op string, lit gen.Lit) *gen.Where {
+		return &gen.Where{Atom: &gen.Atom{Col: col, Op: op, Lit: lit}}
+	}
+	process := gen.Stmt{Kind: "process"}
+
+	ws := map[string]*gen.Workload{}
+
+	// scope_considered_reset: a SINCE CONSIDERED rule whose condition
+	// counts the rows in its `new updated` window. The first PROCESS RULES
+	// sees two updated rows (count = 2, condition false), which under the
+	// considered scope must RESET the window; the second segment updates
+	// exactly one row, so the restarted window has count = 1 and the rule
+	// fires. Under default (since-activation) scope the windows compose to
+	// count = 2 and the rule stays silent — the final state distinguishes
+	// the two readings.
+	ws["scope_considered_reset"] = &gen.Workload{
+		Seed: 9001, Cap: 10,
+		Tables: []gen.Table{t2("t", ic("a"), ic("b")), t2("s", ic("x"))},
+		Rules: []gen.Rule{{
+			Name: "rc", Scope: "considered",
+			Preds: []gen.Pred{{Op: "updated", Table: "t", Column: "a"}},
+			Cond: &gen.Cond{
+				Kind: "agg", Agg: "count",
+				Sub: gen.SubQuery{Src: gen.Source{Trans: "new", Table: "t", Column: "a"}},
+				Op:  "=", Lit: gen.IntLit(1),
+			},
+			Action: []gen.Stmt{insert("s", row(gen.IntLit(1)))},
+		}},
+		Txns: [][]gen.Stmt{
+			{insert("t", row(gen.IntLit(1), gen.IntLit(0)), row(gen.IntLit(2), gen.IntLit(0)))},
+			{
+				{Kind: "update", Table: "t", Set: []gen.SetItem{{Col: "a", From: "a", ArithOp: "+", Lit: gen.IntLit(1)}}},
+				process,
+				{Kind: "update", Table: "t", Set: []gen.SetItem{{Col: "a", Lit: gen.IntLit(150)}}, Where: atom("a", "=", gen.IntLit(2))},
+			},
+		},
+	}
+
+	// scope_triggered_restart: a SINCE TRIGGERED rule whose window must
+	// RESTART (not compose) when another rule's action alone re-satisfies
+	// its transition predicate. r0's condition requires exactly one
+	// inserted t row; the transaction inserts two, so r0 is first
+	// considered false. r1 then fires, inserting a single t row — under
+	// the triggered scope r0's window restarts to just that row (count =
+	// 1) and r0 fires; under default scope the window would hold three
+	// rows and r0 would stay silent. The firing order is deterministic
+	// regardless of which rule the selection hook tries first.
+	ws["scope_triggered_restart"] = &gen.Workload{
+		Seed: 9002, Cap: 10,
+		Tables: []gen.Table{t2("t", ic("a")), t2("u", ic("b")), t2("s", ic("x"))},
+		Rules: []gen.Rule{
+			{
+				Name: "r0", Scope: "triggered",
+				Preds: []gen.Pred{{Op: "inserted", Table: "t"}},
+				Cond: &gen.Cond{
+					Kind: "agg", Agg: "count",
+					Sub: gen.SubQuery{Src: gen.Source{Trans: "inserted", Table: "t"}},
+					Op:  "=", Lit: gen.IntLit(1),
+				},
+				Action: []gen.Stmt{insert("s", row(gen.IntLit(7)))},
+			},
+			{
+				Name:   "r1",
+				Preds:  []gen.Pred{{Op: "inserted", Table: "u"}},
+				Action: []gen.Stmt{insert("t", row(gen.IntLit(5)))},
+			},
+		},
+		Txns: [][]gen.Stmt{
+			{insert("t", row(gen.IntLit(1)), row(gen.IntLit(2))), insert("u", row(gen.IntLit(1)))},
+		},
+	}
+
+	// delete_after_update_oldrow: Definition 2.1 says a delete composed
+	// after an update must surface the PRE-update value in the deleted
+	// transition table (D takes the update's old row, and the update entry
+	// disappears). The rule copies `deleted t` into s, so s must receive
+	// (1, 'orig'), never (1, 'zz'). The second transaction checks the dual
+	// cancellation law: insert-then-delete composes to an empty effect, so
+	// the rule must not even trigger.
+	ws["delete_after_update_oldrow"] = &gen.Workload{
+		Seed: 9003, Cap: 10,
+		Tables: []gen.Table{
+			t2("t", ic("a"), gen.Col{Name: "b", Kind: "varchar"}),
+			t2("s", ic("x"), gen.Col{Name: "y", Kind: "varchar"}),
+		},
+		Rules: []gen.Rule{{
+			Name:  "rd",
+			Preds: []gen.Pred{{Op: "deleted", Table: "t"}},
+			Action: []gen.Stmt{{
+				Kind: "inssel", Table: "s",
+				Src:  &gen.Source{Trans: "deleted", Table: "t"},
+				Proj: []gen.ProjItem{{Col: "a"}, {Col: "b"}},
+			}},
+		}},
+		Txns: [][]gen.Stmt{
+			{insert("t", row(gen.IntLit(1), gen.StrLit("orig")), row(gen.IntLit(2), gen.StrLit("keep")))},
+			{
+				{Kind: "update", Table: "t", Set: []gen.SetItem{{Col: "b", Lit: gen.StrLit("zz")}}, Where: atom("a", "=", gen.IntLit(1))},
+				{Kind: "delete", Table: "t", Where: atom("a", "=", gen.IntLit(1))},
+			},
+			{
+				insert("t", row(gen.IntLit(9), gen.StrLit("new9"))),
+				{Kind: "delete", Table: "t", Where: atom("a", "=", gen.IntLit(9))},
+			},
+		},
+	}
+
+	// rollback_physical_order: physical heap order is observable through
+	// scan order, and rollback must restore it via the exact reverse-undo
+	// discipline (undo-delete re-appends at the END, not the original
+	// slot). txn 1 deletes the middle row then triggers a rollback rule;
+	// after undo the heap order is [1, 3, 2] — not the original [1, 2, 3].
+	// txn 2 then materializes the scan order into s, where exact
+	// handle+value comparison pins it. Handles consumed by the rolled-back
+	// transaction stay consumed, which the fresh handles in txn 2 verify.
+	ws["rollback_physical_order"] = &gen.Workload{
+		Seed: 9004, Cap: 10,
+		Tables: []gen.Table{t2("t", ic("a")), t2("s", ic("x"))},
+		Rules: []gen.Rule{{
+			Name:  "rb",
+			Preds: []gen.Pred{{Op: "inserted", Table: "t"}},
+			Cond: &gen.Cond{
+				Kind: "exists",
+				Sub: gen.SubQuery{
+					Src:   gen.Source{Trans: "inserted", Table: "t"},
+					Where: atom("a", ">=", gen.IntLit(50)),
+				},
+			},
+			Rollback: true,
+		}},
+		Txns: [][]gen.Stmt{
+			{insert("t", row(gen.IntLit(1)), row(gen.IntLit(2)), row(gen.IntLit(3)))},
+			{
+				{Kind: "delete", Table: "t", Where: atom("a", "=", gen.IntLit(2))},
+				insert("t", row(gen.IntLit(99))),
+			},
+			{
+				insert("t", row(gen.IntLit(4))),
+				{Kind: "inssel", Table: "s", Src: &gen.Source{Table: "t"}, Proj: []gen.ProjItem{{Col: "a"}}},
+			},
+		},
+	}
+
+	// runaway_cap_boundary: a self-triggering rule under Cap = 5 must fire
+	// exactly 5 times and then fail on the 6th selection (the counter is
+	// incremented before the cap check), rolling the whole transaction
+	// back as a runaway error on both sides. The follow-up transaction on
+	// an unwatched table must commit, verifying that the handle counter
+	// state after a runaway rollback also agrees.
+	ws["runaway_cap_boundary"] = &gen.Workload{
+		Seed: 9005, Cap: 5,
+		Tables: []gen.Table{t2("t", ic("a")), t2("q", ic("c"))},
+		Rules: []gen.Rule{{
+			Name:   "loop",
+			Preds:  []gen.Pred{{Op: "inserted", Table: "t"}},
+			Action: []gen.Stmt{insert("t", row(gen.IntLit(1)))},
+		}},
+		Txns: [][]gen.Stmt{
+			{insert("t", row(gen.IntLit(0)))},
+			{insert("q", row(gen.IntLit(10)))},
+		},
+	}
+
+	// exact_cap_quiesce: the dual boundary — a three-rule chain under
+	// Cap = 3 performs exactly Cap rule transitions and then quiesces, so
+	// the transaction must COMMIT: the cap is a strict bound on cap+1
+	// attempts, not on reaching cap.
+	ws["exact_cap_quiesce"] = &gen.Workload{
+		Seed: 9006, Cap: 3,
+		Tables: []gen.Table{t2("t", ic("a")), t2("u", ic("b")), t2("v", ic("c")), t2("w", ic("d"))},
+		Rules: []gen.Rule{
+			{Name: "c0", Preds: []gen.Pred{{Op: "inserted", Table: "t"}}, Action: []gen.Stmt{insert("u", row(gen.IntLit(1)))}},
+			{Name: "c1", Preds: []gen.Pred{{Op: "inserted", Table: "u"}}, Action: []gen.Stmt{insert("v", row(gen.IntLit(1)))}},
+			{Name: "c2", Preds: []gen.Pred{{Op: "inserted", Table: "v"}}, Action: []gen.Stmt{insert("w", row(gen.IntLit(1)))}},
+		},
+		Txns: [][]gen.Stmt{{insert("t", row(gen.IntLit(1)))}},
+	}
+
+	// crosskind_coercion: Validate deliberately does not kind-match
+	// literals or projections against column kinds, so coercion behavior
+	// is itself under test. int -> float widens; an integral float narrows
+	// to int; a fractional float must error identically on both sides and
+	// roll the transaction back.
+	ws["crosskind_coercion"] = &gen.Workload{
+		Seed: 9007, Cap: 10,
+		Tables: []gen.Table{
+			t2("t", ic("i"), gen.Col{Name: "f", Kind: "float"}),
+			t2("s", gen.Col{Name: "f2", Kind: "float"}, gen.Col{Name: "i2", Kind: "int"}),
+		},
+		Txns: [][]gen.Stmt{
+			{insert("t", row(gen.IntLit(3), gen.FloatLit(4.0)), row(gen.IntLit(5), gen.FloatLit(2.5)))},
+			{{Kind: "inssel", Table: "s", Src: &gen.Source{Table: "t"},
+				Proj: []gen.ProjItem{{Col: "i"}, {Col: "f"}}, Where: atom("f", "=", gen.FloatLit(4.0))}},
+			{{Kind: "inssel", Table: "s", Src: &gen.Source{Table: "t"},
+				Proj: []gen.ProjItem{{Col: "i"}, {Col: "f"}}, Where: atom("f", "=", gen.FloatLit(2.5))}},
+			{{Kind: "update", Table: "s", Set: []gen.SetItem{{Col: "f2", Lit: gen.IntLit(7)}}, Where: atom("i2", "=", gen.IntLit(4))}},
+		},
+	}
+
+	// null_semantics: three-valued logic in every position — an aggregate
+	// condition over an all-NULL column is Unknown (rule silent), an IN
+	// whose subquery yields NULLs makes non-matching rows Unknown (not
+	// updated) while a genuine match still updates, and ISNULL inside an
+	// AND selects the right row for deletion.
+	ws["null_semantics"] = &gen.Workload{
+		Seed: 9008, Cap: 10,
+		Tables: []gen.Table{t2("t", ic("a"), ic("b")), t2("s", ic("x"))},
+		Rules: []gen.Rule{{
+			Name:  "rn",
+			Preds: []gen.Pred{{Op: "inserted", Table: "t"}},
+			Cond: &gen.Cond{
+				Kind: "agg", Agg: "sum",
+				Sub: gen.SubQuery{Col: "b", Src: gen.Source{Trans: "inserted", Table: "t"}},
+				Op:  ">", Lit: gen.IntLit(0),
+			},
+			Action: []gen.Stmt{insert("s", row(gen.IntLit(1)))},
+		}},
+		Txns: [][]gen.Stmt{
+			{insert("t", row(gen.IntLit(1), gen.Null), row(gen.IntLit(2), gen.Null))},
+			{insert("t", row(gen.IntLit(3), gen.IntLit(5)), row(gen.IntLit(5), gen.Null))},
+			{{Kind: "update", Table: "t", Set: []gen.SetItem{{Col: "a", Lit: gen.IntLit(99)}},
+				Where: &gen.Where{Atom: &gen.Atom{Col: "a", Op: "in",
+					Sub: &gen.SubQuery{Col: "b", Src: gen.Source{Table: "t"}}}}}},
+			{{Kind: "delete", Table: "t", Where: &gen.Where{And: []*gen.Where{
+				{Atom: &gen.Atom{Col: "b", Op: "isnull"}},
+				atom("a", "=", gen.IntLit(99)),
+			}}}},
+		},
+	}
+
+	// priority_transitive: r0 is prioritized before r1 and r1 before r2,
+	// with no direct r0-r2 edge, and r1 is never triggered. When r0 and r2
+	// are both triggered, r2 is dominated only TRANSITIVELY (through the
+	// untriggered r1) — both sides must honor reachability, firing r0
+	// first at every selection salt, which the lockstep firing-sequence
+	// comparison enforces.
+	ws["priority_transitive"] = &gen.Workload{
+		Seed: 9009, Cap: 10,
+		Tables: []gen.Table{t2("t", ic("a")), t2("u", ic("b")), t2("s0", ic("x")), t2("s2", ic("z"))},
+		Rules: []gen.Rule{
+			{Name: "r0", Preds: []gen.Pred{{Op: "inserted", Table: "t"}}, Action: []gen.Stmt{insert("s0", row(gen.IntLit(1)))}},
+			{Name: "r1", Preds: []gen.Pred{{Op: "inserted", Table: "u"}}, Action: []gen.Stmt{insert("s0", row(gen.IntLit(99)))}},
+			{Name: "r2", Preds: []gen.Pred{{Op: "inserted", Table: "t"}}, Action: []gen.Stmt{insert("s2", row(gen.IntLit(1)))}},
+		},
+		Priorities: []gen.Priority{{Before: "r0", After: "r1"}, {Before: "r1", After: "r2"}},
+		Txns:       [][]gen.Stmt{{insert("t", row(gen.IntLit(1)))}},
+	}
+
+	// empty_segments: PROCESS RULES in degenerate positions — leading
+	// (the init-trans-info segment carries an EMPTY effect), doubled, and
+	// trailing after a firing. Both sides must segment identically and
+	// treat the empty transitions as no-ops rather than re-firing or
+	// resetting anything.
+	ws["empty_segments"] = &gen.Workload{
+		Seed: 9010, Cap: 10,
+		Tables: []gen.Table{t2("t", ic("a")), t2("q", ic("c"))},
+		Rules: []gen.Rule{{
+			Name:  "re",
+			Preds: []gen.Pred{{Op: "inserted", Table: "t"}},
+			Cond: &gen.Cond{
+				Kind: "exists",
+				Sub: gen.SubQuery{
+					Src:   gen.Source{Trans: "inserted", Table: "t"},
+					Where: atom("a", ">=", gen.IntLit(1)),
+				},
+			},
+			Action: []gen.Stmt{insert("q", row(gen.IntLit(1)))},
+		}},
+		Txns: [][]gen.Stmt{
+			{process, process, insert("t", row(gen.IntLit(1))), process, process},
+		},
+	}
+
+	return ws
+}
+
+// TestTargetedWorkloads validates and differentially executes every
+// hand-crafted corner-case workload, at several selection salts so
+// chooser-order variation is covered too. With -writecorpus it also
+// freezes each one into testdata/corpus/, where TestCorpusReplays replays
+// them on every run.
+func TestTargetedWorkloads(t *testing.T) {
+	for name, w := range targetedWorkloads() {
+		name, w := name, w
+		t.Run(name, func(t *testing.T) {
+			if err := w.Validate(); err != nil {
+				t.Fatalf("workload invalid: %v", err)
+			}
+			for _, salt := range []uint64{uint64(w.Seed), 0, 1, 2} {
+				if d := RunDiff(w, Options{Salt: salt}); d != nil {
+					t.Fatalf("salt %d: %v", salt, d)
+				}
+			}
+			if *writeCorpus {
+				data, err := w.Marshal()
+				if err != nil {
+					t.Fatal(err)
+				}
+				dir := filepath.Join("testdata", "corpus")
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(dir, name+".json"), append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestTargetedExpectations pins the intended OUTCOME of the trickiest
+// targeted workloads against the oracle alone. The differential check
+// proves engine == oracle; this proves both match the paper's semantics
+// as designed (e.g. that the considered-scope rule really does fire after
+// the window reset), guarding against the failure mode where engine and
+// oracle share the same misreading.
+func TestTargetedExpectations(t *testing.T) {
+	ws := targetedWorkloads()
+	run := func(name string) (*DB, []Outcome) {
+		w := ws[name]
+		db := New(w, Chooser(uint64(w.Seed)))
+		var outs []Outcome
+		for _, txn := range w.Txns {
+			outs = append(outs, db.RunTxn(txn))
+		}
+		return db, outs
+	}
+	count := func(db *DB, table string) int {
+		return len(db.State()[table])
+	}
+
+	t.Run("scope_considered_reset", func(t *testing.T) {
+		db, outs := run("scope_considered_reset")
+		if got := outs[1].Firings; len(got) != 1 || got[0] != "rc" {
+			t.Fatalf("considered-scope window did not reset: firings %v, want [rc]", got)
+		}
+		if n := count(db, "s"); n != 1 {
+			t.Fatalf("s has %d rows, want 1", n)
+		}
+	})
+	t.Run("scope_triggered_restart", func(t *testing.T) {
+		db, outs := run("scope_triggered_restart")
+		want := []string{"r1", "r0"}
+		got := outs[0].Firings
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("triggered-scope window did not restart: firings %v, want %v", got, want)
+		}
+		if n := count(db, "s"); n != 1 {
+			t.Fatalf("s has %d rows, want 1", n)
+		}
+	})
+	t.Run("delete_after_update_oldrow", func(t *testing.T) {
+		db, outs := run("delete_after_update_oldrow")
+		if got := outs[1].Firings; len(got) != 1 {
+			t.Fatalf("delete-after-update firings %v, want [rd]", got)
+		}
+		sRows := db.State()["s"]
+		if len(sRows) != 1 || !sRows[0].Row[1].Equal(value.NewString("orig")) {
+			t.Fatalf("deleted transition row = %v, want the pre-update value 'orig'", sRows)
+		}
+		if got := outs[2].Firings; len(got) != 0 {
+			t.Fatalf("insert-then-delete did not cancel: firings %v", got)
+		}
+	})
+	t.Run("runaway_cap_boundary", func(t *testing.T) {
+		_, outs := run("runaway_cap_boundary")
+		if outs[0].Kind != Errored || !outs[0].Runaway {
+			t.Fatalf("txn 0 outcome %+v, want runaway error", outs[0])
+		}
+		if len(outs[0].Firings) != 0 {
+			t.Fatalf("rolled-back runaway reported firings %v", outs[0].Firings)
+		}
+		if outs[1].Kind != Committed {
+			t.Fatalf("txn 1 outcome %+v, want committed", outs[1])
+		}
+	})
+	t.Run("exact_cap_quiesce", func(t *testing.T) {
+		_, outs := run("exact_cap_quiesce")
+		if outs[0].Kind != Committed || len(outs[0].Firings) != 3 {
+			t.Fatalf("outcome %+v, want committed with exactly 3 firings", outs[0])
+		}
+	})
+	t.Run("crosskind_coercion", func(t *testing.T) {
+		db, outs := run("crosskind_coercion")
+		if outs[1].Kind != Committed || outs[2].Kind != Errored || outs[3].Kind != Committed {
+			t.Fatalf("outcomes %+v %+v %+v, want committed/errored/committed", outs[1], outs[2], outs[3])
+		}
+		if n := count(db, "s"); n != 1 {
+			t.Fatalf("s has %d rows, want 1 (the fractional-float copy must roll back)", n)
+		}
+	})
+	t.Run("null_semantics", func(t *testing.T) {
+		_, outs := run("null_semantics")
+		if len(outs[0].Firings) != 0 {
+			t.Fatalf("sum over all-NULL fired: %v", outs[0].Firings)
+		}
+		if len(outs[1].Firings) != 1 {
+			t.Fatalf("sum over mixed NULL/5 did not fire: %v", outs[1].Firings)
+		}
+	})
+	t.Run("priority_transitive", func(t *testing.T) {
+		_, outs := run("priority_transitive")
+		want := []string{"r0", "r2"}
+		got := outs[0].Firings
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("transitive domination ignored: firings %v, want %v", got, want)
+		}
+	})
+	t.Run("empty_segments", func(t *testing.T) {
+		_, outs := run("empty_segments")
+		if outs[0].Kind != Committed || len(outs[0].Firings) != 1 {
+			t.Fatalf("outcome %+v, want committed with 1 firing", outs[0])
+		}
+	})
+}

@@ -43,6 +43,17 @@ func (s Strategy) String() string {
 // triggered rules.
 type Selector struct {
 	Strategy Strategy
+	// Choose, when non-nil, replaces the Strategy tie-break: it receives
+	// the names of the maximal (by priority) triggered rules in ascending
+	// name order and returns the chosen name. The paper leaves the choice
+	// among maximal rules open (Section 4.4); this hook lets a test
+	// harness pin any legal order — in particular the differential oracle
+	// drives the engine and a reference interpreter through the same
+	// selection sequence. Choose must return one of its arguments; any
+	// other return falls back to the first candidate. It must be a pure
+	// function of the candidate list so that independent executions with
+	// equal histories make equal choices.
+	Choose func(candidates []string) string
 	// higher[a][b] records a declared edge: a has priority over b.
 	higher map[string]map[string]bool
 }
@@ -143,6 +154,24 @@ func (s *Selector) Select(triggered []*Rule) *Rule {
 		}
 		if !dominated {
 			maximal = append(maximal, r)
+		}
+	}
+	if s.Choose != nil {
+		names := make([]string, len(maximal))
+		for i, r := range maximal {
+			names[i] = r.Name
+		}
+		sort.Strings(names)
+		picked := s.Choose(names)
+		for _, r := range maximal {
+			if r.Name == picked {
+				return r
+			}
+		}
+		for _, r := range maximal {
+			if r.Name == names[0] {
+				return r
+			}
 		}
 	}
 	sort.Slice(maximal, func(i, j int) bool {

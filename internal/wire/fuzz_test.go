@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame reader. Whatever the
+// input, ReadFrame must return without panicking or over-allocating, must
+// classify truncation correctly (io.EOF only at a frame boundary, never
+// mid-frame), and anything it accepts must survive a write/read round
+// trip bit-identically.
+func FuzzReadFrame(f *testing.F) {
+	// A valid small frame, a truncated header, an oversized declared
+	// length, and an empty input seed the corpus.
+	var valid bytes.Buffer
+	_ = WriteFrame(&valid, MsgExec, []byte(`{"src":"select 1"}`), 0)
+	f.Add(valid.Bytes())
+	f.Add([]byte{MsgPing, 0x00})
+	f.Add([]byte{MsgError, 0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Add([]byte{})
+
+	const max = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		typ, payload, err := ReadFrame(r, max)
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF):
+				if len(data) != 0 {
+					t.Fatalf("io.EOF with %d unread header bytes; want ErrUnexpectedEOF mid-frame", len(data))
+				}
+			case errors.Is(err, io.ErrUnexpectedEOF):
+				if len(data) == 0 {
+					t.Fatal("ErrUnexpectedEOF on empty input; want io.EOF")
+				}
+			case errors.Is(err, ErrFrameTooLarge):
+				// The declared length must actually exceed max, and the
+				// payload must not have been consumed.
+				if len(data) < headerSize {
+					t.Fatalf("ErrFrameTooLarge on %d-byte input, shorter than a header", len(data))
+				}
+				declared := uint32(data[1])<<24 | uint32(data[2])<<16 | uint32(data[3])<<8 | uint32(data[4])
+				if declared <= max {
+					t.Fatalf("ErrFrameTooLarge for declared length %d <= max %d", declared, max)
+				}
+				if r.Len() != len(data)-headerSize {
+					t.Fatalf("oversized frame consumed payload bytes: %d left, want %d", r.Len(), len(data)-headerSize)
+				}
+			default:
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if len(payload) > max {
+			t.Fatalf("accepted %d-byte payload beyond max %d", len(payload), max)
+		}
+		// Round trip: re-encode and read back bit-identically.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload, max); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		typ2, payload2, err := ReadFrame(&buf, max)
+		if err != nil {
+			t.Fatalf("re-read of accepted frame failed: %v", err)
+		}
+		if typ2 != typ || !bytes.Equal(payload2, payload) {
+			t.Fatal("frame changed across write/read round trip")
+		}
+	})
+}
