@@ -32,6 +32,11 @@ const (
 	CodeTooLarge = wire.CodeTooLarge
 	CodeShutdown = wire.CodeShutdown
 	CodeInternal = wire.CodeInternal
+
+	CodeReadOnly   = wire.CodeReadOnly
+	CodeNotPrimary = wire.CodeNotPrimary
+	CodeLagging    = wire.CodeLagging
+	CodeDiverged   = wire.CodeDiverged
 )
 
 // RemoteError is a failure reported by the server. Line is the 1-based line
@@ -82,10 +87,26 @@ type ServerStats struct {
 	DrainedReqs int64 // requests completed during shutdown drain
 }
 
+// ReplStats describes a node's replication state (see Stats.Repl); the
+// fields mirror the wire protocol's ReplStats.
+type ReplStats struct {
+	Role           string // "primary" or "replica"
+	LSN            uint64 // own position: durable LSN (primary), applied LSN (replica)
+	PrimaryLSN     uint64 // replica's last view of the primary's LSN
+	Lag            int64  // PrimaryLSN - LSN on a replica
+	Connected      bool   // replica's stream to the primary is up
+	Promoted       bool   // node was promoted from replica to writable
+	Followers      int    // connected stream sessions on a primary
+	MinFollowerLSN uint64 // lowest acked LSN across followers (retention horizon)
+}
+
 // Stats bundles the remote engine's counters with the server's own.
 type Stats struct {
 	Engine sopr.Stats
 	Server ServerStats
+	// Repl is the node's replication state; nil on a server that neither
+	// ships nor follows a WAL stream.
+	Repl *ReplStats
 }
 
 // Option configures a Client at Dial.
@@ -219,7 +240,7 @@ func (c *Client) Exec(src string) (*sopr.Result, error) {
 	if err := c.roundTrip(wire.MsgExec, wire.ExecRequest{Src: src}, wire.MsgExecResult, &resp); err != nil {
 		return nil, err
 	}
-	res := &sopr.Result{RolledBack: resp.RolledBack, RollbackRule: resp.RollbackRule}
+	res := &sopr.Result{RolledBack: resp.RolledBack, RollbackRule: resp.RollbackRule, LSN: resp.LSN}
 	for _, f := range resp.Firings {
 		res.Firings = append(res.Firings, sopr.Firing{Rule: f.Rule, Effect: f.Effect})
 	}
@@ -235,8 +256,17 @@ func (c *Client) Exec(src string) (*sopr.Result, error) {
 
 // Query evaluates a single SELECT on the server, outside any transaction.
 func (c *Client) Query(src string) (*sopr.Rows, error) {
+	return c.QueryAt(src, 0)
+}
+
+// QueryAt is Query with a read-your-writes floor: a replica holds the
+// read until it has applied minLSN (a token from Result.LSN), answering
+// CodeLagging if it cannot in time. minLSN 0 reads current state; a
+// primary ignores the floor (it is the source of truth).
+func (c *Client) QueryAt(src string, minLSN uint64) (*sopr.Rows, error) {
 	var resp wire.Rows
-	if err := c.roundTrip(wire.MsgQuery, wire.QueryRequest{Src: src}, wire.MsgQueryResult, &resp); err != nil {
+	req := wire.QueryRequest{Src: src, MinLSN: minLSN}
+	if err := c.roundTrip(wire.MsgQuery, req, wire.MsgQueryResult, &resp); err != nil {
 		return nil, err
 	}
 	return decodeRows(resp)
@@ -272,12 +302,28 @@ func (c *Client) Stats() (*Stats, error) {
 			Checkpoints:         resp.Engine.Checkpoints,
 		},
 		Server: ServerStats(resp.Server),
+		Repl:   replStats(resp.Repl),
 	}, nil
+}
+
+func replStats(rs *wire.ReplStats) *ReplStats {
+	if rs == nil {
+		return nil
+	}
+	out := ReplStats(*rs)
+	return &out
 }
 
 // Ping checks the server is alive and answering.
 func (c *Client) Ping() error {
 	return c.roundTrip(wire.MsgPing, nil, wire.MsgPong, nil)
+}
+
+// Promote asks a replica to detach from its primary and accept writes.
+// It fails with a RemoteError on a node that is not a replica. Clients
+// normally never call this directly — Cluster failover does.
+func (c *Client) Promote() error {
+	return c.roundTrip(wire.MsgReplPromote, nil, wire.MsgReplPromoted, nil)
 }
 
 // IsRemote reports whether err is a server-reported failure with the given

@@ -1,0 +1,377 @@
+// Cluster: client-side read/write routing over one primary and its read
+// replicas. Writes go to the primary; reads fan out round-robin across
+// replicas (falling back to the primary), each carrying the
+// read-your-writes LSN token from the cluster's last write so a replica
+// never answers with state older than the caller's own writes. When the
+// primary dies mid-write, the cluster fails over: it promotes the
+// reachable replica with the highest applied LSN and retries the write
+// once there.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sopr"
+)
+
+// ErrNoEndpoints reports that no cluster endpoint could serve the request.
+var ErrNoEndpoints = errors.New("client: no reachable cluster endpoint")
+
+// ErrNoPrimary reports that no endpoint accepts writes and failover could
+// not promote one.
+var ErrNoPrimary = errors.New("client: no writable endpoint in cluster")
+
+// endpoint is one cluster member: its address, a lazily-(re)dialed
+// connection, and what the last stats probe said about it.
+type endpoint struct {
+	addr string
+	c    *Client // nil when down / not yet dialed
+	role string  // "primary", "replica", or "" before the first probe
+	lsn  uint64  // position from the last probe
+}
+
+// Cluster routes requests across a primary and its replicas. It is safe
+// for concurrent use; routing state is internally locked and per-request
+// round trips are serialized by each endpoint's Client.
+type Cluster struct {
+	opts []Option
+
+	mu      sync.Mutex
+	eps     []*endpoint
+	primary int // index into eps, -1 when unknown
+	rr      int // round-robin cursor over read endpoints
+	token   uint64
+}
+
+// DialCluster connects to a cluster given its member addresses in any
+// order. Roles are discovered by probing stats: the writable member
+// becomes the write target, every reachable member serves reads. At least
+// one member must be reachable; the primary may be discovered later (a
+// write with no known primary re-probes first).
+func DialCluster(addrs []string, opts ...Option) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("client: DialCluster needs at least one address")
+	}
+	cl := &Cluster{opts: opts, primary: -1}
+	for _, a := range addrs {
+		cl.eps = append(cl.eps, &endpoint{addr: a})
+	}
+	if n := cl.probeAll(); n == 0 {
+		_ = cl.Close()
+		return nil, ErrNoEndpoints
+	}
+	return cl, nil
+}
+
+// Close closes every endpoint connection.
+func (cl *Cluster) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var first error
+	for _, ep := range cl.eps {
+		if ep.c != nil {
+			if err := ep.c.Close(); err != nil && first == nil {
+				first = err
+			}
+			ep.c = nil
+		}
+	}
+	return first
+}
+
+// ensure returns the endpoint's live client, dialing if needed.
+// Callers hold cl.mu.
+func (cl *Cluster) ensure(ep *endpoint) (*Client, error) {
+	if ep.c != nil {
+		return ep.c, nil
+	}
+	c, err := Dial(ep.addr, cl.opts...)
+	if err != nil {
+		return nil, err
+	}
+	ep.c = c
+	return c, nil
+}
+
+// markDown drops the endpoint's connection so the next use re-dials.
+// Callers hold cl.mu.
+func (cl *Cluster) markDown(ep *endpoint) {
+	if ep.c != nil {
+		_ = ep.c.Close() // already failing; the re-dial is what matters
+		ep.c = nil
+	}
+	if cl.primary >= 0 && cl.eps[cl.primary] == ep {
+		cl.primary = -1
+	}
+}
+
+// probe refreshes one endpoint's role and position. A "stale" role is
+// sticky: replicas of a failed-over primary can never catch up (the
+// promoted node ships no WAL), so they stay out of the read set for the
+// life of this cluster handle. Callers hold cl.mu.
+func (cl *Cluster) probe(ep *endpoint) error {
+	c, err := cl.ensure(ep)
+	if err != nil {
+		return err
+	}
+	st, err := c.Stats()
+	if err != nil {
+		if IsConn(err) {
+			cl.markDown(ep)
+		}
+		return err
+	}
+	role := "primary" // no replication state = standalone, writable
+	var lsn uint64
+	if st.Repl != nil {
+		role, lsn = st.Repl.Role, st.Repl.LSN
+	}
+	if ep.role == "stale" && role == "replica" {
+		ep.lsn = lsn
+		return nil
+	}
+	ep.role, ep.lsn = role, lsn
+	return nil
+}
+
+// probeAll refreshes every endpoint and re-elects the write target,
+// returning how many members are reachable.
+func (cl *Cluster) probeAll() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	reachable := 0
+	cl.primary = -1
+	for i, ep := range cl.eps {
+		if err := cl.probe(ep); err != nil {
+			continue
+		}
+		reachable++
+		if ep.role == "primary" && cl.primary < 0 {
+			cl.primary = i
+		}
+	}
+	return reachable
+}
+
+// writeTarget returns the current primary's client, re-probing when the
+// primary is unknown.
+func (cl *Cluster) writeTarget() (*Client, error) {
+	cl.mu.Lock()
+	if cl.primary < 0 {
+		cl.mu.Unlock()
+		cl.probeAll()
+		cl.mu.Lock()
+	}
+	defer cl.mu.Unlock()
+	if cl.primary < 0 {
+		return nil, ErrNoPrimary
+	}
+	return cl.ensure(cl.eps[cl.primary])
+}
+
+// Exec runs a script on the primary. On a transport failure it fails
+// over — promoting the reachable replica with the highest applied LSN —
+// and retries the write once there. The retry makes Exec at-least-once
+// across failover: a write the dead primary committed but never
+// acknowledged may be applied again on the new one.
+func (cl *Cluster) Exec(src string) (*sopr.Result, error) {
+	c, err := cl.writeTarget()
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Exec(src)
+	if err == nil {
+		cl.noteWrite(res.LSN)
+		return res, nil
+	}
+	if !IsConn(err) && !IsRemote(err, CodeReadOnly) && !IsRemote(err, CodeShutdown) {
+		return nil, err // a genuine script error: the cluster is healthy
+	}
+	if ferr := cl.failover(); ferr != nil {
+		return nil, fmt.Errorf("%w (failover also failed: %v)", err, ferr)
+	}
+	c, err2 := cl.writeTarget()
+	if err2 != nil {
+		return nil, err2
+	}
+	res, err2 = c.Exec(src)
+	if err2 != nil {
+		return nil, err2
+	}
+	cl.noteWrite(res.LSN)
+	return res, nil
+}
+
+// noteWrite advances the read-your-writes token.
+func (cl *Cluster) noteWrite(lsn uint64) {
+	cl.mu.Lock()
+	if lsn > cl.token {
+		cl.token = lsn
+	}
+	cl.mu.Unlock()
+}
+
+// failover elects a new primary: mark the old one down, re-probe
+// everyone, and — if no member is already writable — promote the
+// reachable replica with the highest applied LSN (losing any committed
+// records past it; replication is asynchronous).
+func (cl *Cluster) failover() error {
+	cl.mu.Lock()
+	if cl.primary >= 0 {
+		cl.markDown(cl.eps[cl.primary])
+	}
+	cl.mu.Unlock()
+	if cl.probeAll() == 0 {
+		return ErrNoEndpoints
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.primary >= 0 {
+		return nil // someone is already writable (e.g. the primary came back)
+	}
+	best := -1
+	for i, ep := range cl.eps {
+		if ep.c == nil || ep.role != "replica" {
+			continue
+		}
+		if best < 0 || ep.lsn > cl.eps[best].lsn {
+			best = i
+		}
+	}
+	if best < 0 {
+		return ErrNoPrimary
+	}
+	ep := cl.eps[best]
+	if err := ep.c.Promote(); err != nil {
+		cl.markDown(ep)
+		return fmt.Errorf("promote %s: %w", ep.addr, err)
+	}
+	ep.role = "primary"
+	cl.primary = best
+	// The old primary's other replicas are now permanently stale: the
+	// promoted node cannot feed them. Take them out of the read set.
+	for _, other := range cl.eps {
+		if other != ep && other.role == "replica" {
+			other.role = "stale"
+		}
+	}
+	return nil
+}
+
+// readPlan snapshots the endpoints to try for a read: replicas first in
+// round-robin order, the primary last, plus the current token. Stale
+// endpoints (replicas orphaned by a failover) are skipped entirely —
+// they hold a forked, frozen view.
+func (cl *Cluster) readPlan() ([]*endpoint, uint64) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var replicas, primaries []*endpoint
+	for _, ep := range cl.eps {
+		if ep.role == "stale" {
+			continue
+		}
+		if cl.primary >= 0 && cl.eps[cl.primary] == ep {
+			primaries = append(primaries, ep)
+		} else {
+			replicas = append(replicas, ep)
+		}
+	}
+	if len(replicas) > 1 {
+		rot := cl.rr % len(replicas)
+		cl.rr++
+		replicas = append(replicas[rot:], replicas[:rot]...)
+	}
+	return append(replicas, primaries...), cl.token
+}
+
+// read runs op against each endpoint in read order until one succeeds.
+// Transport failures mark the endpoint down and move on — idempotent
+// reads are safe to retry elsewhere — as do read_only/lagging refusals;
+// any other server-reported error is returned as-is (a parse error will
+// not get better on the next replica).
+func (cl *Cluster) read(op func(c *Client) error) error {
+	eps, _ := cl.readPlan()
+	var lastErr error
+	for _, ep := range eps {
+		cl.mu.Lock()
+		c, err := cl.ensure(ep)
+		cl.mu.Unlock()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = op(c)
+		if err == nil {
+			return nil
+		}
+		if IsConn(err) {
+			cl.mu.Lock()
+			cl.markDown(ep)
+			cl.mu.Unlock()
+			lastErr = err
+			continue
+		}
+		if IsRemote(err, CodeLagging) || IsRemote(err, CodeShutdown) {
+			lastErr = err
+			continue
+		}
+		return err
+	}
+	if lastErr == nil {
+		lastErr = ErrNoEndpoints
+	}
+	return lastErr
+}
+
+// Query evaluates a SELECT on a replica (or the primary when no replica
+// can serve it), never seeing state older than the cluster's own writes.
+func (cl *Cluster) Query(src string) (*sopr.Rows, error) {
+	cl.mu.Lock()
+	token := cl.token
+	cl.mu.Unlock()
+	var rows *sopr.Rows
+	err := cl.read(func(c *Client) error {
+		r, err := c.QueryAt(src, token)
+		if err == nil {
+			rows = r
+		}
+		return err
+	})
+	return rows, err
+}
+
+// Dump fetches a recreation script from any read endpoint.
+func (cl *Cluster) Dump() (string, error) {
+	var script string
+	err := cl.read(func(c *Client) error {
+		s, err := c.Dump()
+		if err == nil {
+			script = s
+		}
+		return err
+	})
+	return script, err
+}
+
+// Stats fetches counters from any read endpoint.
+func (cl *Cluster) Stats() (*Stats, error) {
+	var st *Stats
+	err := cl.read(func(c *Client) error {
+		s, err := c.Stats()
+		if err == nil {
+			st = s
+		}
+		return err
+	})
+	return st, err
+}
+
+// Token reports the cluster's current read-your-writes LSN token (the
+// highest LSN returned by a write through this cluster).
+func (cl *Cluster) Token() uint64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.token
+}

@@ -14,6 +14,15 @@
 // fresh. SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // idle sessions are disconnected, transactions already executing drain
 // (bounded by -shutdown-timeout), and a final checkpoint is written.
+//
+// A durable soprd also serves WAL-shipping replication: read replicas run
+//
+//	$ soprd -addr :5478 -follow primary-host:5477
+//
+// and keep an in-memory copy current by replaying the primary's record
+// stream (bootstrapping from its newest checkpoint), serving queries,
+// dumps, and stats while rejecting writes. Replicas keep no local state:
+// -follow excludes -data and -init.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"sopr"
+	"sopr/internal/repl"
 	"sopr/internal/server"
 )
 
@@ -35,6 +45,7 @@ type options struct {
 	addr            string
 	initFile        string
 	dataDir         string
+	follow          string
 	fsync           string
 	fsyncInterval   time.Duration
 	ckptInterval    time.Duration
@@ -53,6 +64,7 @@ func main() {
 	flag.StringVar(&o.addr, "addr", ":5477", "listen address")
 	flag.StringVar(&o.initFile, "init", "", "SQL script (e.g. a .dump) executed before serving (with -data: only when the directory is fresh)")
 	flag.StringVar(&o.dataDir, "data", "", "data directory for the write-ahead log and checkpoints (empty = in-memory)")
+	flag.StringVar(&o.follow, "follow", "", "run as a read replica of the primary soprd at this address")
 	flag.StringVar(&o.fsync, "fsync", "always", "log fsync policy: always, interval, or never")
 	flag.DurationVar(&o.fsyncInterval, "fsync-interval", 0, "background sync period for -fsync interval (0 = 100ms)")
 	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", 0, "write a checkpoint this often (0 = only at shutdown)")
@@ -165,17 +177,6 @@ func openDB(o options, logger *log.Logger) (*sopr.DB, error) {
 func run(o options, sigc <-chan os.Signal, ready chan<- net.Addr) error {
 	logger := log.New(os.Stderr, "soprd: ", log.LstdFlags)
 
-	db, err := openDB(o, logger)
-	if err != nil {
-		return err
-	}
-	sdb := sopr.Synchronized(db)
-	durable := o.dataDir != ""
-	defer func() { _ = sdb.Close() }() // error paths below close explicitly
-	if o.trace {
-		sdb.TraceTo(os.Stderr)
-	}
-
 	cfg := server.Config{
 		MaxFrame:     o.maxFrame,
 		ReadTimeout:  o.readTimeout,
@@ -184,7 +185,51 @@ func run(o options, sigc <-chan os.Signal, ready chan<- net.Addr) error {
 	if o.verbose {
 		cfg.Logf = logger.Printf
 	}
-	srv := server.New(sdb, cfg)
+
+	var backend server.DB
+	var sdb *sopr.SynchronizedDB // nil on a replica
+	durable := o.dataDir != ""
+	if o.follow != "" {
+		// A replica holds no local state: it bootstraps from the primary's
+		// checkpoint and replays its stream, so a data directory or init
+		// script would only be silently ignored — refuse them instead.
+		if durable {
+			return fmt.Errorf("-follow and -data are mutually exclusive: replicas keep no local log")
+		}
+		if o.initFile != "" {
+			return fmt.Errorf("-follow and -init are mutually exclusive: replicas bootstrap from the primary")
+		}
+		if o.trace {
+			return fmt.Errorf("-trace is not supported on a replica: replay runs with rules disabled")
+		}
+		fl := repl.NewFollower(repl.FollowerConfig{
+			Primary:            o.follow,
+			SelectTriggers:     o.selectTriggers,
+			MaxRuleTransitions: o.maxTransitions,
+			Logf:               logger.Printf,
+		})
+		go fl.Run()
+		defer fl.Close()
+		backend = fl
+		logger.Printf("replica: following %s", o.follow)
+	} else {
+		db, err := openDB(o, logger)
+		if err != nil {
+			return err
+		}
+		sdb = sopr.Synchronized(db)
+		defer func() { _ = sdb.Close() }() // error paths below close explicitly
+		if o.trace {
+			sdb.TraceTo(os.Stderr)
+		}
+		if durable {
+			// A durable primary ships its WAL to any replica that joins.
+			cfg.Repl = repl.NewSource(db.WALLog(), repl.SourceConfig{Logf: logger.Printf})
+		}
+		backend = sdb
+	}
+
+	srv := server.New(backend, cfg)
 	ln, err := server.Listen(o.addr)
 	if err != nil {
 		return err

@@ -1,0 +1,189 @@
+// Three-node replication e2e at the daemon level: one durable primary
+// and two -follow replicas, each a full run() instance talking over real
+// sockets. Covers bounded replication lag, read-your-writes through the
+// cluster client, byte-identical dumps, write rejection on replicas, and
+// a follower being killed and rejoining.
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"sopr/client"
+)
+
+// bootFollower starts run() in -follow mode against primaryAddr and
+// waits for its listener.
+func bootFollower(t *testing.T, primaryAddr string) (net.Addr, chan os.Signal, chan error) {
+	t.Helper()
+	sigc := make(chan os.Signal, 1)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(options{
+			addr:            "127.0.0.1:0",
+			follow:          primaryAddr,
+			shutdownTimeout: 5 * time.Second,
+		}, sigc, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return addr, sigc, done
+	case err := <-done:
+		t.Fatalf("follower run exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never became ready")
+	}
+	panic("unreachable")
+}
+
+// waitLag polls the node's stats until it reports being connected with
+// its applied LSN at least want, failing after the deadline. This is the
+// bounded-lag smoke: a healthy follower must close the gap quickly.
+func waitLag(t *testing.T, addr string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		c, err := client.Dial(addr)
+		if err == nil {
+			st, serr := c.Stats()
+			c.Close()
+			if serr == nil && st.Repl != nil && st.Repl.Connected && st.Repl.LSN >= want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %s lagging: stats %+v, want lsn >= %d", addr, st.Repl, want)
+			}
+		} else if time.Now().After(deadline) {
+			t.Fatalf("replica %s unreachable: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestReplicationThreeNodeE2E(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "data")
+	primaryAddr, psig, pdone := bootDurable(t, dataDir, "")
+
+	r1Addr, r1sig, r1done := bootFollower(t, primaryAddr.String())
+	r2Addr, _, _ := bootFollower(t, primaryAddr.String())
+
+	// Drive the whole group through the cluster client: writes land on
+	// the primary, reads carry the LSN token so replicas answer them the
+	// moment they catch up.
+	cl, err := client.DialCluster([]string{r1Addr.String(), r2Addr.String(), primaryAddr.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Exec(`create table t (a int);
+		create rule neg when inserted into t then delete from t where a < 0 end;
+		insert into t values (1), (-2), (3);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LSN == 0 {
+		t.Fatal("primary write reported no LSN")
+	}
+	rows, err := cl.Query(`select count(*) from t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rows.Data[0][0].(int64); n != 2 { // -2 removed by the rule
+		t.Fatalf("count = %d, want 2", n)
+	}
+
+	// Bounded lag: both replicas reach the primary's LSN promptly.
+	waitLag(t, r1Addr.String(), res.LSN)
+	waitLag(t, r2Addr.String(), res.LSN)
+
+	// At the same LSN the dump must be byte-identical on every node.
+	pc, err := client.Dial(primaryAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	want, err := pc.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []string{r1Addr.String(), r2Addr.String()} {
+		rc, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, derr := rc.Dump()
+		// A replica refuses writes with the typed read-only code.
+		_, xerr := rc.Exec(`insert into t values (9)`)
+		rc.Close()
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if got != want {
+			t.Errorf("replica %s dump diverged:\n--- primary ---\n%s\n--- replica ---\n%s", addr, want, got)
+		}
+		if !client.IsRemote(xerr, client.CodeReadOnly) {
+			t.Errorf("replica %s exec = %v, want code %s", addr, xerr, client.CodeReadOnly)
+		}
+	}
+
+	// Kill follower 1 and keep writing: the group must keep serving.
+	r1sig <- syscall.SIGTERM
+	select {
+	case err := <-r1done:
+		if err != nil {
+			t.Fatalf("follower shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower did not exit after SIGTERM")
+	}
+	res, err = cl.Exec(`insert into t values (10)`)
+	if err != nil {
+		t.Fatalf("write after follower death: %v", err)
+	}
+	if _, err := cl.Query(`select count(*) from t`); err != nil {
+		t.Fatalf("read after follower death: %v", err)
+	}
+
+	// Rejoin: a fresh follower on a new port catches up to the new LSN
+	// and serves an identical dump.
+	r3Addr, _, _ := bootFollower(t, primaryAddr.String())
+	waitLag(t, r3Addr.String(), res.LSN)
+	want, err = pc.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := client.Dial(r3Addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rc.Dump()
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("rejoined follower dump diverged:\n%s\nvs\n%s", got, want)
+	}
+
+	stopDurable(t, psig, pdone)
+}
+
+// TestFollowFlagConflicts: -follow excludes local state and rule tracing;
+// each conflicting combination must be refused before anything serves.
+func TestFollowFlagConflicts(t *testing.T) {
+	cases := []options{
+		{addr: "127.0.0.1:0", follow: "localhost:5477", dataDir: t.TempDir()},
+		{addr: "127.0.0.1:0", follow: "localhost:5477", initFile: "x.sql"},
+		{addr: "127.0.0.1:0", follow: "localhost:5477", trace: true},
+	}
+	for i, o := range cases {
+		if err := run(o, nil, nil); err == nil {
+			t.Errorf("case %d: run accepted conflicting flags %+v", i, o)
+		}
+	}
+}

@@ -34,9 +34,28 @@ import (
 )
 
 // execer is the part of the engine the statement loop needs; *sopr.DB
-// (local mode) and *client.Client (-connect mode) both provide it.
+// (local mode) and remoteSession (-connect mode) both provide it.
 type execer interface {
 	Exec(src string) (*sopr.Result, error)
+}
+
+// remoteSession adapts a client.Client to the statement loop. A lone
+// SELECT is sent as a query request — the read path the server answers
+// under the shared lock and, on a replica, the only path there is
+// (replicas refuse exec with a read_only error) — while everything else
+// is an exec operation block.
+type remoteSession struct{ c *client.Client }
+
+func (s remoteSession) Exec(src string) (*sopr.Result, error) {
+	if t := strings.TrimSpace(src); len(t) >= 6 &&
+		strings.EqualFold(t[:6], "select") && strings.Count(t, ";") <= 1 {
+		rows, err := s.c.Query(src)
+		if err != nil {
+			return nil, err
+		}
+		return &sopr.Result{Results: []*sopr.Rows{rows}}, nil
+	}
+	return s.c.Exec(src)
 }
 
 func main() {
@@ -60,7 +79,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		session = cl
+		session = remoteSession{cl}
 	} else {
 		var opts []sopr.Option
 		if *selectTriggers {

@@ -117,6 +117,15 @@ func (s *SynchronizedDB) Close() error {
 	return s.db.Close()
 }
 
+// CurrentLSN reports the last durable log sequence number under the
+// shared lock — the read-your-writes token the server attaches to exec
+// responses.
+func (s *SynchronizedDB) CurrentLSN() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.CurrentLSN()
+}
+
 // Recovered reports whether the wrapped database recovered prior state,
 // under the shared lock (the flag is set once at open and never mutated).
 func (s *SynchronizedDB) Recovered() bool {

@@ -149,6 +149,22 @@ func (db *DB) Checkpoint() error {
 	return db.eng.Checkpoint()
 }
 
+// CurrentLSN reports the last durable log sequence number (0 on an
+// in-memory database, or before the first commit). It is the
+// read-your-writes token replication clients carry from a write on the
+// primary to reads on replicas.
+func (db *DB) CurrentLSN() uint64 {
+	if db.walLog == nil {
+		return 0
+	}
+	return db.walLog.NextLSN() - 1
+}
+
+// WALLog exposes the attached write-ahead log (nil on an in-memory
+// database). The soprd daemon hands it to the replication source so
+// stream sessions can tail and pin it.
+func (db *DB) WALLog() *wal.Log { return db.walLog }
+
 // Close flushes and closes the write-ahead log. Executing against a closed
 // durable database fails. Close on an in-memory database is a no-op.
 func (db *DB) Close() error {

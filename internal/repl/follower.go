@@ -1,0 +1,489 @@
+package repl
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sopr"
+	"sopr/internal/engine"
+	"sopr/internal/wal"
+	"sopr/internal/wire"
+)
+
+// FollowerConfig tunes a replica.
+type FollowerConfig struct {
+	// Primary is the primary soprd's address (host:port). Required.
+	Primary string
+	// SelectTriggers and MaxRuleTransitions mirror the primary's engine
+	// options; they only matter after promotion (replay runs with rules
+	// disabled regardless).
+	SelectTriggers     bool
+	MaxRuleTransitions int
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// StreamTimeout is the silence tolerated on the stream before the
+	// follower reconnects (default 10s; the primary heartbeats every
+	// second when idle).
+	StreamTimeout time.Duration
+	// AckInterval rate-limits progress acks while records are flowing
+	// (default 200ms). Heartbeats are always acked immediately.
+	AckInterval time.Duration
+	// ReconnectMin/ReconnectMax bound the reconnect backoff
+	// (defaults 100ms / 5s).
+	ReconnectMin, ReconnectMax time.Duration
+	// MaxFrame caps inbound stream frames (default wire.ReplMaxFrame).
+	MaxFrame int
+	// Logf receives follower log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *FollowerConfig) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.StreamTimeout <= 0 {
+		c.StreamTimeout = 10 * time.Second
+	}
+	if c.AckInterval <= 0 {
+		c.AckInterval = 200 * time.Millisecond
+	}
+	if c.ReconnectMin <= 0 {
+		c.ReconnectMin = 100 * time.Millisecond
+	}
+	if c.ReconnectMax <= 0 {
+		c.ReconnectMax = 5 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.ReplMaxFrame
+	}
+}
+
+// Follower is a read replica: an in-memory engine kept current by
+// replaying the primary's WAL stream with rule processing disabled — the
+// same replay crash recovery runs, so the state cannot diverge from what
+// the primary committed. It implements the server backend interface;
+// Exec returns ErrReadOnly until Promote flips the node writable.
+//
+// Followers keep no local log. A restarted follower rejoins from LSN 0
+// and the primary bootstraps it from its newest checkpoint image.
+type Follower struct {
+	cfg FollowerConfig
+
+	// mu guards the engine: stream apply and promoted writes take it
+	// exclusively, queries/dumps/stats share it (the same discipline as
+	// SynchronizedDB on the primary).
+	mu  sync.RWMutex
+	eng *engine.Engine
+
+	// smu guards replication status, separate from mu so stats and
+	// read-your-writes waits never queue behind a large apply.
+	smu        sync.Mutex
+	applied    uint64
+	primaryLSN uint64
+	connected  bool
+	promoted   bool
+	appliedCh  chan struct{} // closed on each applied/promoted change
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	connMu sync.Mutex
+	conn   net.Conn // live stream connection, closed by Close/Promote
+}
+
+// NewFollower builds a replica targeting cfg.Primary. Call Run to start
+// the stream loop.
+func NewFollower(cfg FollowerConfig) *Follower {
+	cfg.fill()
+	f := &Follower{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	f.eng = engine.New(f.engineConfig())
+	return f
+}
+
+func (f *Follower) engineConfig() engine.Config {
+	return engine.Config{
+		EnableSelectTriggers: f.cfg.SelectTriggers,
+		MaxRuleTransitions:   f.cfg.MaxRuleTransitions,
+	}
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// Run drives the stream: dial, join, apply until the session drops, back
+// off, rejoin from the last applied LSN. It returns when Close or Promote
+// is called.
+func (f *Follower) Run() {
+	defer close(f.done)
+	backoff := f.cfg.ReconnectMin
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		nc, err := net.DialTimeout("tcp", f.cfg.Primary, f.cfg.DialTimeout)
+		if err == nil {
+			f.setConn(nc)
+			start := f.AppliedLSN()
+			err = f.stream(nc)
+			_ = nc.Close()
+			f.setConn(nil)
+			f.setConnected(false)
+			if f.AppliedLSN() > start {
+				backoff = f.cfg.ReconnectMin // the session made progress
+			}
+		}
+		if err != nil {
+			f.logf("repl: stream to %s: %v", f.cfg.Primary, err)
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > f.cfg.ReconnectMax {
+			backoff = f.cfg.ReconnectMax
+		}
+	}
+}
+
+// stream runs one session: join at the applied LSN, then decode and apply
+// frames until the connection breaks or the primary goes silent.
+func (f *Follower) stream(nc net.Conn) error {
+	from := f.AppliedLSN()
+	if err := nc.SetWriteDeadline(time.Now().Add(f.cfg.StreamTimeout)); err != nil {
+		return err
+	}
+	if err := wire.WriteMessage(nc, wire.MsgReplJoin, &wire.ReplJoinRequest{FromLSN: from}, f.cfg.MaxFrame); err != nil {
+		return fmt.Errorf("join: %w", err)
+	}
+
+	var snap []wal.CkptPart // in-flight checkpoint bootstrap
+	acked := from
+	lastAck := time.Now()
+	sendAck := func(force bool) error {
+		app := f.AppliedLSN()
+		if app == acked && !force {
+			return nil
+		}
+		if !force && time.Since(lastAck) < f.cfg.AckInterval {
+			return nil
+		}
+		if err := nc.SetWriteDeadline(time.Now().Add(f.cfg.StreamTimeout)); err != nil {
+			return err
+		}
+		if err := wire.WriteMessage(nc, wire.MsgReplAck, &wire.ReplAck{LSN: app}, f.cfg.MaxFrame); err != nil {
+			return fmt.Errorf("ack: %w", err)
+		}
+		acked, lastAck = app, time.Now()
+		return nil
+	}
+
+	for {
+		if err := nc.SetReadDeadline(time.Now().Add(f.cfg.StreamTimeout)); err != nil {
+			return err
+		}
+		typ, payload, err := wire.ReadFrame(nc, f.cfg.MaxFrame)
+		if err != nil {
+			return fmt.Errorf("read stream: %w", err)
+		}
+		msg, err := wire.DecodeReplStream(typ, payload)
+		if err != nil {
+			return err
+		}
+		f.setConnected(true)
+		switch m := msg.(type) {
+		case *wire.ErrorResponse:
+			if m.Code == wire.CodeDiverged {
+				// Our state is ahead of this primary's log (e.g. it was
+				// restored from an older backup). Drop everything and
+				// rebuild from its checkpoint on the next join.
+				f.reset()
+				return fmt.Errorf("primary reports divergence (%s); reset for re-bootstrap", m.Message)
+			}
+			return fmt.Errorf("primary refused stream: %s: %s", m.Code, m.Message)
+		case *wire.ReplSnapFrame:
+			snap = append(snap, wal.CkptPart{Kind: m.Kind, Payload: m.Payload})
+			if m.Kind == wal.KindCkptEnd {
+				if err := f.installSnapshot(snap); err != nil {
+					f.reset()
+					return fmt.Errorf("install snapshot: %w", err)
+				}
+				snap = nil
+				if err := sendAck(true); err != nil {
+					return err
+				}
+			}
+		case *wire.ReplRecord:
+			if snap != nil {
+				return fmt.Errorf("record lsn %d arrived inside a snapshot", m.LSN)
+			}
+			if err := f.applyRecord(m); err != nil {
+				return err
+			}
+			if err := sendAck(false); err != nil {
+				return err
+			}
+		case *wire.ReplHeartbeat:
+			f.setPrimaryLSN(m.LSN)
+			if err := sendAck(true); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// installSnapshot replaces the engine with one rebuilt from checkpoint
+// parts, exactly as crash recovery loads a checkpoint image.
+func (f *Follower) installSnapshot(parts []wal.CkptPart) error {
+	ck, err := wal.AssembleCheckpoint(parts)
+	if err != nil {
+		return err
+	}
+	eng := engine.New(f.engineConfig())
+	if err := eng.LoadCheckpoint(ck); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.eng = eng
+	f.mu.Unlock()
+	f.advanceTo(ck.Meta.LSN)
+	f.setPrimaryLSN(ck.Meta.LSN)
+	f.logf("repl: installed checkpoint image at lsn %d", ck.Meta.LSN)
+	return nil
+}
+
+// applyRecord replays one WAL record, enforcing LSN continuity. An apply
+// failure resets the follower: partial application of a composed net
+// effect cannot be reconciled in place, but a checkpoint re-bootstrap
+// always can.
+func (f *Follower) applyRecord(m *wire.ReplRecord) error {
+	want := f.AppliedLSN() + 1
+	if m.LSN != want {
+		return fmt.Errorf("stream gap: got record lsn %d, want %d", m.LSN, want)
+	}
+	rec, err := wal.RawRecord{LSN: m.LSN, Kind: m.Kind, Payload: m.Payload}.Decode()
+	if err != nil {
+		return fmt.Errorf("decode record lsn %d: %w", m.LSN, err)
+	}
+	f.mu.Lock()
+	err = f.eng.ReplayRecord(rec)
+	f.mu.Unlock()
+	if err != nil {
+		f.reset()
+		return fmt.Errorf("apply record lsn %d failed; reset for re-bootstrap: %w", m.LSN, err)
+	}
+	f.advanceTo(m.LSN)
+	f.setPrimaryLSN(m.LSN)
+	return nil
+}
+
+// reset discards all replayed state so the next join starts from LSN 0
+// (checkpoint bootstrap).
+func (f *Follower) reset() {
+	eng := engine.New(f.engineConfig())
+	f.mu.Lock()
+	f.eng = eng
+	f.mu.Unlock()
+	f.smu.Lock()
+	f.applied = 0
+	f.primaryLSN = 0
+	f.smu.Unlock()
+}
+
+func (f *Follower) setConn(nc net.Conn) {
+	f.connMu.Lock()
+	f.conn = nc
+	f.connMu.Unlock()
+}
+
+func (f *Follower) closeConn() {
+	f.connMu.Lock()
+	if f.conn != nil {
+		_ = f.conn.Close()
+	}
+	f.connMu.Unlock()
+}
+
+func (f *Follower) setConnected(v bool) {
+	f.smu.Lock()
+	f.connected = v
+	f.smu.Unlock()
+}
+
+func (f *Follower) setPrimaryLSN(lsn uint64) {
+	f.smu.Lock()
+	if lsn > f.primaryLSN {
+		f.primaryLSN = lsn
+	}
+	f.smu.Unlock()
+}
+
+// advanceTo publishes a new applied LSN and wakes read-your-writes
+// waiters.
+func (f *Follower) advanceTo(lsn uint64) {
+	f.smu.Lock()
+	if lsn > f.applied {
+		f.applied = lsn
+	}
+	if f.appliedCh != nil {
+		close(f.appliedCh)
+		f.appliedCh = nil
+	}
+	f.smu.Unlock()
+}
+
+// AppliedLSN reports the last LSN this follower has applied.
+func (f *Follower) AppliedLSN() uint64 {
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	return f.applied
+}
+
+// CurrentLSN implements the server's LSN-token capability: on a replica
+// it is the applied LSN.
+func (f *Follower) CurrentLSN() uint64 { return f.AppliedLSN() }
+
+// WaitForLSN blocks until the follower has applied lsn, the timeout
+// elapses (LagError), or the node is promoted (a promoted node is the
+// freshest state there is).
+func (f *Follower) WaitForLSN(lsn uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		f.smu.Lock()
+		if f.promoted || f.applied >= lsn {
+			f.smu.Unlock()
+			return nil
+		}
+		have := f.applied
+		if f.appliedCh == nil {
+			f.appliedCh = make(chan struct{})
+		}
+		ch := f.appliedCh
+		f.smu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return &LagError{Need: lsn, Have: have}
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// Promoted reports whether this node has been promoted to accept writes.
+func (f *Follower) Promoted() bool {
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	return f.promoted
+}
+
+// Promote detaches the node from the primary and makes it writable. The
+// promoted node runs in-memory from its applied state (rules re-enabled
+// for new work); it keeps no WAL, so it cannot itself serve replication —
+// promotion is a failover stopgap, not a durable primary.
+func (f *Follower) Promote() error {
+	f.smu.Lock()
+	already := f.promoted
+	f.promoted = true
+	if f.appliedCh != nil {
+		close(f.appliedCh) // wake read-your-writes waiters
+		f.appliedCh = nil
+	}
+	f.smu.Unlock()
+	if already {
+		return nil
+	}
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.closeConn()
+	f.logf("repl: promoted at lsn %d; stream to %s stopped", f.AppliedLSN(), f.cfg.Primary)
+	return nil
+}
+
+// Close stops the stream loop and waits for it to exit.
+func (f *Follower) Close() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.closeConn()
+	<-f.done
+}
+
+// --- server backend ---
+
+// Exec rejects writes until the node is promoted; after promotion it
+// executes the script with full rule processing, like a primary.
+func (f *Follower) Exec(src string) (*sopr.Result, error) {
+	if !f.Promoted() {
+		return nil, ErrReadOnly
+	}
+	f.mu.Lock()
+	txn, err := f.eng.Exec(src)
+	f.mu.Unlock()
+	// Keep the logical clock moving: each write advances the promoted
+	// node's LSN so read-your-writes tokens issued here are strictly newer
+	// than anything the old primary's other replicas have applied — a
+	// promoted node ships no WAL, so those replicas are permanently stale
+	// and must answer such tokens with CodeLagging, not old data.
+	f.advanceTo(f.AppliedLSN() + 1)
+	return resultFromTxn(txn), wrapParse(err)
+}
+
+// Query runs a read-only query against the replayed state.
+func (f *Follower) Query(src string) (*sopr.Rows, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	res, err := f.eng.QueryString(src)
+	if err != nil {
+		return nil, wrapParse(err)
+	}
+	return rowsFromExec(res), nil
+}
+
+// Dump writes the replayed state as an executable script.
+func (f *Follower) Dump(w io.Writer) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.eng.Dump(w)
+}
+
+// Stats reports engine counters for the replayed state.
+func (f *Follower) Stats() sopr.Stats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return sopr.Stats(f.eng.Stats())
+}
+
+// ReplStats reports the node's replication position and lag.
+func (f *Follower) ReplStats() *wire.ReplStats {
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	st := &wire.ReplStats{
+		Role:       "replica",
+		LSN:        f.applied,
+		PrimaryLSN: f.primaryLSN,
+		Connected:  f.connected,
+		Promoted:   f.promoted,
+	}
+	if f.primaryLSN > f.applied {
+		st.Lag = int64(f.primaryLSN - f.applied)
+	}
+	if f.promoted {
+		st.Role = "primary"
+	}
+	return st
+}

@@ -1,0 +1,97 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"sopr/internal/wire"
+)
+
+// TestApplyRecordRejectsGaps: a record whose LSN is not exactly
+// applied+1 means the stream skipped or repeated something — the
+// follower must refuse it rather than apply out of order.
+func TestApplyRecordRejectsGaps(t *testing.T) {
+	f := NewFollower(FollowerConfig{Primary: "unused:0"})
+	rec := func(lsn uint64) *wire.ReplRecord {
+		payload, _ := json.Marshal(map[string]any{"last_handle": lsn})
+		return &wire.ReplRecord{LSN: lsn, Kind: 1, Payload: payload}
+	}
+	if err := f.applyRecord(rec(3)); err == nil {
+		t.Fatal("gap (first record lsn 3, want 1) accepted")
+	}
+	if err := f.applyRecord(rec(1)); err != nil {
+		t.Fatalf("in-order record rejected: %v", err)
+	}
+	if err := f.applyRecord(rec(1)); err == nil {
+		t.Fatal("repeated lsn 1 accepted")
+	}
+	if got := f.AppliedLSN(); got != 1 {
+		t.Fatalf("applied = %d, want 1", got)
+	}
+}
+
+// TestApplyFailureResets: a record that decodes but cannot be applied
+// leaves the follower reset to lsn 0, forcing a checkpoint re-bootstrap
+// instead of serving half-applied state.
+func TestApplyFailureResets(t *testing.T) {
+	f := NewFollower(FollowerConfig{Primary: "unused:0"})
+	// A DDL record whose script is garbage fails replay.
+	payload, _ := json.Marshal(map[string]any{"sql": "definitely not sql ;"})
+	if err := f.applyRecord(&wire.ReplRecord{LSN: 1, Kind: 2, Payload: payload}); err == nil {
+		t.Fatal("unreplayable record accepted")
+	}
+	if got := f.AppliedLSN(); got != 0 {
+		t.Fatalf("applied = %d after failed apply, want 0 (reset)", got)
+	}
+}
+
+func TestWaitForLSN(t *testing.T) {
+	f := NewFollower(FollowerConfig{Primary: "unused:0"})
+	// Timeout path: the typed lag error carries both positions.
+	err := f.WaitForLSN(5, 20*time.Millisecond)
+	var le *LagError
+	if !errors.As(err, &le) || le.Need != 5 || le.Have != 0 {
+		t.Fatalf("WaitForLSN = %v, want LagError{Need:5, Have:0}", err)
+	}
+	// Wake path: an advance past the floor releases the waiter.
+	done := make(chan error, 1)
+	go func() { done <- f.WaitForLSN(2, 5*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	f.advanceTo(2)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitForLSN after advance: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitForLSN never woke after advance")
+	}
+	// Promotion path: a promoted node satisfies any floor immediately.
+	if err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WaitForLSN(1_000_000, 10*time.Millisecond); err != nil {
+		t.Fatalf("WaitForLSN on promoted node = %v, want nil", err)
+	}
+}
+
+func TestExecReadOnlyUntilPromoted(t *testing.T) {
+	f := NewFollower(FollowerConfig{Primary: "unused:0"})
+	if _, err := f.Exec(`create table t (a int);`); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Exec before promotion = %v, want ErrReadOnly", err)
+	}
+	if err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Promoted() {
+		t.Fatal("Promoted() false after Promote")
+	}
+	if _, err := f.Exec(`create table t (a int);`); err != nil {
+		t.Fatalf("Exec after promotion: %v", err)
+	}
+	if st := f.ReplStats(); st.Role != "primary" || !st.Promoted {
+		t.Fatalf("promoted stats = %+v", st)
+	}
+}

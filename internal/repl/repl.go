@@ -1,0 +1,102 @@
+// Package repl implements WAL-shipping streaming replication: one durable
+// primary ships its write-ahead log to any number of in-memory read
+// replicas over the wire transport.
+//
+// The design leans entirely on the durability layer's determinism argument
+// (paper Definition 2.1, Section 4): the log records the composed net
+// effect of each committed transaction, and replaying net effects with
+// rule processing disabled cannot diverge no matter how rule selection
+// would have gone. A replica is therefore just a process that runs crash
+// recovery forever — it bootstraps from the newest checkpoint image,
+// applies the record stream in LSN order with rules disabled, and serves
+// queries from the resulting state. The primary keeps the paper's single
+// write stream (Section 2.1); replicas multiply read capacity.
+//
+// Source is the primary side: it serves stream sessions from an open
+// wal.Log, pinning WAL retention at the slowest connected follower so
+// checkpoint pruning never deletes a segment a lagging stream still
+// needs. Follower is the replica side: a reconnecting apply loop plus the
+// read-only server backend (Exec is rejected with ErrReadOnly until the
+// follower is promoted).
+package repl
+
+import (
+	"errors"
+	"fmt"
+
+	"sopr"
+	"sopr/internal/engine"
+	"sopr/internal/exec"
+	"sopr/internal/sqlparse"
+	"sopr/internal/value"
+)
+
+// ErrReadOnly rejects writes on a replica. The server maps it to the wire
+// protocol's CodeReadOnly so clients can route the write to the primary.
+var ErrReadOnly = errors.New("repl: replica is read-only; writes go to the primary")
+
+// LagError reports that a read-your-writes wait timed out: the replica
+// had applied Have when the caller needed Need. The server maps it to
+// CodeLagging; clients retry on a less-lagged endpoint or the primary.
+type LagError struct {
+	Need, Have uint64
+}
+
+func (e *LagError) Error() string {
+	return fmt.Sprintf("repl: replica at lsn %d has not reached lsn %d", e.Have, e.Need)
+}
+
+// rowsFromExec converts an executor result into the public Rows type, the
+// same cell mapping the sopr package applies to local query results.
+func rowsFromExec(res *exec.Result) *sopr.Rows {
+	if res == nil {
+		return nil
+	}
+	data := make([][]any, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		vals := make([]any, len(row))
+		for i, v := range row {
+			switch v.Kind() {
+			case value.KindNull:
+				vals[i] = nil
+			case value.KindInt:
+				vals[i] = v.Int()
+			case value.KindFloat:
+				vals[i] = v.Float()
+			case value.KindString:
+				vals[i] = v.Str()
+			case value.KindBool:
+				vals[i] = v.Bool()
+			}
+		}
+		data = append(data, vals)
+	}
+	return sopr.NewRows(res.Columns, data)
+}
+
+// resultFromTxn converts an engine transaction result into the public
+// Result type (used by a promoted follower's write path).
+func resultFromTxn(txn *engine.TxnResult) *sopr.Result {
+	if txn == nil {
+		return nil
+	}
+	res := &sopr.Result{RolledBack: txn.RolledBack, RollbackRule: txn.RollbackRule}
+	for _, f := range txn.Firings {
+		res.Firings = append(res.Firings, sopr.Firing{Rule: f.Rule, Effect: f.Effect})
+	}
+	for _, q := range txn.Queries {
+		res.Results = append(res.Results, rowsFromExec(q))
+	}
+	return res
+}
+
+// wrapParse converts internal syntax errors to the public ParseError, as
+// the sopr package does for local execution, so the server reports the
+// offending line for scripts rejected by a replica.
+func wrapParse(err error) error {
+	var se *sqlparse.SyntaxError
+	if errors.As(err, &se) {
+		return &sopr.ParseError{Line: se.Line, Col: se.Col, Msg: se.Msg}
+	}
+	return err
+}

@@ -1,0 +1,245 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sopr/internal/wal"
+	"sopr/internal/wire"
+)
+
+// SourceConfig tunes the primary side of replication.
+type SourceConfig struct {
+	// Heartbeat is how often an idle stream sends MsgReplHeartbeat
+	// (default 1s). Followers size their read deadlines from it.
+	Heartbeat time.Duration
+	// WriteTimeout bounds each stream frame write (default 30s).
+	WriteTimeout time.Duration
+	// AckTimeout bounds the silence tolerated on the upstream ack channel
+	// (default 10x Heartbeat, at least 30s). A follower that stops acking
+	// is disconnected so it cannot pin WAL retention forever.
+	AckTimeout time.Duration
+	// BatchBytes caps the payload bytes read per ReadRaw call
+	// (default 1 MiB).
+	BatchBytes int
+	// Logf receives stream-session log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *SourceConfig) fill() {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 10 * c.Heartbeat
+		if c.AckTimeout < 30*time.Second {
+			c.AckTimeout = 30 * time.Second
+		}
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 1 << 20
+	}
+}
+
+// Source serves WAL stream sessions from a primary's open log. One Source
+// is shared by every follower connection; each ServeConn call runs one
+// session, holding a retention Pin that tracks the follower's
+// acknowledged position so checkpoint pruning never deletes a segment the
+// stream still needs (the log keeps every record at or after the minimum
+// pin across sessions).
+type Source struct {
+	log *wal.Log
+	cfg SourceConfig
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+}
+
+// session is the per-follower accounting visible in Stats.
+type session struct {
+	addr  string
+	acked uint64 // last LSN the follower acknowledged
+}
+
+// NewSource wraps an open WAL log for stream serving.
+func NewSource(log *wal.Log, cfg SourceConfig) *Source {
+	cfg.fill()
+	return &Source{log: log, cfg: cfg, sessions: make(map[*session]struct{})}
+}
+
+func (s *Source) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Stats reports the primary's replication state: its durable LSN, the
+// number of connected stream sessions, and the minimum acknowledged LSN
+// across them (the current retention horizon).
+func (s *Source) Stats() *wire.ReplStats {
+	st := &wire.ReplStats{Role: "primary", LSN: s.log.NextLSN() - 1}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.Followers = len(s.sessions)
+	first := true
+	for sess := range s.sessions {
+		if first || sess.acked < st.MinFollowerLSN {
+			st.MinFollowerLSN = sess.acked
+			first = false
+		}
+	}
+	return st
+}
+
+// write sends one stream frame under the write deadline.
+func (s *Source) write(nc net.Conn, typ byte, v any) error {
+	if err := nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+		return err
+	}
+	return wire.WriteMessage(nc, typ, v, wire.ReplMaxFrame)
+}
+
+func (s *Source) writeError(nc net.Conn, code, format string, args ...any) error {
+	return s.write(nc, wire.MsgError, &wire.ErrorResponse{Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// ServeConn runs one stream session on nc after a MsgReplJoin whose
+// FromLSN was from (the last LSN the follower applied; 0 for a fresh
+// replica). It sends a checkpoint bootstrap when from+1 was pruned, then
+// streams records in LSN order with heartbeats when idle, advancing the
+// session's retention pin as acknowledgements arrive. It returns when the
+// connection fails or the follower goes silent past AckTimeout; the
+// caller closes nc.
+func (s *Source) ServeConn(nc net.Conn, from uint64) error {
+	last := s.log.NextLSN() - 1
+	if from > last {
+		// The follower applied records this log never wrote. Streaming from
+		// here could silently fork history, so refuse loudly; the follower
+		// resets and rejoins from zero.
+		_ = s.writeError(nc, wire.CodeDiverged,
+			"follower at lsn %d is ahead of the log (last lsn %d)", from, last)
+		return fmt.Errorf("follower %s at lsn %d ahead of log (last %d)", nc.RemoteAddr(), from, last)
+	}
+
+	next := from + 1
+	// Pin before deciding how to start: from this point pruning cannot pass
+	// us, so the bootstrap decision below cannot be invalidated by a
+	// concurrent checkpoint.
+	pin := s.log.NewPin(next)
+	defer pin.Release()
+
+	if next < s.log.OldestLSN() {
+		parts, ckptLSN, ok, err := s.log.NewestCheckpointRaw()
+		if err != nil || !ok {
+			// Records before the oldest segment are gone and no checkpoint
+			// covers them: nothing can rebuild this follower.
+			_ = s.writeError(nc, wire.CodeInternal, "resume lsn %d pruned and no checkpoint available", next)
+			return fmt.Errorf("follower %s: resume lsn %d pruned, no checkpoint (err=%v)", nc.RemoteAddr(), next, err)
+		}
+		for _, part := range parts {
+			if err := s.write(nc, wire.MsgReplSnapFrame, &wire.ReplSnapFrame{Kind: part.Kind, Payload: part.Payload}); err != nil {
+				return fmt.Errorf("send snapshot: %w", err)
+			}
+		}
+		next = ckptLSN + 1
+		pin.Advance(next)
+		s.logf("repl: %s bootstrapped from checkpoint lsn %d", nc.RemoteAddr(), ckptLSN)
+	}
+
+	sess := &session{addr: nc.RemoteAddr().String(), acked: next - 1}
+	s.mu.Lock()
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+	}()
+
+	// The upstream direction runs in its own goroutine: acks advance the
+	// retention pin; silence past AckTimeout or any read error ends the
+	// session (the caller then closes nc, unblocking our writes).
+	ackErr := make(chan error, 1)
+	go s.readAcks(nc, sess, pin, ackErr)
+
+	for {
+		select {
+		case err := <-ackErr:
+			return err
+		default:
+		}
+		recs, err := s.log.ReadRaw(next, s.cfg.BatchBytes)
+		if err != nil {
+			// ErrCompacted cannot happen while our pin holds next; anything
+			// here is a real log failure.
+			_ = s.writeError(nc, wire.CodeInternal, "log read failed: %v", err)
+			return fmt.Errorf("read log at lsn %d: %w", next, err)
+		}
+		if len(recs) > 0 {
+			for _, r := range recs {
+				msg := &wire.ReplRecord{LSN: r.LSN, Kind: r.Kind, Payload: r.Payload}
+				if err := s.write(nc, wire.MsgReplRecord, msg); err != nil {
+					return fmt.Errorf("send record lsn %d: %w", r.LSN, err)
+				}
+			}
+			next = recs[len(recs)-1].LSN + 1
+			continue
+		}
+		// Caught up: park until the next append, but re-check first — a
+		// record may have landed between ReadRaw and Appended.
+		ch := s.log.Appended()
+		if s.log.NextLSN() > next {
+			continue
+		}
+		select {
+		case <-ch:
+		case <-time.After(s.cfg.Heartbeat):
+			if err := s.write(nc, wire.MsgReplHeartbeat, &wire.ReplHeartbeat{LSN: next - 1}); err != nil {
+				return fmt.Errorf("send heartbeat: %w", err)
+			}
+		case err := <-ackErr:
+			return err
+		}
+	}
+}
+
+// readAcks consumes the follower's upstream frames, advancing its
+// retention pin and lag accounting. It reports on ackErr exactly once.
+func (s *Source) readAcks(nc net.Conn, sess *session, pin *wal.Pin, ackErr chan<- error) {
+	for {
+		if err := nc.SetReadDeadline(time.Now().Add(s.cfg.AckTimeout)); err != nil {
+			ackErr <- err
+			return
+		}
+		typ, payload, err := wire.ReadFrame(nc, wire.ReplMaxFrame)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				err = fmt.Errorf("follower silent for %v (no acks): %w", s.cfg.AckTimeout, err)
+			}
+			ackErr <- err
+			return
+		}
+		if typ != wire.MsgReplAck {
+			ackErr <- fmt.Errorf("unexpected %s frame on ack channel", wire.TypeName(typ))
+			return
+		}
+		var ack wire.ReplAck
+		if err := wire.Unmarshal(payload, &ack); err != nil {
+			ackErr <- err
+			return
+		}
+		s.mu.Lock()
+		if ack.LSN > sess.acked {
+			sess.acked = ack.LSN
+		}
+		s.mu.Unlock()
+		pin.Advance(ack.LSN + 1)
+	}
+}

@@ -30,8 +30,46 @@ import (
 	"time"
 
 	"sopr"
+	"sopr/internal/repl"
 	"sopr/internal/wire"
 )
+
+// DB is the backend a Server serves from: a primary's SynchronizedDB or a
+// replica's repl.Follower. Exec lands on the backend's exclusive write
+// path (one operation-block stream, per the paper's Section 2.1); Query,
+// Dump, and Stats are read-only.
+type DB interface {
+	Exec(src string) (*sopr.Result, error)
+	Query(src string) (*sopr.Rows, error)
+	Dump(w io.Writer) error
+	Stats() sopr.Stats
+}
+
+// Optional backend capabilities, discovered by interface assertion:
+//
+// CurrentLSNer lets the server attach the durable LSN to exec responses —
+// the read-your-writes token clients carry to replica reads.
+type CurrentLSNer interface {
+	CurrentLSN() uint64
+}
+
+// LSNWaiter lets a replica backend hold a query until it has applied the
+// client's MinLSN (or report repl.LagError when it cannot in time).
+type LSNWaiter interface {
+	WaitForLSN(lsn uint64, timeout time.Duration) error
+}
+
+// Promoter lets a replica backend be promoted to accept writes
+// (MsgReplPromote, sent by clients failing over from a dead primary).
+type Promoter interface {
+	Promote() error
+}
+
+// ReplStatser lets a replica backend report its replication position;
+// primaries report theirs from Config.Repl instead.
+type ReplStatser interface {
+	ReplStats() *wire.ReplStats
+}
 
 // Config tunes a Server. Zero values select the defaults.
 type Config struct {
@@ -43,6 +81,12 @@ type Config struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds writing one response (default 30s).
 	WriteTimeout time.Duration
+	// Repl, when set, serves WAL stream sessions (MsgReplJoin) from this
+	// source — set on a durable primary, nil elsewhere.
+	Repl *repl.Source
+	// ReplWaitTimeout bounds how long a replica holds a query waiting for
+	// the client's MinLSN before answering CodeLagging (default 5s).
+	ReplWaitTimeout time.Duration
 	// Logf, when set, receives one line per connection-level event.
 	Logf func(format string, args ...any)
 }
@@ -50,6 +94,7 @@ type Config struct {
 const (
 	defaultReadTimeout  = 5 * time.Minute
 	defaultWriteTimeout = 30 * time.Second
+	defaultReplWait     = 5 * time.Second
 )
 
 // ErrServerClosed is returned by Serve after Shutdown completes.
@@ -57,7 +102,7 @@ var ErrServerClosed = errors.New("server: closed")
 
 // Server serves the wire protocol from one shared database.
 type Server struct {
-	db  *sopr.SynchronizedDB
+	db  DB
 	cfg Config
 
 	mu       sync.Mutex
@@ -89,7 +134,7 @@ type conn struct {
 
 // New builds a Server over a shared database. The database may be used by
 // other goroutines too; the server adds no ordering beyond the wrapper's.
-func New(db *sopr.SynchronizedDB, cfg Config) *Server {
+func New(db DB, cfg Config) *Server {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = wire.DefaultMaxFrame
 	}
@@ -98,6 +143,9 @@ func New(db *sopr.SynchronizedDB, cfg Config) *Server {
 	}
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = defaultWriteTimeout
+	}
+	if cfg.ReplWaitTimeout <= 0 {
+		cfg.ReplWaitTimeout = defaultReplWait
 	}
 	return &Server{db: db, cfg: cfg, conns: map[*conn]struct{}{}}
 }
@@ -267,6 +315,13 @@ func (s *Server) serveConn(c *conn) {
 			}
 			return
 		}
+		if typ == wire.MsgReplJoin {
+			// A stream session is long-lived and deliberately never marked
+			// busy: Shutdown cuts stream connections instead of draining
+			// them, and the follower reconnects to the next primary.
+			s.handleReplJoin(c, payload)
+			return
+		}
 		if !s.beginRequest(c) {
 			return // shutdown cut the session between frames
 		}
@@ -310,6 +365,9 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 		if err != nil {
 			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeInternal, Message: err.Error()})
 		}
+		if ln, ok := s.db.(CurrentLSNer); ok {
+			resp.LSN = ln.CurrentLSN()
+		}
 		return s.write(c, wire.MsgExecResult, resp)
 
 	case wire.MsgQuery:
@@ -318,6 +376,16 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 		if err := wire.Unmarshal(payload, &req); err != nil {
 			s.badFrames.Add(1)
 			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeBadFrame, Message: err.Error()})
+		}
+		if req.MinLSN > 0 {
+			// Read-your-writes: hold the read until the backend has applied
+			// the client's token. Backends without the capability (a primary)
+			// serve current state — the primary is the source of truth.
+			if w, ok := s.db.(LSNWaiter); ok {
+				if err := w.WaitForLSN(req.MinLSN, s.cfg.ReplWaitTimeout); err != nil {
+					return s.writeError(c, execError(err))
+				}
+			}
 		}
 		rows, err := s.db.Query(req.Src)
 		if err != nil {
@@ -337,10 +405,31 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 		}
 		return s.write(c, wire.MsgDumpResult, wire.DumpResponse{Script: b.String()})
 
+	case wire.MsgReplPromote:
+		p, ok := s.db.(Promoter)
+		if !ok {
+			return s.writeError(c, wire.ErrorResponse{
+				Code:    wire.CodeExec,
+				Message: "not a replica: this node cannot be promoted",
+			})
+		}
+		if err := p.Promote(); err != nil {
+			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeInternal, Message: err.Error()})
+		}
+		s.logf("conn %v: promoted to accept writes", c.nc.RemoteAddr())
+		return s.write(c, wire.MsgReplPromoted, nil)
+
 	case wire.MsgStats:
 		s.statsReqs.Add(1)
 		es := s.db.Stats()
+		var rs *wire.ReplStats
+		if r, ok := s.db.(ReplStatser); ok {
+			rs = r.ReplStats()
+		} else if s.cfg.Repl != nil {
+			rs = s.cfg.Repl.Stats()
+		}
 		return s.write(c, wire.MsgStatsResult, wire.StatsResponse{
+			Repl: rs,
 			Engine: wire.EngineStats{
 				Committed:           es.Committed,
 				RolledBack:          es.RolledBack,
@@ -366,11 +455,47 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 	}
 }
 
+// handleReplJoin turns the connection into a WAL stream session. It
+// returns when the stream ends; the caller closes the connection.
+func (s *Server) handleReplJoin(c *conn, payload []byte) {
+	peer := c.nc.RemoteAddr()
+	var req wire.ReplJoinRequest
+	if err := wire.Unmarshal(payload, &req); err != nil {
+		s.badFrames.Add(1)
+		s.writeError(c, wire.ErrorResponse{Code: wire.CodeBadFrame, Message: err.Error()})
+		return
+	}
+	if s.cfg.Repl == nil {
+		s.writeError(c, wire.ErrorResponse{
+			Code:    wire.CodeNotPrimary,
+			Message: "this server does not ship a WAL (in-memory, or itself a replica)",
+		})
+		return
+	}
+	// The stream manages its own deadlines from here; clear the
+	// request-cycle read deadline set by serveConn.
+	if err := c.nc.SetReadDeadline(time.Time{}); err != nil {
+		s.logf("conn %v: clear read deadline: %v", peer, err)
+		return
+	}
+	s.logf("conn %v: repl stream join from lsn %d", peer, req.FromLSN)
+	if err := s.cfg.Repl.ServeConn(c.nc, req.FromLSN); err != nil && !errors.Is(err, net.ErrClosed) {
+		s.logf("conn %v: repl stream end: %v", peer, err)
+	}
+}
+
 // execError classifies a script failure, attaching the line for parse errors.
 func execError(err error) wire.ErrorResponse {
 	var pe *sopr.ParseError
 	if errors.As(err, &pe) {
 		return wire.ErrorResponse{Code: wire.CodeParse, Message: err.Error(), Line: pe.Line}
+	}
+	if errors.Is(err, repl.ErrReadOnly) {
+		return wire.ErrorResponse{Code: wire.CodeReadOnly, Message: err.Error()}
+	}
+	var le *repl.LagError
+	if errors.As(err, &le) {
+		return wire.ErrorResponse{Code: wire.CodeLagging, Message: err.Error()}
 	}
 	return wire.ErrorResponse{Code: wire.CodeExec, Message: err.Error()}
 }

@@ -13,6 +13,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"io"
 )
@@ -78,10 +79,9 @@ func writeCheckpoint(fs FS, path string, lsn uint64, build func(*CheckpointWrite
 	})
 }
 
-// loadCheckpoint reads and validates one checkpoint file. Any framing
-// error, decode error, missing end marker, or out-of-order section makes
-// the whole file unusable — the caller falls back to an older checkpoint.
-func loadCheckpoint(fs FS, path string) (*Checkpoint, error) {
+// readCheckpointParts reads one checkpoint file into raw framed parts. Any
+// framing corruption makes the whole file unusable.
+func readCheckpointParts(fs FS, path string) ([]CkptPart, error) {
 	data, err := readAll(fs, path)
 	if err != nil {
 		return nil, err
@@ -90,54 +90,74 @@ func loadCheckpoint(fs FS, path string) (*Checkpoint, error) {
 	if validLen != len(data) {
 		return nil, fmt.Errorf("wal: checkpoint %s corrupt at offset %d", path, validLen)
 	}
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("wal: checkpoint %s is empty", path)
+	parts := make([]CkptPart, len(recs))
+	for i, raw := range recs {
+		parts[i] = CkptPart{Kind: raw.kind, Payload: raw.payload}
+	}
+	return parts, nil
+}
+
+// loadCheckpoint reads and validates one checkpoint file. Any framing
+// error, decode error, missing end marker, or out-of-order section makes
+// the whole file unusable — the caller falls back to an older checkpoint.
+func loadCheckpoint(fs FS, path string) (*Checkpoint, error) {
+	parts, err := readCheckpointParts(fs, path)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := AssembleCheckpoint(parts)
+	if err != nil {
+		return nil, fmt.Errorf("wal: checkpoint %s %w", path, err)
+	}
+	return ck, nil
+}
+
+// AssembleCheckpoint reconstructs a checkpoint image from its framed
+// parts, validating section order and completeness. The parts may come
+// from a checkpoint file (loadCheckpoint) or from a replication bootstrap
+// stream — the wire ships exactly the parts a file holds.
+func AssembleCheckpoint(parts []CkptPart) (*Checkpoint, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("is empty")
 	}
 	ck := &Checkpoint{}
 	seenMeta, seenEnd := false, false
-	for i, raw := range recs {
+	for i, part := range parts {
 		if seenEnd {
-			return nil, fmt.Errorf("wal: checkpoint %s has records after the end marker", path)
+			return nil, errors.New("has records after the end marker")
 		}
-		switch raw.kind {
+		switch part.Kind {
 		case KindCkptMeta:
 			if i != 0 {
-				return nil, fmt.Errorf("wal: checkpoint %s meta record out of order", path)
+				return nil, errors.New("meta record out of order")
 			}
-			if err := unmarshalStrict(raw.payload, &ck.Meta, path); err != nil {
+			if err := unmarshalJSON(part.Payload, &ck.Meta); err != nil {
 				return nil, err
 			}
 			seenMeta = true
 		case KindCkptRows:
 			var rows CkptRows
-			if err := unmarshalStrict(raw.payload, &rows, path); err != nil {
+			if err := unmarshalJSON(part.Payload, &rows); err != nil {
 				return nil, err
 			}
 			ck.Tables = append(ck.Tables, rows)
 		case KindCkptRules:
 			var rules CkptRules
-			if err := unmarshalStrict(raw.payload, &rules, path); err != nil {
+			if err := unmarshalJSON(part.Payload, &rules); err != nil {
 				return nil, err
 			}
 			ck.Rules = rules.SQL
 		case KindCkptEnd:
 			seenEnd = true
 		default:
-			return nil, fmt.Errorf("wal: checkpoint %s has unexpected record kind %d", path, raw.kind)
+			return nil, fmt.Errorf("has unexpected record kind %d", part.Kind)
 		}
 	}
 	if !seenMeta {
-		return nil, fmt.Errorf("wal: checkpoint %s has no meta record", path)
+		return nil, errors.New("has no meta record")
 	}
 	if !seenEnd {
-		return nil, fmt.Errorf("wal: checkpoint %s has no end marker (incomplete write)", path)
+		return nil, errors.New("has no end marker (incomplete write)")
 	}
 	return ck, nil
-}
-
-func unmarshalStrict(payload []byte, v any, path string) error {
-	if err := unmarshalJSON(payload, v); err != nil {
-		return fmt.Errorf("wal: checkpoint %s: %w", path, err)
-	}
-	return nil
 }

@@ -136,6 +136,12 @@ type Log struct {
 
 	syncStop chan struct{}
 	syncDone chan struct{}
+
+	// pins are retention horizons held by stream readers (see tail.go):
+	// prune keeps every record at or after the minimum pinned LSN.
+	pins map[*Pin]uint64
+	// appendCh wakes tailing readers parked in Appended.
+	appendCh chan struct{}
 }
 
 func segName(firstLSN uint64) string {
@@ -430,6 +436,7 @@ func (l *Log) append(kind byte, payload []byte) error {
 	}
 	l.nextLSN++
 	l.stats.Appends++
+	l.signalAppend()
 	return nil
 }
 
@@ -554,10 +561,21 @@ func (l *Log) WriteCheckpoint(build func(*CheckpointWriter) error) error {
 }
 
 // prune removes segments fully covered by the checkpoint at lsn and all
-// but the newest KeepCheckpoints checkpoints. Pruning is best-effort:
+// but the newest KeepCheckpoints checkpoints. Segments holding records a
+// stream reader still needs survive regardless: the effective horizon is
+// capped just below the minimum pinned LSN, so a lagging follower's resume
+// point is never deleted out from under it. Pruning is best-effort:
 // leftovers cost disk, not correctness, so errors are not fatal. Callers
 // hold l.mu.
 func (l *Log) prune(lsn uint64) {
+	if min, ok := l.minPinnedLSN(); ok {
+		if min == 0 {
+			return // a zero pin retains the whole log
+		}
+		if min-1 < lsn {
+			lsn = min - 1
+		}
+	}
 	names, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return

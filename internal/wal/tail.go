@@ -1,0 +1,245 @@
+// Log tailing: the read side of WAL-shipping replication. A primary's
+// stream sessions read committed records back out of the segment files
+// (ReadRaw), wait for new appends (Appended), and pin a retention horizon
+// (Pin) so that checkpoint pruning cannot delete segments a lagging
+// follower still needs. Checkpoint images double as replica bootstrap
+// state: NewestCheckpointRaw returns the newest loadable image as raw
+// framed parts that can be shipped over the wire untouched and reassembled
+// with AssembleCheckpoint on the other side.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ErrCompacted reports that the requested LSN is older than the oldest
+// surviving log segment: the records were pruned against a checkpoint. A
+// stream reader that hits it must re-bootstrap from a checkpoint image.
+var ErrCompacted = errors.New("wal: requested lsn was pruned; bootstrap from a checkpoint")
+
+// RawRecord is one framed log record as stored: its LSN, kind byte, and
+// still-encoded JSON payload. Replication ships RawRecords verbatim — the
+// bytes that recovery would replay are exactly the bytes a follower
+// applies — and Decode turns one back into a structured Record.
+type RawRecord struct {
+	LSN     uint64
+	Kind    byte
+	Payload []byte
+}
+
+// Decode unmarshals the raw payload into a structured Record.
+func (r RawRecord) Decode() (Record, error) {
+	return decodeRecord(rawRecord{kind: r.Kind, lsn: r.LSN, payload: r.Payload})
+}
+
+// Pin holds a retention horizon on the log: prune keeps every record with
+// LSN >= the pinned value, no matter what checkpoints cover. A stream
+// session pins the next LSN its follower needs and advances the pin as
+// acknowledgements arrive; Release drops the horizon when the follower
+// disconnects.
+type Pin struct {
+	l *Log
+}
+
+// NewPin registers a retention horizon at lsn (the first LSN that must
+// survive pruning). Pin with lsn 0 retains everything.
+func (l *Log) NewPin(lsn uint64) *Pin {
+	p := &Pin{l: l}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.pins == nil {
+		l.pins = make(map[*Pin]uint64)
+	}
+	l.pins[p] = lsn
+	return p
+}
+
+// Advance moves the pin's horizon forward (a retreating advance is
+// ignored: retention never needs to grow backwards).
+func (p *Pin) Advance(lsn uint64) {
+	p.l.mu.Lock()
+	defer p.l.mu.Unlock()
+	if cur, ok := p.l.pins[p]; ok && lsn > cur {
+		p.l.pins[p] = lsn
+	}
+}
+
+// Release drops the pin; the next checkpoint may prune past it.
+func (p *Pin) Release() {
+	p.l.mu.Lock()
+	defer p.l.mu.Unlock()
+	delete(p.l.pins, p)
+}
+
+// minPinnedLSN reports the lowest pinned horizon, or 0 when nothing is
+// pinned. Callers hold l.mu.
+func (l *Log) minPinnedLSN() (uint64, bool) {
+	var min uint64
+	found := false
+	for _, lsn := range l.pins {
+		if !found || lsn < min {
+			min, found = lsn, true
+		}
+	}
+	return min, found
+}
+
+// Appended returns a channel that is closed by the next successful append.
+// A tailing reader checks NextLSN, reads what exists, and parks on this
+// channel; spurious wakeups are fine (the reader re-checks).
+func (l *Log) Appended() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.appendCh == nil {
+		l.appendCh = make(chan struct{})
+	}
+	return l.appendCh
+}
+
+// signalAppend wakes Appended waiters. Callers hold l.mu.
+func (l *Log) signalAppend() {
+	if l.appendCh != nil {
+		close(l.appendCh)
+		l.appendCh = nil
+	}
+}
+
+// OldestLSN reports the first LSN still present in log segments. With no
+// segments at all it equals NextLSN (nothing is available, nothing was
+// lost either).
+func (l *Log) OldestLSN() uint64 {
+	l.mu.Lock()
+	next := l.nextLSN
+	l.mu.Unlock()
+	starts, err := l.segmentStarts()
+	if err != nil || len(starts) == 0 {
+		return next
+	}
+	return starts[0]
+}
+
+// segmentStarts lists the on-disk segment first-LSNs in ascending order.
+func (l *Log) segmentStarts() ([]uint64, error) {
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var starts []uint64
+	for _, name := range names {
+		if n, ok := parseSeq(name, segPrefix, segSuffix); ok {
+			starts = append(starts, n)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return starts, nil
+}
+
+// ReadRaw returns committed records starting at LSN from, in order,
+// stopping once maxBytes of payload have been collected (at least one
+// record is returned when any is available). An empty result means from is
+// past the end of the log — the caller waits on Appended. ErrCompacted
+// (wrapped) means from predates the oldest surviving segment.
+//
+// ReadRaw is safe concurrently with appends: it snapshots NextLSN first
+// and never returns a record at or beyond that point, and every returned
+// record was fully written (and CRC-verified) before the snapshot was
+// taken. Callers that must not race pruning hold a Pin at or below from.
+func (l *Log) ReadRaw(from uint64, maxBytes int) ([]RawRecord, error) {
+	if from == 0 {
+		return nil, fmt.Errorf("wal: read from lsn 0 (lsns start at 1)")
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	l.mu.Lock()
+	limit := l.nextLSN // exclusive: records >= limit may still be in flight
+	l.mu.Unlock()
+	if from >= limit {
+		return nil, nil
+	}
+	starts, err := l.segmentStarts()
+	if err != nil {
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	if len(starts) == 0 || from < starts[0] {
+		return nil, fmt.Errorf("%w: lsn %d", ErrCompacted, from)
+	}
+	// First segment that can contain from: the last start <= from.
+	i := sort.Search(len(starts), func(i int) bool { return starts[i] > from }) - 1
+	var out []RawRecord
+	total := 0
+	for ; i < len(starts); i++ {
+		data, err := readAll(l.fs, filepath.Join(l.dir, segName(starts[i])))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				// Pruned between ReadDir and Open; only possible below any
+				// pin, so the caller re-bootstraps.
+				return nil, fmt.Errorf("%w: lsn %d", ErrCompacted, from)
+			}
+			return nil, fmt.Errorf("wal: read segment: %w", err)
+		}
+		recs, _ := scanFrames(data) // a torn tail here is an in-flight append
+		for j, r := range recs {
+			if want := starts[i] + uint64(j); r.lsn != want {
+				return nil, fmt.Errorf("wal: segment %s record %d has lsn %d, want %d",
+					segName(starts[i]), j, r.lsn, want)
+			}
+			if r.lsn < from {
+				continue
+			}
+			if r.lsn >= limit {
+				return out, nil
+			}
+			out = append(out, RawRecord{LSN: r.lsn, Kind: r.kind, Payload: r.payload})
+			total += len(r.payload)
+			if total >= maxBytes {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// CkptPart is one framed section of a checkpoint image: its record kind
+// (KindCkptMeta, KindCkptRows, KindCkptRules, KindCkptEnd) and encoded
+// payload. Replication ships a checkpoint as its parts, verbatim.
+type CkptPart struct {
+	Kind    byte
+	Payload []byte
+}
+
+// NewestCheckpointRaw returns the newest loadable checkpoint image as raw
+// parts plus the LSN it covers. ok is false when no loadable checkpoint
+// exists. Unreadable newer checkpoints are skipped exactly as Open skips
+// them.
+func (l *Log) NewestCheckpointRaw() (parts []CkptPart, lsn uint64, ok bool, err error) {
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: list dir: %w", err)
+	}
+	var ckptLSNs []uint64
+	for _, name := range names {
+		if n, ok := parseSeq(name, ckptPrefix, ckptSuffix); ok {
+			ckptLSNs = append(ckptLSNs, n)
+		}
+	}
+	sort.Slice(ckptLSNs, func(i, j int) bool { return ckptLSNs[i] < ckptLSNs[j] })
+	for i := len(ckptLSNs) - 1; i >= 0; i-- {
+		path := filepath.Join(l.dir, ckptName(ckptLSNs[i]))
+		parts, err := readCheckpointParts(l.fs, path)
+		if err != nil {
+			continue // same fallback policy as Open
+		}
+		// Validate the parts assemble before shipping them anywhere.
+		ck, err := AssembleCheckpoint(parts)
+		if err != nil {
+			continue
+		}
+		return parts, ck.Meta.LSN, true, nil
+	}
+	return nil, 0, false, nil
+}

@@ -1,0 +1,201 @@
+// Tests for the tailing API replication sits on: ReadRaw windows, append
+// notification, retention pins versus checkpoint pruning (a lagging
+// stream reader must never lose segments it still needs), and raw
+// checkpoint parts round-tripping through AssembleCheckpoint.
+package wal
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestReadRawWindow(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncAlways, SegmentSize: 2})
+	defer l.Close()
+	appendN(t, l, 5)
+
+	if _, err := l.ReadRaw(0, 0); err == nil {
+		t.Fatal("ReadRaw(0) accepted; lsns start at 1")
+	}
+	recs, err := l.ReadRaw(1, 0)
+	if err != nil {
+		t.Fatalf("ReadRaw(1): %v", err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has lsn %d", i, r.LSN)
+		}
+		rec, err := r.Decode()
+		if err != nil {
+			t.Fatalf("decode lsn %d: %v", r.LSN, err)
+		}
+		if rec.Commit == nil || rec.Commit.LastHandle != uint64(10+i) {
+			t.Fatalf("lsn %d decoded to %+v", r.LSN, rec)
+		}
+	}
+
+	// Mid-log start, spanning a segment boundary.
+	recs, err = l.ReadRaw(3, 0)
+	if err != nil || len(recs) != 3 || recs[0].LSN != 3 {
+		t.Fatalf("ReadRaw(3) = %d recs (first %v), err %v", len(recs), recs, err)
+	}
+	// Past the end: empty, no error — the caller parks on Appended.
+	recs, err = l.ReadRaw(6, 0)
+	if err != nil || recs != nil {
+		t.Fatalf("ReadRaw(6) = %v, %v; want nil, nil", recs, err)
+	}
+	// A tiny byte budget still returns at least one record.
+	recs, err = l.ReadRaw(1, 1)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("ReadRaw(1, 1 byte) = %d recs, err %v", len(recs), err)
+	}
+}
+
+func TestAppendedWakesTail(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncAlways})
+	defer l.Close()
+	ch := l.Appended()
+	errc := make(chan error, 1)
+	go func() { errc <- l.AppendCommit(commitRec(0)) }()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Appended channel never closed after an append")
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("AppendCommit: %v", err)
+	}
+	if recs, err := l.ReadRaw(1, 0); err != nil || len(recs) != 1 {
+		t.Fatalf("after wake: %d recs, err %v", len(recs), err)
+	}
+}
+
+// TestPinBlocksPruning is the retention-horizon contract: a checkpoint
+// may only prune up to the minimum pinned LSN, so a lagging stream
+// session (pin = next LSN its follower needs) never loses records, and
+// releasing the pin lets the next checkpoint reclaim them.
+func TestPinBlocksPruning(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncAlways, SegmentSize: 1})
+	defer l.Close()
+	appendN(t, l, 4)
+
+	pin := l.NewPin(2) // a follower still needs LSN 2
+	if err := l.WriteCheckpoint(buildTestCheckpoint(1)); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if got := l.OldestLSN(); got > 2 {
+		t.Fatalf("OldestLSN = %d after pinned checkpoint, want <= 2", got)
+	}
+	recs, err := l.ReadRaw(2, 0)
+	if err != nil || len(recs) != 3 || recs[0].LSN != 2 {
+		t.Fatalf("pinned read: %d recs (err %v), want lsns 2..4", len(recs), err)
+	}
+
+	// The follower caught up to 3: records before it become reclaimable.
+	pin.Advance(4)
+	if err := l.WriteCheckpoint(buildTestCheckpoint(2)); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if _, err := l.ReadRaw(2, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadRaw(2) after advance = %v, want ErrCompacted", err)
+	}
+	if recs, err := l.ReadRaw(4, 0); err != nil || len(recs) != 1 {
+		t.Fatalf("ReadRaw(4) under advanced pin: %d recs, err %v", len(recs), err)
+	}
+
+	// Advance ignores retreat attempts.
+	pin.Advance(1)
+	if recs, err := l.ReadRaw(4, 0); err != nil || len(recs) != 1 {
+		t.Fatalf("ReadRaw(4) after bogus retreat: %d recs, err %v", len(recs), err)
+	}
+
+	// Released: the next checkpoint prunes everything it covers.
+	pin.Release()
+	if err := l.WriteCheckpoint(buildTestCheckpoint(3)); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if _, err := l.ReadRaw(4, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadRaw(4) after release = %v, want ErrCompacted", err)
+	}
+}
+
+func TestZeroPinRetainsEverything(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncAlways, SegmentSize: 1})
+	defer l.Close()
+	appendN(t, l, 3)
+	pin := l.NewPin(0) // a fresh follower that has applied nothing
+	defer pin.Release()
+	if err := l.WriteCheckpoint(buildTestCheckpoint(1)); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	recs, err := l.ReadRaw(1, 0)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("zero pin: %d recs, err %v; want all 3", len(recs), err)
+	}
+}
+
+func TestNewestCheckpointRaw(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncAlways})
+	defer l.Close()
+
+	if _, _, ok, err := l.NewestCheckpointRaw(); ok || err != nil {
+		t.Fatalf("empty log: ok=%v err=%v, want no checkpoint", ok, err)
+	}
+
+	appendN(t, l, 3)
+	if err := l.WriteCheckpoint(buildTestCheckpoint(77)); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	parts, lsn, ok, err := l.NewestCheckpointRaw()
+	if err != nil || !ok {
+		t.Fatalf("NewestCheckpointRaw: ok=%v err=%v", ok, err)
+	}
+	if lsn != 3 {
+		t.Fatalf("checkpoint lsn = %d, want 3", lsn)
+	}
+	// The raw parts reassemble to the image recovery would load.
+	ck, err := AssembleCheckpoint(parts)
+	if err != nil {
+		t.Fatalf("AssembleCheckpoint: %v", err)
+	}
+	if ck.Meta.LSN != 3 || ck.Meta.LastHandle != 77 || len(ck.Tables) != 1 {
+		t.Fatalf("assembled checkpoint = %+v", ck)
+	}
+}
+
+func TestAssembleCheckpointRejectsMangledParts(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openTest(t, fs, Options{Policy: SyncAlways})
+	defer l.Close()
+	appendN(t, l, 1)
+	if err := l.WriteCheckpoint(buildTestCheckpoint(1)); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	parts, _, _, err := l.NewestCheckpointRaw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]CkptPart{
+		"empty":          {},
+		"no end":         parts[:len(parts)-1],
+		"no meta":        parts[1:],
+		"meta not first": {parts[1], parts[0], parts[2], parts[3]},
+		"trailing junk":  append(append([]CkptPart{}, parts...), CkptPart{Kind: KindCkptRows}),
+		"bad kind":       {{Kind: 99}},
+		"bad payload":    {{Kind: KindCkptMeta, Payload: []byte("{")}},
+	}
+	for name, mangled := range cases {
+		if _, err := AssembleCheckpoint(mangled); err == nil {
+			t.Errorf("%s: mangled parts assembled without error", name)
+		}
+	}
+}

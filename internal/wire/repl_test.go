@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestReplRoundTrip frames each replication message through WriteMessage/
+// ReadFrame/DecodeReplStream (stream frames) or Unmarshal (upstream
+// frames) and checks the payload survives intact.
+func TestReplRoundTrip(t *testing.T) {
+	t.Run("record", func(t *testing.T) {
+		in := &ReplRecord{LSN: 42, Kind: 1, Payload: json.RawMessage(`{"h":7}`)}
+		out := streamTrip(t, MsgReplRecord, in)
+		r, ok := out.(*ReplRecord)
+		if !ok || r.LSN != 42 || r.Kind != 1 || !bytes.Equal(r.Payload, in.Payload) {
+			t.Fatalf("round trip = %#v", out)
+		}
+	})
+	t.Run("snap frame", func(t *testing.T) {
+		in := &ReplSnapFrame{Kind: 3, Payload: json.RawMessage(`{"schema":"create table t (a int);"}`)}
+		out := streamTrip(t, MsgReplSnapFrame, in)
+		s, ok := out.(*ReplSnapFrame)
+		if !ok || s.Kind != 3 || !bytes.Equal(s.Payload, in.Payload) {
+			t.Fatalf("round trip = %#v", out)
+		}
+	})
+	t.Run("heartbeat", func(t *testing.T) {
+		out := streamTrip(t, MsgReplHeartbeat, &ReplHeartbeat{LSN: 9})
+		h, ok := out.(*ReplHeartbeat)
+		if !ok || h.LSN != 9 {
+			t.Fatalf("round trip = %#v", out)
+		}
+	})
+	t.Run("error", func(t *testing.T) {
+		out := streamTrip(t, MsgError, &ErrorResponse{Code: CodeDiverged, Message: "boom"})
+		e, ok := out.(*ErrorResponse)
+		if !ok || e.Code != CodeDiverged || e.Message != "boom" {
+			t.Fatalf("round trip = %#v", out)
+		}
+	})
+	t.Run("join and ack", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, MsgReplJoin, &ReplJoinRequest{FromLSN: 11}, ReplMaxFrame); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := ReadFrame(&buf, ReplMaxFrame)
+		if err != nil || typ != MsgReplJoin {
+			t.Fatalf("ReadFrame = %v, %v", typ, err)
+		}
+		var join ReplJoinRequest
+		if err := Unmarshal(payload, &join); err != nil || join.FromLSN != 11 {
+			t.Fatalf("join = %+v, err %v", join, err)
+		}
+		buf.Reset()
+		if err := WriteMessage(&buf, MsgReplAck, &ReplAck{LSN: 12}, ReplMaxFrame); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err = ReadFrame(&buf, ReplMaxFrame)
+		if err != nil || typ != MsgReplAck {
+			t.Fatalf("ReadFrame = %v, %v", typ, err)
+		}
+		var ack ReplAck
+		if err := Unmarshal(payload, &ack); err != nil || ack.LSN != 12 {
+			t.Fatalf("ack = %+v, err %v", ack, err)
+		}
+	})
+}
+
+func streamTrip(t *testing.T, typ byte, v any) any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, typ, v, ReplMaxFrame); err != nil {
+		t.Fatalf("WriteMessage: %v", err)
+	}
+	gotTyp, payload, err := ReadFrame(&buf, ReplMaxFrame)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if gotTyp != typ {
+		t.Fatalf("type = %#x, want %#x", gotTyp, typ)
+	}
+	out, err := DecodeReplStream(gotTyp, payload)
+	if err != nil {
+		t.Fatalf("DecodeReplStream: %v", err)
+	}
+	return out
+}
+
+// TestDecodeReplStreamRejects pins the decoder's refusals: request-cycle
+// frame types never appear in a stream, and a record without a payload is
+// torn, not empty.
+func TestDecodeReplStreamRejects(t *testing.T) {
+	for _, typ := range []byte{MsgExec, MsgQuery, MsgPong, MsgReplJoin, MsgReplAck, 0xEE} {
+		if _, err := DecodeReplStream(typ, []byte(`{}`)); err == nil {
+			t.Errorf("type %#x accepted in stream", typ)
+		}
+	}
+	if _, err := DecodeReplStream(MsgReplRecord, []byte(`{"lsn":5,"k":1}`)); err == nil {
+		t.Error("record without payload accepted")
+	}
+	if _, err := DecodeReplStream(MsgReplRecord, []byte(`{"lsn":`)); err == nil {
+		t.Error("truncated record JSON accepted")
+	}
+}
+
+func TestReplStatsInStatsResponse(t *testing.T) {
+	in := StatsResponse{Repl: &ReplStats{Role: "replica", LSN: 5, PrimaryLSN: 9, Lag: 4, Connected: true}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out StatsResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Repl == nil || *out.Repl != *in.Repl {
+		t.Fatalf("repl stats round trip = %+v", out.Repl)
+	}
+	// Absent on non-replicated servers: the field must stay omitted so old
+	// clients see byte-identical stats responses.
+	data, err = json.Marshal(StatsResponse{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("repl")) {
+		t.Fatalf("empty StatsResponse leaks repl field: %s", data)
+	}
+}

@@ -72,9 +72,14 @@ type ExecRequest struct {
 }
 
 // QueryRequest asks the server to evaluate a single SELECT outside any
-// transaction.
+// transaction. MinLSN, when nonzero, asks a replica to serve the query
+// only once it has applied at least that LSN (read-your-writes: clients
+// pass the LSN token returned by their last write); a replica that cannot
+// catch up within its wait bound answers CodeLagging. Primaries are
+// always current and ignore it.
 type QueryRequest struct {
-	Src string `json:"src"`
+	Src    string `json:"src"`
+	MinLSN uint64 `json:"min_lsn,omitempty"`
 }
 
 // Firing mirrors sopr.Firing across the wire.
@@ -96,6 +101,10 @@ type ExecResponse struct {
 	RollbackRule string   `json:"rollback_rule,omitempty"`
 	Firings      []Firing `json:"firings,omitempty"`
 	Results      []Rows   `json:"results,omitempty"`
+	// LSN is the server's last durable LSN after the exec (zero on an
+	// in-memory server). Clients use it as a read-your-writes token: a
+	// later query with MinLSN = LSN on any replica observes this write.
+	LSN uint64 `json:"lsn,omitempty"`
 }
 
 // DumpResponse carries a SQL script recreating the database.
@@ -134,10 +143,12 @@ type ServerStats struct {
 	DrainedReqs int64 `json:"drained_reqs"` // requests completed during shutdown drain
 }
 
-// StatsResponse bundles both counter sets.
+// StatsResponse bundles both counter sets, plus the node's replication
+// state when it participates in replication (nil on a standalone server).
 type StatsResponse struct {
 	Engine EngineStats `json:"engine"`
 	Server ServerStats `json:"server"`
+	Repl   *ReplStats  `json:"repl,omitempty"`
 }
 
 // ErrorResponse reports a failed request with a structured code. Line is
@@ -332,6 +343,20 @@ func TypeName(typ byte) string {
 		return "pong"
 	case MsgError:
 		return "error"
+	case MsgReplJoin:
+		return "repl_join"
+	case MsgReplAck:
+		return "repl_ack"
+	case MsgReplPromote:
+		return "repl_promote"
+	case MsgReplSnapFrame:
+		return "repl_snap_frame"
+	case MsgReplRecord:
+		return "repl_record"
+	case MsgReplHeartbeat:
+		return "repl_heartbeat"
+	case MsgReplPromoted:
+		return "repl_promoted"
 	default:
 		return fmt.Sprintf("0x%02x", typ)
 	}

@@ -282,6 +282,11 @@ type Result struct {
 	Firings []Firing
 	// Results holds the result sets of SELECT statements, in order.
 	Results []*Rows
+	// LSN is the durable log position after this call on a durable
+	// database (0 in-memory or over a non-durable server). Replication
+	// clients carry it as a read-your-writes token: a replica read with
+	// this MinLSN sees at least the state this call produced.
+	LSN uint64
 }
 
 // Exec parses and executes a script: DDL, rule definitions, queries, and
@@ -289,6 +294,9 @@ type Result struct {
 func (db *DB) Exec(src string) (*Result, error) {
 	txn, err := db.eng.Exec(src)
 	res := wrapTxn(txn)
+	if res != nil && db.walLog != nil {
+		res.LSN = db.CurrentLSN()
+	}
 	return res, wrapErr(err)
 }
 
