@@ -8,26 +8,29 @@ import (
 
 // The paper's model of system execution is a single stream of operation
 // blocks — "multiple users, concurrent processing, and failures are all
-// transparent" (Section 2.1) — so DB itself is not safe for concurrent use.
-// SynchronizedDB shares one DB between goroutines with a reader-writer
-// lock.
+// transparent" (Section 2.1) — so DB itself is not safe for concurrent
+// mutation. SynchronizedDB shares one DB between goroutines: writes are
+// serialized by a mutex, reads take no lock at all.
 //
 // The single-stream constraint binds *writes* only: an operation block
 // produces a transition, triggers rules, and must therefore occupy the
 // stream alone, so Exec (and the other mutating entry points) take the
-// lock exclusively — concurrent Execs are simply interleaved as a stream
-// of transactions, and rule semantics are unchanged. Queries perform no
+// mutex — concurrent Execs are simply interleaved as a stream of
+// transactions, and rule semantics are unchanged. Queries perform no
 // transition and trigger no rules (Section 2.1 places them outside the
 // operation-block stream unless the Section 5.1 select-trigger extension
-// routes them through Exec), so Query, Stats, Dump, and Recovered take
-// the lock shared: any number of them run concurrently, scaling reads
-// across cores, and every one of them still observes a committed,
-// writer-free state. This is sound because the engine's read path is
-// mutation-free — the only state it touches concurrently, the access-path
-// counters, is atomic (see storage.AccessStats), and the trace handler is
-// swapped atomically and emitted only from the exclusive path.
+// routes them through Exec), so Query, Stats, Dump, CurrentLSN and
+// Recovered acquire nothing: every commit publishes an immutable snapshot
+// of the whole committed state behind an atomic pointer (see
+// internal/storage's copy-on-write tables), and each read loads that
+// pointer once and traverses frozen structures. Readers never wait behind
+// a writer, never contend with each other, and always observe some
+// committed point-in-time state — read throughput scales with cores (the
+// S3 experiment in EXPERIMENTS.md measures it against the previous
+// shared-lock design). The only words readers share with anyone are the
+// storage layer's atomic access-path counters.
 type SynchronizedDB struct {
-	mu sync.RWMutex
+	mu sync.Mutex
 	db *DB
 }
 
@@ -37,8 +40,8 @@ func Synchronized(db *DB) *SynchronizedDB {
 	return &SynchronizedDB{db: db}
 }
 
-// Exec runs a script as one serialized operation block, under the
-// exclusive lock: writes preserve the paper's single-stream semantics.
+// Exec runs a script as one serialized operation block, under the write
+// mutex: writes preserve the paper's single-stream semantics.
 func (s *SynchronizedDB) Exec(src string) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -54,11 +57,11 @@ func (s *SynchronizedDB) MustExec(src string) *Result {
 	return res
 }
 
-// Query evaluates a SELECT under the shared lock: queries run concurrently
-// with each other (never with a write) and see only committed state.
+// Query evaluates a SELECT with zero locking: it runs against the
+// currently published committed snapshot (one atomic pointer load),
+// concurrent with other readers and with the write path, and always sees
+// a consistent committed state.
 func (s *SynchronizedDB) Query(src string) (*Rows, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.Query(src)
 }
 
@@ -72,65 +75,61 @@ func (s *SynchronizedDB) MustQuery(src string) *Rows {
 }
 
 // TraceTo installs (or, with nil, removes) a line-per-event trace writer on
-// the wrapped DB, under the exclusive lock. Trace events are emitted only
-// while some goroutine holds the exclusive lock in Exec, so writes to w
-// are serialized and no shared-lock reader ever runs the handler.
+// the wrapped DB, under the write mutex. Trace events are emitted only
+// while some goroutine holds the mutex in Exec, so writes to w are
+// serialized and no lock-free reader ever runs the handler.
 func (s *SynchronizedDB) TraceTo(w io.Writer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.db.TraceTo(w)
 }
 
-// Stats returns counters under the shared lock. The access-path counters
-// it reads are updated atomically by concurrent queries, so a snapshot
-// taken while other readers run is well-defined (each counter is a value
-// that was current at some instant during the call).
+// Stats returns counters with zero locking: the engine and WAL counters
+// were captured into the published snapshot by the write path, and the
+// access-path counters are atomic (concurrent readers advance them), so
+// each counter is a value that was current at some instant during the
+// call.
 func (s *SynchronizedDB) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.Stats()
 }
 
-// Dump serializes the database under the shared lock; with no writer
-// running, the image is a consistent committed snapshot.
+// Dump serializes the published committed snapshot with zero locking. The
+// image is a consistent point-in-time state — schema, data, indexes and
+// rules from the same instant — even while a writer runs; an in-flight
+// transaction is simply not visible.
 func (s *SynchronizedDB) Dump(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.Dump(w)
 }
 
-// Checkpoint writes a checkpoint image under the exclusive lock (no
+// Checkpoint writes a checkpoint image under the write mutex (no
 // transaction can be in flight while it runs, so the image is a consistent
-// snapshot). Exclusive rather than shared because it also prunes log
-// segments — a durable-state mutation.
+// snapshot). It takes the mutex because it also prunes log segments — a
+// durable-state mutation.
 func (s *SynchronizedDB) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.db.Checkpoint()
 }
 
-// Close closes the wrapped database's write-ahead log under the exclusive
-// lock.
+// Close closes the wrapped database's write-ahead log under the write
+// mutex.
 func (s *SynchronizedDB) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.db.Close()
 }
 
-// CurrentLSN reports the last durable log sequence number under the
-// shared lock — the read-your-writes token the server attaches to exec
-// responses.
+// CurrentLSN reports the last durable log sequence number captured with
+// the published snapshot — the read-your-writes token the server attaches
+// to exec responses. Lock-free: one atomic pointer load.
 func (s *SynchronizedDB) CurrentLSN() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.CurrentLSN()
 }
 
-// Recovered reports whether the wrapped database recovered prior state,
-// under the shared lock (the flag is set once at open and never mutated).
+// Recovered reports whether the wrapped database recovered prior state
+// (the flag is set once at open and never mutated, so no synchronization
+// is needed).
 func (s *SynchronizedDB) Recovered() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.db.Recovered()
 }
 

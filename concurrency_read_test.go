@@ -12,8 +12,11 @@ import (
 // TestRowsSnapshotImmutable pins the snapshot guarantee documented on
 // wrapResult: a Rows returned by Query shares no memory with live storage,
 // so later mutations of the database never change a result the caller is
-// still holding. This is what makes it safe for SynchronizedDB to hand
-// Rows out from under a shared lock while a writer proceeds.
+// still holding. The same must hold for Dump output — it is rendered from
+// cloned tuples of an immutable published snapshot, so a dump taken before
+// a mutation reloads to exactly the pre-mutation state. This is what makes
+// it safe for SynchronizedDB to serve Query and Dump with no lock while a
+// writer proceeds.
 func TestRowsSnapshotImmutable(t *testing.T) {
 	db := Open()
 	db.MustExec(`create table t (id int, name varchar, score float)`)
@@ -23,16 +26,37 @@ func TestRowsSnapshotImmutable(t *testing.T) {
 	if len(rows.Data) != 3 {
 		t.Fatalf("rows = %d, want 3", len(rows.Data))
 	}
-	// Deep-copy the snapshot before mutating the database.
+	// Deep-copy the snapshot before mutating the database, and take a dump
+	// of the same state.
 	wantTable := rows.String()
 	want := make([][]any, len(rows.Data))
 	for i, r := range rows.Data {
 		want[i] = append([]any(nil), r...)
 	}
+	var preDump strings.Builder
+	if err := db.Dump(&preDump); err != nil {
+		t.Fatal(err)
+	}
 
 	db.MustExec(`update t set name = 'zap', score = 0.0 where id = 2`)
 	db.MustExec(`delete from t where id = 1`)
 	db.MustExec(`insert into t values (4, 'new', 4.5)`)
+
+	// The held dump describes the pre-mutation state: a fresh database
+	// restored from it answers the original query with the original rows.
+	restored := Open()
+	restored.MustExec(preDump.String())
+	if got := restored.MustQuery(`select id, name, score from t order by id`).String(); got != wantTable {
+		t.Errorf("dump taken before mutation restored to a different state:\n%s\nwant:\n%s", got, wantTable)
+	}
+	// A dump taken now reflects the new state (the snapshot advanced).
+	var postDump strings.Builder
+	if err := db.Dump(&postDump); err != nil {
+		t.Fatal(err)
+	}
+	if postDump.String() == preDump.String() {
+		t.Error("dump after mutation is identical to dump before mutation")
+	}
 
 	if rows.String() != wantTable {
 		t.Errorf("held Rows table changed after mutation:\n%s", rows.String())

@@ -152,12 +152,11 @@ func (db *DB) Checkpoint() error {
 // CurrentLSN reports the last durable log sequence number (0 on an
 // in-memory database, or before the first commit). It is the
 // read-your-writes token replication clients carry from a write on the
-// primary to reads on replicas.
+// primary to reads on replicas. The value is captured with the published
+// engine snapshot at every commit/DDL/checkpoint, so reading it is one
+// atomic pointer load — no WAL mutex on the read path.
 func (db *DB) CurrentLSN() uint64 {
-	if db.walLog == nil {
-		return 0
-	}
-	return db.walLog.NextLSN() - 1
+	return db.eng.SnapshotLSN()
 }
 
 // WALLog exposes the attached write-ahead log (nil on an in-memory

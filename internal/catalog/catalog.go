@@ -129,6 +129,24 @@ func New() *Catalog {
 	return &Catalog{tables: make(map[string]*Table), indexes: make(map[string]*Index)}
 }
 
+// Clone returns a copy of the catalog that shares the (immutable) table
+// and index definitions but owns its maps. The storage layer clones the
+// catalog before every DDL mutation so that published snapshots keep
+// reading the old version without locking.
+func (c *Catalog) Clone() *Catalog {
+	n := &Catalog{
+		tables:  make(map[string]*Table, len(c.tables)),
+		indexes: make(map[string]*Index, len(c.indexes)),
+	}
+	for k, t := range c.tables {
+		n.tables[k] = t
+	}
+	for k, ix := range c.indexes {
+		n.indexes[k] = ix
+	}
+	return n
+}
+
 // Create adds a table schema. It fails if the name is taken.
 func (c *Catalog) Create(t *Table) error {
 	if _, ok := c.tables[t.Name]; ok {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"sopr/internal/catalog"
 	"sopr/internal/rules"
 	"sopr/internal/sqlast"
 )
@@ -18,16 +19,19 @@ const insertBatch = 500
 // fire the rules. External procedures cannot be serialized; rules calling
 // them are emitted and will fail to re-install unless the procedures are
 // registered before loading.
+//
+// Dump reads the published engine snapshot — schema, data, indexes, rules
+// and LSN all from one consistent committed cut — so it is lock-free and
+// may run at any time, concurrent with the write path; an in-flight
+// transaction is simply not visible.
 func (e *Engine) Dump(w io.Writer) error {
-	if e.store.InTxn() {
-		return fmt.Errorf("engine: cannot dump during a transaction")
-	}
-	cat := e.store.Catalog()
-	if err := e.dumpTables(w); err != nil {
+	sn := e.snap.Load()
+	cat := sn.store.Catalog()
+	if err := dumpTables(w, cat); err != nil {
 		return err
 	}
 	for _, name := range cat.Names() {
-		tuples, err := e.store.Tuples(name)
+		tuples, err := sn.store.Tuples(name)
 		if err != nil {
 			return err
 		}
@@ -53,17 +57,19 @@ func (e *Engine) Dump(w io.Writer) error {
 		}
 	}
 	// Indexes after the data (a reload bulk-builds each index once) and
-	// before the rules.
-	if err := e.dumpIndexes(w); err != nil {
+	// before the rules. The rule script was rendered at publish time (rule
+	// structures are writer-private), so it is consistent with the data.
+	if err := dumpIndexes(w, cat); err != nil {
 		return err
 	}
-	return e.dumpRules(w)
+	_, err := io.WriteString(w, sn.rules)
+	return err
 }
 
-// dumpTables writes the CREATE TABLE statements. Shared by Dump and the
-// WAL checkpoint writer.
-func (e *Engine) dumpTables(w io.Writer) error {
-	cat := e.store.Catalog()
+// dumpTables writes the CREATE TABLE statements for the given catalog.
+// Shared by Dump (snapshot catalog) and the WAL checkpoint writer (live
+// catalog, on the exclusive path).
+func dumpTables(w io.Writer, cat *catalog.Catalog) error {
 	for _, name := range cat.Names() {
 		t, err := cat.Lookup(name)
 		if err != nil {
@@ -77,8 +83,7 @@ func (e *Engine) dumpTables(w io.Writer) error {
 }
 
 // dumpIndexes writes the CREATE INDEX statements.
-func (e *Engine) dumpIndexes(w io.Writer) error {
-	cat := e.store.Catalog()
+func dumpIndexes(w io.Writer, cat *catalog.Catalog) error {
 	for _, name := range cat.IndexNames() {
 		ix, err := cat.Index(name)
 		if err != nil {

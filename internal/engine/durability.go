@@ -29,8 +29,13 @@ const ckptBatch = 512
 // AttachWAL connects the engine to an open log. Every subsequent committed
 // transaction appends its net effect before the in-memory commit, and every
 // definition statement appends its text. Attach after recovery has been
-// replayed (LoadCheckpoint and ReplayRecord do not re-log what they apply).
-func (e *Engine) AttachWAL(l *wal.Log) { e.wal = l }
+// replayed (LoadCheckpoint and ReplayRecord do not re-log what they apply);
+// attaching publishes the engine snapshot, making the fully-recovered state
+// (and its LSN) visible to lock-free readers in one step.
+func (e *Engine) AttachWAL(l *wal.Log) {
+	e.wal = l
+	e.PublishSnapshot()
+}
 
 // WAL returns the attached log, nil if the engine is not durable.
 func (e *Engine) WAL() *wal.Log { return e.wal }
@@ -194,6 +199,13 @@ func (e *Engine) logDefinition(st sqlast.Statement) error {
 // disabled: commit records replay their net effect by handle, definition
 // records re-execute their SQL text. The engine must not have a WAL
 // attached yet (replayed work is already in the log).
+//
+// Commit replays deliberately do not publish a read snapshot: publishing
+// freezes every table, so the next replayed record would clone its table
+// again — per-record publishes would make recovery quadratic. Recovery
+// publishes once at the end (AttachWAL); a replication follower, which
+// wants per-record read visibility, calls PublishSnapshot after each
+// record and pays the copy-on-write clone as the price.
 func (e *Engine) ReplayRecord(rec wal.Record) error {
 	switch rec.Kind {
 	case wal.KindCommit:
@@ -266,10 +278,10 @@ func (e *Engine) Checkpoint() error {
 	}
 	err := e.wal.WriteCheckpoint(func(cw *wal.CheckpointWriter) error {
 		var schema strings.Builder
-		if err := e.dumpTables(&schema); err != nil {
+		if err := dumpTables(&schema, e.store.Catalog()); err != nil {
 			return err
 		}
-		if err := e.dumpIndexes(&schema); err != nil {
+		if err := dumpIndexes(&schema, e.store.Catalog()); err != nil {
 			return err
 		}
 		if err := cw.Meta(uint64(e.store.NextHandle())-1, schema.String()); err != nil {
@@ -309,6 +321,9 @@ func (e *Engine) Checkpoint() error {
 		return err
 	}
 	e.stats.Checkpoints++
+	// Data is unchanged, but the counters and (after pruning) the WAL
+	// stats moved; republish for lock-free Stats readers.
+	e.publish()
 	return nil
 }
 
@@ -339,5 +354,8 @@ func (e *Engine) LoadCheckpoint(ck *wal.Checkpoint) error {
 		}
 	}
 	e.store.RestoreNextHandle(storage.Handle(ck.Meta.LastHandle))
+	// One publish for the whole image: the replayed rows went in without
+	// per-record publishes (see ReplayRecord).
+	e.PublishSnapshot()
 	return nil
 }

@@ -179,10 +179,14 @@ type Engine struct {
 	walEff *rules.Effect
 	// traceFn, when set, receives rule-processing events. It is swapped
 	// atomically (SetTrace) so installation can never be observed
-	// half-done by a goroutine holding SynchronizedDB's shared lock;
-	// events themselves are emitted only from the exclusive (write) path —
-	// queries perform no transition and therefore never trace.
+	// half-done by a concurrent lock-free reader; events themselves are
+	// emitted only from the exclusive (write) path — queries perform no
+	// transition and therefore never trace.
 	traceFn atomic.Pointer[func(TraceEvent)]
+	// snap is the engine's published read state (see snapshot.go): queries,
+	// dumps, stats and LSN reads load it atomically and touch nothing else,
+	// so they run with zero locking concurrent with the write path.
+	snap atomic.Pointer[snapState]
 }
 
 // New returns an engine with an empty database.
@@ -193,13 +197,15 @@ func New(cfg Config) *Engine {
 	sel := rules.NewSelector()
 	sel.Strategy = cfg.Strategy
 	sel.Choose = cfg.SelectHook
-	return &Engine{
+	e := &Engine{
 		store:    storage.New(),
 		ruleSet:  make(map[string]*rules.Rule),
 		selector: sel,
 		procs:    make(map[string]ProcFunc),
 		cfg:      cfg,
 	}
+	e.publish()
+	return e
 }
 
 // Store exposes the underlying storage engine (read-mostly helpers for
@@ -232,6 +238,7 @@ func (e *Engine) SetRuleScope(name string, scope rules.TriggerScope) error {
 		return fmt.Errorf("engine: rule %q does not exist", name)
 	}
 	r.Scope = scope
+	e.publish()
 	return nil
 }
 
@@ -336,14 +343,17 @@ func (e *Engine) ExecStatements(stmts []sqlast.Statement) (*TxnResult, error) {
 	return total, nil
 }
 
-// Query evaluates a SELECT against the current state, outside any rule
-// context. The whole path is mutation-free — a fresh Env per call, no
-// evaluation caches, no engine counters beyond the store's atomic
-// access-path pair — so any number of Query calls may run concurrently
-// with each other (never with Exec); SynchronizedDB's shared lock relies
-// on exactly this property.
+// Query evaluates a SELECT against the currently published committed
+// snapshot, outside any rule context. The whole path is lock-free: one
+// atomic pointer load fetches the snapshot, evaluation runs a fresh Env
+// over its frozen structures, and the only shared words touched are the
+// atomic access-path counters — so any number of Query calls run
+// concurrently with each other and with the write path, each seeing a
+// consistent committed state (sopr.SynchronizedDB relies on exactly this
+// property).
 func (e *Engine) Query(sel *sqlast.Select) (*exec.Result, error) {
-	return e.newEnv(nil).Query(sel)
+	env := &exec.Env{Store: e.snap.Load().store, NoIndex: e.cfg.NoIndex, NoHashJoin: e.cfg.NoHashJoin}
+	return env.Query(sel)
 }
 
 // newEnv returns a fresh evaluation environment carrying the engine's
@@ -381,8 +391,13 @@ func (e *Engine) execDefinition(st sqlast.Statement) error {
 		return err
 	}
 	if e.wal != nil {
-		return e.logDefinition(st)
+		if err := e.logDefinition(st); err != nil {
+			return err
+		}
 	}
+	// Definitions change what readers see (schema, indexes, rule text, the
+	// durable LSN), so each one republishes the engine snapshot.
+	e.publish()
 	return nil
 }
 
@@ -526,6 +541,10 @@ func (e *Engine) RunTransaction(ops []sqlast.Statement) (*TxnResult, error) {
 		e.clearTransInfo()
 		e.walEff = nil
 		e.stats.RolledBack++
+		// The data snapshot is unchanged (rollback restored the published
+		// state), but the counters moved; republish so Stats readers see
+		// the rollback.
+		e.publish()
 		return res, err
 	}
 
@@ -566,6 +585,7 @@ func (e *Engine) RunTransaction(ops []sqlast.Statement) (*TxnResult, error) {
 			e.clearTransInfo()
 			e.walEff = nil
 			e.stats.RolledBack++
+			e.publish()
 			return res, nil
 		}
 	}
@@ -585,6 +605,10 @@ func (e *Engine) RunTransaction(ops []sqlast.Statement) (*TxnResult, error) {
 	e.clearTransInfo()
 	e.walEff = nil
 	e.stats.Committed++
+	// store.Commit published the new storage snapshot; republish the
+	// engine state so readers pick it up together with the new counters
+	// and LSN.
+	e.publish()
 	e.trace(TraceEvent{Kind: TraceCommit})
 	return res, nil
 }

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"sopr/internal/rules"
+	"sopr/internal/storage"
+	"sopr/internal/value"
 )
 
 // TestDeterminism — the engine is fully deterministic: the same script run
@@ -373,15 +375,31 @@ func TestProcessRulesAlone(t *testing.T) {
 	}
 }
 
-// TestDumpDuringTransactionRejected — the engine refuses to serialize
-// mid-transaction state.
-func TestDumpDuringTransactionRejected(t *testing.T) {
+// TestDumpDuringTransactionSeesCommittedState — Dump reads the published
+// snapshot, so mid-transaction state is never serialized: a dump taken
+// while a transaction is open is byte-identical to one taken before it
+// began, uncommitted changes and all.
+func TestDumpDuringTransactionSeesCommittedState(t *testing.T) {
 	e := newEmpEngine(t, Config{})
-	e.Store().Begin()
+	mustExec(t, e, `insert into emp values ('a', 1, 1, 1)`)
+	var before strings.Builder
+	if err := e.Dump(&before); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Store().Begin(); err != nil {
+		t.Fatal(err)
+	}
 	defer e.Store().Rollback()
-	var b strings.Builder
-	if err := e.Dump(&b); err == nil {
-		t.Error("dump during transaction accepted")
+	row := storage.Row{value.NewString("b"), value.NewInt(2), value.NewInt(2), value.NewInt(2)}
+	if _, err := e.Store().Insert("emp", row); err != nil {
+		t.Fatal(err)
+	}
+	var during strings.Builder
+	if err := e.Dump(&during); err != nil {
+		t.Fatalf("dump during transaction: %v", err)
+	}
+	if during.String() != before.String() {
+		t.Errorf("dump during transaction differs from committed state:\nbefore:\n%s\nduring:\n%s", before.String(), during.String())
 	}
 }
 

@@ -27,19 +27,15 @@ type Stats struct {
 	Checkpoints      int64
 }
 
-// Stats returns a snapshot of the engine's counters. Safe under
-// SynchronizedDB's shared lock: the engine-level counters (e.stats) are
-// written only from the exclusive write path, which the reader-writer
-// lock orders against this read; the access-path counters are atomic
-// because concurrent queries increment them while Stats reads (see
-// storage.AccessStats); and the WAL keeps its counters behind its own
-// mutex.
+// Stats returns a snapshot of the engine's counters, lock-free: the
+// engine-level and WAL counters were captured into the published snapshot
+// state by the write path (see snapshot.go), so this reads them with one
+// atomic pointer load — no engine field, no WAL mutex. The access-path
+// counters are overlaid live from the storage layer's atomic pair, since
+// concurrent readers (not just the writer) advance them.
 func (e *Engine) Stats() Stats {
-	s := e.stats
-	s.HeapScans, s.IndexLookups = e.store.AccessStats()
-	if e.wal != nil {
-		ws := e.wal.Stats()
-		s.WALAppends, s.WALBytes = ws.Appends, ws.Bytes
-	}
+	sn := e.snap.Load()
+	s := sn.stats
+	s.HeapScans, s.IndexLookups = sn.store.AccessStats()
 	return s
 }

@@ -40,20 +40,41 @@ type SelectObserver interface {
 	TupleSelected(table string, h storage.Handle)
 }
 
-// Env carries everything expression evaluation needs: the store, the
-// optional transition-table source (inside rule conditions/actions), and
-// the optional select observer.
+// Store is the executor's window onto stored data: the methods evaluation
+// and data manipulation need, satisfied by both the live *storage.Store
+// (the write path, which sees in-transaction state) and the immutable
+// *storage.Snapshot (the lock-free read path, whose mutating methods
+// fail). The executor cannot tell the two apart — indexed and scanned
+// access, catalog lookups, and DML all go through here.
+type Store interface {
+	Catalog() *catalog.Catalog
+	Scan(table string, fn func(*storage.Tuple) bool) error
+	IndexedLookup(table string, col int, vals ...value.Value) ([]*storage.Tuple, bool, error)
+	HasIndex(table string, col int) bool
+	Insert(table string, row storage.Row) (storage.Handle, error)
+	Delete(h storage.Handle) (table string, old storage.Row, err error)
+	Update(h storage.Handle, assign map[int]value.Value) (table string, old storage.Row, err error)
+}
+
+var (
+	_ Store = (*storage.Store)(nil)
+	_ Store = (*storage.Snapshot)(nil)
+)
+
+// Env carries everything expression evaluation needs: the store (live or
+// snapshot), the optional transition-table source (inside rule
+// conditions/actions), and the optional select observer.
 //
 // An Env is per-evaluation scratch state: every query gets a fresh one,
 // and evaluation keeps all intermediate state (scopes, materialized
 // relations, hash-join tables, aggregate groups) local to the call. That
-// discipline is load-bearing for concurrency — the shared-lock read path
-// (sopr.SynchronizedDB) runs many Envs over one Store at once, so nothing
-// here may write to the Store or to any package-level state. The only
-// shared words the read path touches are the Store's atomic access-path
-// counters.
+// discipline is load-bearing for concurrency — the lock-free read path
+// (sopr.SynchronizedDB) runs many Envs over published snapshots at once,
+// so nothing here may write to the Store or to any package-level state.
+// The only shared words the read path touches are the storage layer's
+// atomic access-path counters.
 type Env struct {
-	Store    *storage.Store
+	Store    Store
 	Trans    TransTableSource
 	Observer SelectObserver
 	// NoHashJoin disables the hash equi-join fast path (used by the

@@ -42,7 +42,7 @@ func mustExecDDL(t *testing.T, e *Env, src string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Store.CreateTable(tab); err != nil {
+	if err := e.Store.(*storage.Store).CreateTable(tab); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -405,7 +405,7 @@ func TestInsertForms(t *testing.T) {
 	if len(res.Inserted) != 1 {
 		t.Fatalf("inserted: %v", res.Inserted)
 	}
-	tup, _ := e.Store.Get(res.Inserted[0])
+	tup, _ := e.Store.(*storage.Store).Get(res.Inserted[0])
 	if !tup.Values[2].IsNull() || !tup.Values[3].IsNull() {
 		t.Errorf("unspecified columns should be NULL: %v", tup.Values)
 	}
@@ -414,7 +414,7 @@ func TestInsertForms(t *testing.T) {
 	if len(res.Inserted) != 3 {
 		t.Fatalf("select-form inserted %d", len(res.Inserted))
 	}
-	if n, _ := e.Store.Count("dept"); n != 6 {
+	if n, _ := e.Store.(*storage.Store).Count("dept"); n != 6 {
 		t.Errorf("dept count = %d", n)
 	}
 	// Multi-row VALUES.
@@ -456,7 +456,7 @@ func TestDelete(t *testing.T) {
 			t.Error("deleted tuple missing old row")
 		}
 	}
-	if n, _ := e.Store.Count("emp"); n != 4 {
+	if n, _ := e.Store.(*storage.Store).Count("emp"); n != 4 {
 		t.Errorf("emp count = %d", n)
 	}
 	// Unqualified delete empties the table ("where true").
@@ -492,7 +492,7 @@ func TestUpdate(t *testing.T) {
 		if len(u.Cols) != 1 || u.Cols[0] != 2 {
 			t.Errorf("updated cols: %v", u.Cols)
 		}
-		cur, _ := e.Store.Get(u.Handle)
+		cur, _ := e.Store.(*storage.Store).Get(u.Handle)
 		if cur.Values[2].Float() != u.OldRow[2].Float()*2 {
 			t.Errorf("update math: old %v new %v", u.OldRow[2], cur.Values[2])
 		}

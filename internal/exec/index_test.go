@@ -49,7 +49,7 @@ func indexEnv(t *testing.T, rows int, seed int64) *Env {
 		{"big_grp", "big", "grp"},
 		{"dim_grp", "dim", "grp"},
 	} {
-		if err := e.Store.CreateIndex(ix[0], ix[1], ix[2]); err != nil {
+		if err := e.Store.(*storage.Store).CreateIndex(ix[0], ix[1], ix[2]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -146,7 +146,7 @@ func TestIndexedDMLParity(t *testing.T) {
 	for _, op := range ops {
 		mustOp(t, ei, op)
 		mustOp(t, es, op)
-		if err := ei.Store.CheckIndexes(); err != nil {
+		if err := ei.Store.(*storage.Store).CheckIndexes(); err != nil {
 			t.Fatalf("after %q: %v", op, err)
 		}
 		di, ds := dump(ei), dump(es)
@@ -160,17 +160,17 @@ func TestIndexedDMLParity(t *testing.T) {
 // index (not silently falling back), and NoIndex forces the heap scan.
 func TestIndexAccessCounters(t *testing.T) {
 	e := indexEnv(t, 40, 31)
-	_, lk0 := e.Store.AccessStats()
+	_, lk0 := e.Store.(*storage.Store).AccessStats()
 	mustQuery(t, e, `select note from big where id = 3`)
-	_, lk1 := e.Store.AccessStats()
+	_, lk1 := e.Store.(*storage.Store).AccessStats()
 	if lk1 != lk0+1 {
 		t.Errorf("index lookups %d -> %d, want +1", lk0, lk1)
 	}
-	hs0, _ := e.Store.AccessStats()
+	hs0, _ := e.Store.(*storage.Store).AccessStats()
 	e.NoIndex = true
 	mustQuery(t, e, `select note from big where id = 3`)
 	e.NoIndex = false
-	hs1, lk2 := e.Store.AccessStats()
+	hs1, lk2 := e.Store.(*storage.Store).AccessStats()
 	if lk2 != lk1 {
 		t.Errorf("NoIndex query used the index (%d -> %d)", lk1, lk2)
 	}

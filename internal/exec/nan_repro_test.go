@@ -40,7 +40,7 @@ func TestNaNIndexDivergenceRepro(t *testing.T) {
 	e.NoIndex = true
 	scan := query(q)
 	e.NoIndex = false
-	if err := e.Store.CreateIndex("ixf", "t", "f"); err != nil {
+	if err := e.Store.(*storage.Store).CreateIndex("ixf", "t", "f"); err != nil {
 		t.Fatalf("create index: %v", err)
 	}
 	idx := query(q)

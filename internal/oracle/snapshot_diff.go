@@ -1,0 +1,189 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sopr/internal/engine"
+	"sopr/internal/gen"
+	"sopr/internal/storage"
+)
+
+// This file adds the snapshot-isolation dimension to the differential
+// harness. RunDiff establishes that the engine's *final* state after each
+// transaction matches the oracle; RunSnapshotDiff additionally races
+// lock-free readers against the write stream and demands that every state
+// a reader observes through the published snapshot is byte-for-byte equal
+// to some committed oracle state — never a torn mix of two transactions,
+// never an uncommitted intermediate, never a rolled-back mutation.
+//
+// The protocol exploits engine/oracle determinism: for each transaction
+// the oracle runs first and its post-state is registered as "legal" before
+// the engine executes the same transaction. The engine publishes a new
+// snapshot only at commit (or rollback completion, which restores the
+// prior state), so by the time any reader can observe a state, that state
+// is already in the legal set — a reader observing anything else has
+// caught a real isolation violation.
+
+// stateSet is the mutex-protected set of canonical committed states.
+// Writers (the main differential loop) add; readers only test membership.
+type stateSet struct {
+	mu sync.Mutex
+	m  map[string]bool
+}
+
+func (s *stateSet) add(k string)      { s.mu.Lock(); s.m[k] = true; s.mu.Unlock() }
+func (s *stateSet) has(k string) bool { s.mu.Lock(); defer s.mu.Unlock(); return s.m[k] }
+func newStateSet() *stateSet          { return &stateSet{m: map[string]bool{}} }
+
+// canonicalState renders a State deterministically — sorted table names,
+// rows in ascending handle order, kind-exact values — so set membership is
+// exact state equality.
+func canonicalState(s State) string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(n)
+		b.WriteString(":{")
+		for _, r := range s[n] {
+			fmt.Fprintf(&b, "%d=(%s);", r.Handle, renderRow(r.Row))
+		}
+		b.WriteString("} ")
+	}
+	return b.String()
+}
+
+// snapshotState extracts a workload's state from an immutable storage
+// snapshot — the lock-free analogue of engineState.
+func snapshotState(sn *storage.Snapshot, w *gen.Workload) (State, error) {
+	out := State{}
+	for i := range w.Tables {
+		name := w.Tables[i].Name
+		tuples, err := sn.Tuples(name)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]TupleState, len(tuples))
+		for j, t := range tuples {
+			rows[j] = TupleState{Handle: uint64(t.Handle), Row: t.Values}
+		}
+		out[name] = rows
+	}
+	return out, nil
+}
+
+// RunSnapshotDiff executes the workload through the engine and oracle in
+// lockstep (like RunDiff with SkipMetamorphic) while `readers` goroutines
+// continuously load the engine's published snapshot and verify each
+// observed state against the set of committed oracle states. It returns
+// nil if the run is divergence-free and every observed snapshot was a
+// committed state; run it under -race to also catch data races on the
+// snapshot structures themselves.
+func RunSnapshotDiff(w *gen.Workload, opts Options, readers int) *Divergence {
+	choose := Chooser(opts.Salt)
+	eng := engine.New(engine.Config{MaxRuleTransitions: w.Cap, SelectHook: choose})
+	if _, err := eng.Exec(w.SetupSQL()); err != nil {
+		return diverge("setup", -1, "engine rejected setup: %v\n%s", err, w.SetupSQL())
+	}
+	odb := New(w, choose)
+
+	legal := newStateSet()
+	legal.add(canonicalState(odb.State()))
+
+	// Reader side: spin over the published snapshot until told to stop,
+	// recording the first observation that is not a committed state.
+	var (
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+		readerMu sync.Mutex
+		readerD  *Divergence
+		observed int64
+	)
+	fail := func(d *Divergence) {
+		readerMu.Lock()
+		if readerD == nil {
+			readerD = d
+		}
+		readerMu.Unlock()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := int64(0)
+			for {
+				// Observe before checking stop: short workloads finish
+				// before the scheduler runs the readers at all, and every
+				// reader must make at least one observation (the final
+				// committed state is still a meaningful check).
+				st, err := snapshotState(eng.Snapshot(), w)
+				if err != nil {
+					fail(diverge("snapshot-isolation", -1, "snapshot read: %v", err))
+					return
+				}
+				n++
+				if key := canonicalState(st); !legal.has(key) {
+					fail(diverge("snapshot-isolation", -1,
+						"reader observed a state that was never committed:\n%s", key))
+					return
+				}
+				select {
+				case <-stop:
+					readerMu.Lock()
+					observed += n
+					readerMu.Unlock()
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	// Write side: oracle first, register its post-state, then the engine —
+	// so every state the engine can publish is already legal.
+	var final *Divergence
+	for i := range w.Txns {
+		oraOut := odb.RunTxn(w.Txns[i])
+		legal.add(canonicalState(odb.State()))
+		engOut := engineOutcome(eng.Exec(w.TxnSQL(i)))
+		if msg := outcomesDiffer(engOut, oraOut); msg != "" {
+			final = diverge("lockstep", i, "%s", msg)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if final != nil {
+		return final
+	}
+	if readerD != nil {
+		return readerD
+	}
+	if observed == 0 && len(w.Txns) > 0 {
+		return diverge("snapshot-isolation", -1, "readers made no observations (harness bug)")
+	}
+
+	// The engine's own final state must still match the oracle exactly —
+	// both through the store and through the snapshot the readers used.
+	engState, err := engineState(eng, w)
+	if err != nil {
+		return diverge("final", -1, "engine state: %v", err)
+	}
+	if msg := statesDiffer(engState, odb.State()); msg != "" {
+		return diverge("final", -1, "%s", msg)
+	}
+	snapState, err := snapshotState(eng.Snapshot(), w)
+	if err != nil {
+		return diverge("final", -1, "snapshot state: %v", err)
+	}
+	if msg := statesDiffer(engState, snapState); msg != "" {
+		return diverge("final", -1, "store vs snapshot: %s", msg)
+	}
+	return nil
+}

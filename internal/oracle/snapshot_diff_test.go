@@ -1,0 +1,35 @@
+package oracle
+
+import (
+	"flag"
+	"testing"
+
+	"sopr/internal/gen"
+)
+
+// -snapiters sets how many generated workloads the snapshot-isolation
+// differential test races readers against. Each iteration spins up reader
+// goroutines, so it is heavier per workload than TestDifferentialHarness;
+// CI runs it under -race with -cpu 2,4.
+var snapIters = flag.Int("snapiters", 40, "number of generated workloads for TestSnapshotIsolationDifferential")
+
+// TestSnapshotIsolationDifferential races lock-free snapshot readers
+// against the engine's write stream across generated workloads: every
+// state a reader observes must be byte-for-byte equal to some committed
+// oracle state. Run with -race to also check the snapshot structures for
+// data races — the whole point of the MVCC read path is that readers
+// touch only frozen memory and atomic counters.
+func TestSnapshotIsolationDifferential(t *testing.T) {
+	iters := int64(*snapIters)
+	if testing.Short() {
+		iters = 10
+	}
+	const readers = 4
+	for seed := int64(0); seed < iters; seed++ {
+		w := gen.Generate(seed)
+		opts := Options{Salt: uint64(seed)}
+		if d := RunSnapshotDiff(w, opts, readers); d != nil {
+			t.Fatalf("seed %d: %v", seed, d)
+		}
+	}
+}

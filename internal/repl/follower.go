@@ -281,6 +281,14 @@ func (f *Follower) applyRecord(m *wire.ReplRecord) error {
 	}
 	f.mu.Lock()
 	err = f.eng.ReplayRecord(rec)
+	if err == nil {
+		// Publish per applied record so snapshot-based reads (Query, Dump,
+		// Stats) see replicated state as it arrives. This re-freezes the
+		// touched tables — the next record pays one copy-on-write clone —
+		// which is the price of per-record read visibility; bulk recovery
+		// paths publish once at the end instead (see engine.ReplayRecord).
+		f.eng.PublishSnapshot()
+	}
 	f.mu.Unlock()
 	if err != nil {
 		f.reset()

@@ -6,9 +6,10 @@
 // single-stream model of system execution (Section 2.1) — concurrent
 // writers are simply interleaved as a stream of transactions — while
 // read-only requests (query, stats, dump; ping never touches the engine)
-// run under the wrapper's shared lock: independent connections issuing
-// reads execute concurrently and scale across cores instead of queueing
-// behind one mutex (experiment S2 measures this).
+// take no lock at all: they read the engine's published MVCC snapshot, so
+// independent connections issuing reads execute concurrently with each
+// other and with a running writer, and scale across cores instead of
+// queueing behind one mutex (experiments S2 and S3 measure this).
 //
 // Robustness against slow or broken peers: every read of a request frame and
 // every write of a response runs under a deadline, frames beyond the

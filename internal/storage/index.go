@@ -52,6 +52,25 @@ func newSecondaryIndex(def *catalog.Index, td *tableData) *secondaryIndex {
 	return ix
 }
 
+// clone deep-copies the index — buckets map and handle slices — for the
+// copy-on-write table clone. Sharing bucket slices would let the writer's
+// in-place remove (and append's spare-capacity reuse) scribble over a
+// published snapshot's buckets.
+func (ix *secondaryIndex) clone() *secondaryIndex {
+	c := &secondaryIndex{
+		def:     ix.def,
+		col:     ix.col,
+		kind:    ix.kind,
+		buckets: make(map[value.Key][]Handle, len(ix.buckets)),
+	}
+	for k, b := range ix.buckets {
+		nb := make([]Handle, len(b))
+		copy(nb, b)
+		c.buckets[k] = nb
+	}
+	return c
+}
+
 func (ix *secondaryIndex) add(row Row, h Handle) {
 	k, ok := value.KeyExact(row[ix.col])
 	if !ok {
@@ -141,12 +160,15 @@ func (s *Store) CreateIndex(name, table, column string) error {
 	if s.inTxn {
 		return fmt.Errorf("storage: CREATE INDEX inside a transaction is not supported")
 	}
-	def, err := s.cat.CreateIndex(name, table, column)
+	cat := s.cat.Clone()
+	def, err := cat.CreateIndex(name, table, column)
 	if err != nil {
 		return err
 	}
-	td := s.tables[def.Table]
+	s.cat = cat
+	td := s.writable(s.tables[def.Table])
 	td.indexes = append(td.indexes, newSecondaryIndex(def, td))
+	s.publish()
 	return nil
 }
 
@@ -160,16 +182,19 @@ func (s *Store) DropIndex(name string) error {
 	if err != nil {
 		return err
 	}
-	if err := s.cat.DropIndex(name); err != nil {
+	cat := s.cat.Clone()
+	if err := cat.DropIndex(name); err != nil {
 		return err
 	}
-	td := s.tables[def.Table]
+	s.cat = cat
+	td := s.writable(s.tables[def.Table])
 	for i, ix := range td.indexes {
 		if ix.def.Name == def.Name {
 			td.indexes = append(td.indexes[:i], td.indexes[i+1:]...)
 			break
 		}
 	}
+	s.publish()
 	return nil
 }
 
@@ -181,12 +206,7 @@ func (s *Store) HasIndex(table string, col int) bool {
 	if err != nil {
 		return false
 	}
-	for _, ix := range td.indexes {
-		if ix.col == col {
-			return true
-		}
-	}
-	return false
+	return hasIndexOn(td, col)
 }
 
 // IndexedLookup serves the selection `table.column = v` (or, with several
@@ -201,6 +221,13 @@ func (s *Store) IndexedLookup(table string, col int, vals ...value.Value) (tuple
 	if err != nil {
 		return nil, false, err
 	}
+	tuples, ok = indexedLookup(td, s.counters, col, vals...)
+	return tuples, ok, nil
+}
+
+// indexedLookup is the shared body of Store.IndexedLookup and
+// Snapshot.IndexedLookup, operating on one physical table representation.
+func indexedLookup(td *tableData, c *accessCounters, col int, vals ...value.Value) ([]*Tuple, bool) {
 	var ix *secondaryIndex
 	for _, cand := range td.indexes {
 		if cand.col == col {
@@ -209,7 +236,7 @@ func (s *Store) IndexedLookup(table string, col int, vals ...value.Value) (tuple
 		}
 	}
 	if ix == nil {
-		return nil, false, nil
+		return nil, false
 	}
 	var handles []Handle
 	var seen map[value.Key]bool
@@ -220,7 +247,7 @@ func (s *Store) IndexedLookup(table string, col int, vals ...value.Value) (tuple
 		k, outcome := probeKey(v, ix.kind)
 		switch outcome {
 		case probeScan:
-			return nil, false, nil
+			return nil, false
 		case probeEmpty:
 			continue
 		}
@@ -232,28 +259,28 @@ func (s *Store) IndexedLookup(table string, col int, vals ...value.Value) (tuple
 		}
 		handles = append(handles, ix.buckets[k]...)
 	}
-	s.indexLookups.Add(1)
+	c.indexLookups.Add(1)
 	if len(handles) == 0 {
-		return nil, true, nil
+		return nil, true
 	}
 	// Distinct keys hold disjoint handle sets, so the handles are unique;
 	// sort by physical position to reproduce heap-scan order.
 	sort.Slice(handles, func(i, j int) bool { return td.index[handles[i]] < td.index[handles[j]] })
-	tuples = make([]*Tuple, len(handles))
+	tuples := make([]*Tuple, len(handles))
 	for i, h := range handles {
 		tuples[i] = td.rows[td.index[h]]
 	}
-	return tuples, true, nil
+	return tuples, true
 }
 
 // AccessStats reports the cumulative access-path counters: full heap
 // scans started (Scan calls) and selections served from a secondary
-// index. The counters are atomic — queries increment them concurrently
-// under SynchronizedDB's shared lock — so a snapshot taken while readers
+// index. The counters are atomic — lock-free snapshot readers increment
+// them concurrently with the writer — so a reading taken while readers
 // run returns, for each counter, a value that was current at some instant
 // during the call.
 func (s *Store) AccessStats() (heapScans, indexLookups int64) {
-	return s.heapScans.Load(), s.indexLookups.Load()
+	return s.counters.heapScans.Load(), s.counters.indexLookups.Load()
 }
 
 // CheckIndexes verifies every secondary index against a from-scratch

@@ -7,6 +7,15 @@
 // containing table". Handles are allocated from a monotonically increasing
 // counter and are never reused, even across rolled-back transactions.
 // Duplicate tuples may appear in a table; each occupies its own handle.
+//
+// Concurrency model (see also snapshot.go). The store itself follows the
+// paper's single-stream model — one writer, no locking — but every commit
+// (and every DDL statement) publishes an immutable point-in-time Snapshot
+// behind an atomic pointer. Tables are copy-on-write at table granularity:
+// the first mutation of a table after a publish clones its physical
+// representation, so the published version is frozen forever and readers
+// traverse it with zero locking while the writer keeps mutating its
+// private copy in place.
 package storage
 
 import (
@@ -60,6 +69,8 @@ func (r Row) String() string {
 }
 
 // Tuple is a stored tuple: its handle, containing table, and current values.
+// Once a tuple has been published in a snapshot it is immutable: updates
+// replace the *Tuple rather than assigning Values in place.
 type Tuple struct {
 	Handle Handle
 	Table  string
@@ -70,11 +81,36 @@ type Tuple struct {
 // (duplicates allowed) plus a handle index. Deletion swaps with the last
 // element, so scan order is deterministic for a given operation history but
 // not insertion-ordered.
+//
+// frozen marks a tableData that has been captured by a published Snapshot.
+// A frozen tableData is immutable; the writer clones it (copy-on-write) on
+// the first mutation after the publish.
 type tableData struct {
 	schema  *catalog.Table
 	rows    []*Tuple
 	index   map[Handle]int
 	indexes []*secondaryIndex
+	frozen  bool
+}
+
+// clone deep-copies the physical structures (row slice, handle index,
+// secondary-index buckets) into a fresh unfrozen tableData. Tuples and
+// their Rows are shared: they are immutable once stored.
+func (td *tableData) clone() *tableData {
+	rows := make([]*Tuple, len(td.rows))
+	copy(rows, td.rows)
+	index := make(map[Handle]int, len(td.index))
+	for h, p := range td.index {
+		index[h] = p
+	}
+	var indexes []*secondaryIndex
+	if len(td.indexes) > 0 {
+		indexes = make([]*secondaryIndex, len(td.indexes))
+		for i, ix := range td.indexes {
+			indexes[i] = ix.clone()
+		}
+	}
+	return &tableData{schema: td.schema, rows: rows, index: index, indexes: indexes}
 }
 
 // undoKind discriminates undo-log records.
@@ -93,34 +129,49 @@ type undoRec struct {
 	oldRow Row // for undoDelete (full tuple) and undoUpdate (pre-image)
 }
 
-// Store is the storage engine. It is not safe for concurrent mutation; the
-// paper's model of system execution is a single stream of operation blocks
-// with concurrency "transparent" below the abstraction (Section 2.1).
-// Read-only methods (Scan, Get, Count, Tuples, IndexedLookup, HasIndex,
-// AccessStats, and catalog lookups) may run concurrently with each other
-// as long as no mutation is in flight — the contract SynchronizedDB's
-// reader-writer lock provides. The only state they touch is the
-// access-path counter pair, which is atomic for exactly that reason.
-type Store struct {
-	cat    *catalog.Catalog
-	next   Handle
-	tables map[string]*tableData
-	undo   []undoRec
-	inTxn  bool
-
-	// Access-path counters, reported by AccessStats. Atomic because the
-	// read path increments them: concurrent queries under a shared lock
-	// must not race with each other (or with a Stats snapshot).
+// accessCounters is the atomic access-path counter pair. It is shared by
+// pointer between the Store and every Snapshot it publishes, so indexed
+// and scanned reads count identically no matter which side served them.
+type accessCounters struct {
 	heapScans    atomic.Int64
 	indexLookups atomic.Int64
 }
 
-// New returns an empty store with its own catalog.
+// Store is the storage engine. It is not safe for concurrent mutation; the
+// paper's model of system execution is a single stream of operation blocks
+// with concurrency "transparent" below the abstraction (Section 2.1).
+// Concurrent readers never touch the Store directly: they load the current
+// Snapshot (an atomic pointer read) and traverse its frozen structures with
+// no locking at all. The only words the two sides share are the atomic
+// access-path counters.
+type Store struct {
+	cat    *catalog.Catalog
+	next   Handle
+	tables map[string]*tableData
+	// owner maps every live handle to the (normalized) name of its
+	// containing table, so handle lookups are O(1) instead of a scan over
+	// all tables in nondeterministic map order. The three mutation
+	// primitives (applyInsert, applyRemove, applySet) keep it in sync;
+	// CheckHandleIndex verifies it against a full scan.
+	owner map[Handle]string
+	undo  []undoRec
+	inTxn bool
+
+	counters *accessCounters
+	snap     atomic.Pointer[Snapshot]
+}
+
+// New returns an empty store with its own catalog and an (empty) published
+// snapshot.
 func New() *Store {
-	return &Store{
-		cat:    catalog.New(),
-		tables: make(map[string]*tableData),
+	s := &Store{
+		cat:      catalog.New(),
+		tables:   make(map[string]*tableData),
+		owner:    make(map[Handle]string),
+		counters: &accessCounters{},
 	}
+	s.publish()
+	return s
 }
 
 // Catalog returns the store's schema catalog.
@@ -132,10 +183,13 @@ func (s *Store) CreateTable(t *catalog.Table) error {
 	if s.inTxn {
 		return fmt.Errorf("storage: CREATE TABLE inside a transaction is not supported")
 	}
-	if err := s.cat.Create(t); err != nil {
+	cat := s.cat.Clone()
+	if err := cat.Create(t); err != nil {
 		return err
 	}
+	s.cat = cat
 	s.tables[t.Name] = &tableData{schema: t, index: make(map[Handle]int)}
+	s.publish()
 	return nil
 }
 
@@ -144,27 +198,27 @@ func (s *Store) DropTable(name string) error {
 	if s.inTxn {
 		return fmt.Errorf("storage: DROP TABLE inside a transaction is not supported")
 	}
-	if err := s.cat.Drop(name); err != nil {
+	t, err := s.cat.Lookup(name)
+	if err != nil {
 		return err
 	}
-	delete(s.tables, name)
+	cat := s.cat.Clone()
+	if err := cat.Drop(t.Name); err != nil {
+		return err
+	}
+	s.cat = cat
+	if td, ok := s.tables[t.Name]; ok {
+		for _, tup := range td.rows {
+			delete(s.owner, tup.Handle)
+		}
+	}
+	delete(s.tables, t.Name)
+	s.publish()
 	return nil
 }
 
 func (s *Store) table(name string) (*tableData, error) {
-	td, ok := s.tables[name]
-	if !ok {
-		// The catalog normalizes case; retry via catalog lookup.
-		t, err := s.cat.Lookup(name)
-		if err != nil {
-			return nil, err
-		}
-		td, ok = s.tables[t.Name]
-		if !ok {
-			return nil, fmt.Errorf("storage: table %q has no data (internal error)", name)
-		}
-	}
-	return td, nil
+	return lookupTable(s.cat, s.tables, name)
 }
 
 // Begin starts a transaction. Nested transactions are not supported: the
@@ -182,33 +236,43 @@ func (s *Store) Begin() error {
 // InTxn reports whether a transaction is open.
 func (s *Store) InTxn() bool { return s.inTxn }
 
-// Commit ends the transaction, discarding the undo log.
+// Commit ends the transaction, discarding the undo log and publishing the
+// new committed state as the current snapshot.
 func (s *Store) Commit() error {
 	if !s.inTxn {
 		return fmt.Errorf("storage: no transaction in progress")
 	}
 	s.inTxn = false
 	s.undo = s.undo[:0]
+	s.publish()
 	return nil
 }
 
 // Rollback undoes every change of the current transaction, in reverse
 // order, restoring the pre-transaction state. Handles allocated during the
-// transaction are not reused afterwards.
+// transaction are not reused afterwards. The published snapshot is left as
+// it was: the restored state is value-identical to it.
 func (s *Store) Rollback() error {
 	if !s.inTxn {
 		return fmt.Errorf("storage: no transaction in progress")
 	}
 	for i := len(s.undo) - 1; i >= 0; i-- {
 		rec := s.undo[i]
-		td := s.tables[rec.table]
+		td, ok := s.tables[rec.table]
+		if !ok {
+			return fmt.Errorf("storage: rollback: table %q vanished (internal error)", rec.table)
+		}
 		switch rec.kind {
 		case undoInsert:
-			td.removeHandle(rec.handle)
+			if _, err := s.applyRemove(td, rec.handle); err != nil {
+				return fmt.Errorf("storage: rollback: %w", err)
+			}
 		case undoDelete:
-			td.insertTuple(&Tuple{Handle: rec.handle, Table: rec.table, Values: rec.oldRow})
+			s.applyInsert(td, &Tuple{Handle: rec.handle, Table: rec.table, Values: rec.oldRow})
 		case undoUpdate:
-			td.setValues(rec.handle, rec.oldRow)
+			if err := s.applySet(td, rec.handle, rec.oldRow); err != nil {
+				return fmt.Errorf("storage: rollback: %w", err)
+			}
 		}
 	}
 	s.inTxn = false
@@ -216,21 +280,44 @@ func (s *Store) Rollback() error {
 	return nil
 }
 
-// insertTuple, removeHandle and setValues are the only primitives that
-// mutate a table's tuples. Both forward operations and the undo log's
-// compensations go through them, so secondary indexes stay in sync on
-// commit and rollback alike.
+// writable returns a tableData the writer may mutate: td itself when it is
+// private to the writer, or a fresh copy-on-write clone (installed in
+// s.tables) when td is frozen in a published snapshot.
+func (s *Store) writable(td *tableData) *tableData {
+	if !td.frozen {
+		return td
+	}
+	c := td.clone()
+	s.tables[td.schema.Name] = c
+	return c
+}
 
-func (td *tableData) insertTuple(t *Tuple) {
+// applyInsert, applyRemove and applySet are the only primitives that mutate
+// a table's tuples. Both forward operations and the undo log's
+// compensations go through them, so secondary indexes and the store-level
+// handle directory stay in sync on commit and rollback alike. Each takes
+// the copy-on-write step first, so published snapshots are never touched.
+
+func (s *Store) applyInsert(td *tableData, t *Tuple) {
+	td = s.writable(td)
 	td.index[t.Handle] = len(td.rows)
 	td.rows = append(td.rows, t)
 	for _, ix := range td.indexes {
 		ix.add(t.Values, t.Handle)
 	}
+	s.owner[t.Handle] = td.schema.Name
 }
 
-func (td *tableData) removeHandle(h Handle) {
-	pos := td.index[h]
+// applyRemove deletes the tuple with handle h, returning its final values.
+// A handle absent from the table is an explicit error: the position lookup
+// must not fall through to map-zero-value position 0, which would silently
+// remove an unrelated tuple.
+func (s *Store) applyRemove(td *tableData, h Handle) (Row, error) {
+	td = s.writable(td)
+	pos, ok := td.index[h]
+	if !ok {
+		return nil, fmt.Errorf("storage: remove of handle %d absent from table %q", h, td.schema.Name)
+	}
 	t := td.rows[pos]
 	last := len(td.rows) - 1
 	if pos != last {
@@ -242,17 +329,28 @@ func (td *tableData) removeHandle(h Handle) {
 	for _, ix := range td.indexes {
 		ix.remove(t.Values, h)
 	}
+	delete(s.owner, h)
+	return t.Values, nil
 }
 
-// setValues replaces the values of the tuple with handle h in place,
-// re-keying secondary indexes for the changed row.
-func (td *tableData) setValues(h Handle, next Row) {
-	t := td.rows[td.index[h]]
+// applySet replaces the values of the tuple with handle h, re-keying
+// secondary indexes for the changed row. The stored *Tuple is replaced, not
+// mutated: the old one may be shared with a published snapshot. Like
+// applyRemove, an absent handle is an explicit error rather than a silent
+// overwrite of position 0.
+func (s *Store) applySet(td *tableData, h Handle, next Row) error {
+	td = s.writable(td)
+	pos, ok := td.index[h]
+	if !ok {
+		return fmt.Errorf("storage: set of handle %d absent from table %q", h, td.schema.Name)
+	}
+	t := td.rows[pos]
 	for _, ix := range td.indexes {
 		ix.remove(t.Values, h)
 		ix.add(next, h)
 	}
-	t.Values = next
+	td.rows[pos] = &Tuple{Handle: h, Table: t.Table, Values: next}
+	return nil
 }
 
 // coerceRow validates and coerces a row against the table schema.
@@ -292,7 +390,7 @@ func (s *Store) Insert(table string, row Row) (Handle, error) {
 	}
 	s.next++
 	h := s.next
-	td.insertTuple(&Tuple{Handle: h, Table: td.schema.Name, Values: vals})
+	s.applyInsert(td, &Tuple{Handle: h, Table: td.schema.Name, Values: vals})
 	if s.inTxn {
 		s.undo = append(s.undo, undoRec{kind: undoInsert, handle: h, table: td.schema.Name})
 	}
@@ -306,9 +404,10 @@ func (s *Store) Delete(h Handle) (table string, old Row, err error) {
 	if !ok {
 		return "", nil, fmt.Errorf("storage: delete of unknown handle %d", h)
 	}
-	td := s.tables[t.Table]
-	old = t.Values
-	td.removeHandle(h)
+	old, err = s.applyRemove(s.tables[t.Table], h)
+	if err != nil {
+		return "", nil, err
+	}
 	if s.inTxn {
 		s.undo = append(s.undo, undoRec{kind: undoDelete, handle: h, table: t.Table, oldRow: old})
 	}
@@ -344,25 +443,59 @@ func (s *Store) Update(h Handle, assign map[int]value.Value) (table string, old 
 		}
 		next[idx] = cv
 	}
-	td.setValues(h, next)
+	if err := s.applySet(td, h, next); err != nil {
+		return "", nil, err
+	}
 	if s.inTxn {
 		s.undo = append(s.undo, undoRec{kind: undoUpdate, handle: h, table: t.Table, oldRow: old})
 	}
 	return t.Table, old, nil
 }
 
-// find locates a live tuple by handle across all tables.
+// find locates a live tuple by handle through the store-level handle
+// directory: one map lookup instead of a scan over every table.
 func (s *Store) find(h Handle) (*Tuple, bool) {
-	for _, td := range s.tables {
-		if pos, ok := td.index[h]; ok {
-			return td.rows[pos], true
-		}
+	name, ok := s.owner[h]
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	td, ok := s.tables[name]
+	if !ok {
+		return nil, false
+	}
+	pos, ok := td.index[h]
+	if !ok {
+		return nil, false
+	}
+	return td.rows[pos], true
 }
 
 // Get returns the live tuple with the given handle.
 func (s *Store) Get(h Handle) (*Tuple, bool) { return s.find(h) }
+
+// CheckHandleIndex verifies the store-level handle directory against a full
+// scan of every table, returning the first discrepancy. Tests run it after
+// randomized operation histories (including rollbacks and replays) to prove
+// the directory can never disagree with the heap.
+func (s *Store) CheckHandleIndex() error {
+	live := 0
+	for name, td := range s.tables {
+		for _, t := range td.rows {
+			got, ok := s.owner[t.Handle]
+			if !ok {
+				return fmt.Errorf("storage: handle %d live in table %q but absent from the handle directory", t.Handle, name)
+			}
+			if got != name {
+				return fmt.Errorf("storage: handle %d live in table %q but directory says %q", t.Handle, name, got)
+			}
+			live++
+		}
+	}
+	if live != len(s.owner) {
+		return fmt.Errorf("storage: handle directory holds %d entries, tables hold %d live tuples", len(s.owner), live)
+	}
+	return nil
+}
 
 // Scan calls fn for every tuple of the named table, in the store's current
 // physical order. fn must not modify the table. A false return stops the
@@ -372,12 +505,7 @@ func (s *Store) Scan(table string, fn func(*Tuple) bool) error {
 	if err != nil {
 		return err
 	}
-	s.heapScans.Add(1)
-	for _, t := range td.rows {
-		if !fn(t) {
-			return nil
-		}
-	}
+	scanTable(td, s.counters, fn)
 	return nil
 }
 
@@ -391,16 +519,25 @@ func (s *Store) Count(table string) (int, error) {
 }
 
 // Tuples returns the tuples of the named table sorted by handle — a
-// deterministic order used by tests and result printers.
+// deterministic order used by dumps, tests and result printers. The
+// returned tuples are clones: callers may mutate them without aliasing
+// committed state (the published snapshots share the live tuples).
 func (s *Store) Tuples(table string) ([]*Tuple, error) {
 	td, err := s.table(table)
 	if err != nil {
 		return nil, err
 	}
+	return sortedTupleClones(td), nil
+}
+
+// sortedTupleClones is the shared body of Store.Tuples and Snapshot.Tuples.
+func sortedTupleClones(td *tableData) []*Tuple {
 	out := make([]*Tuple, len(td.rows))
-	copy(out, td.rows)
+	for i, t := range td.rows {
+		out[i] = &Tuple{Handle: t.Handle, Table: t.Table, Values: t.Values.Clone()}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Handle < out[j].Handle })
-	return out, nil
+	return out
 }
 
 // NextHandle reports the next handle that would be allocated. Used by
@@ -414,9 +551,12 @@ func (s *Store) NextHandle() Handle { return s.next + 1 }
 // write-ahead log; the effects address tuples by their system handles, so
 // replay must reproduce handles exactly rather than allocate fresh ones.
 // These primitives are only legal outside transactions (recovery happens
-// before the engine serves anything) and go through the same insertTuple /
-// removeHandle / setValues mutation paths as normal operation, so
-// secondary indexes stay consistent.
+// before the engine serves anything) and go through the same applyInsert /
+// applyRemove / applySet mutation paths as normal operation, so secondary
+// indexes and the handle directory stay consistent. They deliberately do
+// not publish: recovery replays many records and publishes once at the end
+// (see engine.PublishSnapshot), while the replication follower publishes
+// after every applied record for per-record read visibility.
 // ---------------------------------------------------------------------------
 
 // ReplayInsert inserts a tuple with an explicit, pre-assigned handle and
@@ -439,7 +579,7 @@ func (s *Store) ReplayInsert(table string, h Handle, row Row) error {
 	if _, live := s.find(h); live {
 		return fmt.Errorf("storage: replay insert of live handle %d", h)
 	}
-	td.insertTuple(&Tuple{Handle: h, Table: td.schema.Name, Values: vals})
+	s.applyInsert(td, &Tuple{Handle: h, Table: td.schema.Name, Values: vals})
 	if h > s.next {
 		s.next = h
 	}
@@ -455,8 +595,8 @@ func (s *Store) ReplayDelete(h Handle) error {
 	if !ok {
 		return fmt.Errorf("storage: replay delete of unknown handle %d", h)
 	}
-	s.tables[t.Table].removeHandle(h)
-	return nil
+	_, err := s.applyRemove(s.tables[t.Table], h)
+	return err
 }
 
 // ReplaySet overwrites the full row of a live tuple (update replay: the
@@ -474,8 +614,7 @@ func (s *Store) ReplaySet(h Handle, row Row) error {
 	if err != nil {
 		return err
 	}
-	td.setValues(h, vals)
-	return nil
+	return s.applySet(td, h, vals)
 }
 
 // RestoreNextHandle advances the handle counter so that the next
@@ -501,24 +640,21 @@ func (s *Store) Clone() *Store {
 	for _, name := range s.cat.Names() {
 		t, _ := s.cat.Lookup(name)
 		// Schemas are immutable; share them.
-		if err := c.cat.Create(t); err != nil {
+		if err := c.CreateTable(t); err != nil {
 			panic(err)
 		}
 		src := s.tables[name]
-		dst := &tableData{schema: t, index: make(map[Handle]int, len(src.rows))}
+		dst := c.tables[name]
 		for _, tup := range src.rows {
-			dst.insertTuple(&Tuple{Handle: tup.Handle, Table: tup.Table, Values: tup.Values.Clone()})
+			c.applyInsert(dst, &Tuple{Handle: tup.Handle, Table: tup.Table, Values: tup.Values.Clone()})
 		}
-		c.tables[name] = dst
 	}
 	for _, name := range s.cat.IndexNames() {
 		def, _ := s.cat.Index(name)
-		ndef, err := c.cat.CreateIndex(def.Name, def.Table, def.Column)
-		if err != nil {
+		if err := c.CreateIndex(def.Name, def.Table, def.Column); err != nil {
 			panic(err)
 		}
-		dst := c.tables[ndef.Table]
-		dst.indexes = append(dst.indexes, newSecondaryIndex(ndef, dst))
 	}
+	c.publish()
 	return c
 }

@@ -450,8 +450,9 @@ func (db *DB) Stats() Stats {
 // Rules returns the defined rule names in definition order.
 func (db *DB) Rules() []string { return db.eng.Rules() }
 
-// Tables returns the defined table names, sorted.
-func (db *DB) Tables() []string { return db.eng.Store().Catalog().Names() }
+// Tables returns the defined table names, sorted. Reads the published
+// snapshot's catalog, so it is safe concurrent with a writer.
+func (db *DB) Tables() []string { return db.eng.Snapshot().Catalog().Names() }
 
 // SetRuleScope overrides one rule's triggering scope (footnote 8).
 func (db *DB) SetRuleScope(rule string, scope TriggerScope) error {
