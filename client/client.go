@@ -37,14 +37,19 @@ const (
 	CodeNotPrimary = wire.CodeNotPrimary
 	CodeLagging    = wire.CodeLagging
 	CodeDiverged   = wire.CodeDiverged
+	CodeFenced     = wire.CodeFenced
+	CodeStaleEpoch = wire.CodeStaleEpoch
 )
 
 // RemoteError is a failure reported by the server. Line is the 1-based line
-// within the submitted script for CodeParse errors, 0 otherwise.
+// within the submitted script for CodeParse errors, 0 otherwise. Epoch is
+// the fencing epoch for CodeFenced and the node's epoch for
+// CodeStaleEpoch, 0 otherwise.
 type RemoteError struct {
 	Code    string
 	Message string
 	Line    int
+	Epoch   uint64
 }
 
 func (e *RemoteError) Error() string {
@@ -90,14 +95,22 @@ type ServerStats struct {
 // ReplStats describes a node's replication state (see Stats.Repl); the
 // fields mirror the wire protocol's ReplStats.
 type ReplStats struct {
-	Role           string // "primary" or "replica"
-	LSN            uint64 // own position: durable LSN (primary), applied LSN (replica)
-	PrimaryLSN     uint64 // replica's last view of the primary's LSN
-	Lag            int64  // PrimaryLSN - LSN on a replica
-	Connected      bool   // replica's stream to the primary is up
-	Promoted       bool   // node was promoted from replica to writable
-	Followers      int    // connected stream sessions on a primary
-	MinFollowerLSN uint64 // lowest acked LSN across followers (retention horizon)
+	Role             string // "primary" or "replica"
+	LSN              uint64 // own position: durable LSN (primary), applied LSN (replica)
+	PrimaryLSN       uint64 // replica's last view of the primary's LSN
+	Lag              int64  // PrimaryLSN - LSN on a replica
+	Connected        bool   // replica's stream to the primary is up
+	Promoted         bool   // node was promoted from replica to writable
+	Followers        int    // connected stream sessions on a primary
+	MinFollowerLSN   uint64 // lowest acked LSN across followers (retention horizon)
+	Epoch            uint64 // node's promotion epoch (0 before any failover)
+	Durable          bool   // node persists its state in its own WAL
+	Fenced           bool   // node observed a higher epoch and refuses writes
+	Leader           string // upstream address a replica streams from
+	SyncFollowers    int    // configured sync-commit ack quorum (0 = async)
+	SyncTimeouts     int64  // commits that degraded to async on timeout
+	Resets           int64  // reset-and-rebootstrap cycles on a replica
+	DiscardedRecords int64  // records dropped on divergence resets
 }
 
 // Stats bundles the remote engine's counters with the server's own.
@@ -120,6 +133,12 @@ func WithMaxFrame(n int) Option { return func(c *Client) { c.maxFrame = n } }
 // disconnect idle clients on its own schedule regardless).
 func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
 
+// WithLogf routes client-side event lines (cluster failover decisions,
+// endpoint state changes) to f. Nil (the default) discards them.
+func WithLogf(f func(format string, args ...any)) Option {
+	return func(c *Client) { c.logf = f }
+}
+
 // WithDialRetry retries a failed dial up to n more times, sleeping backoff
 // before the first retry and doubling it each attempt (capped at 30x, with
 // up to 50% random jitter added so restarting fleets do not reconnect in
@@ -138,6 +157,7 @@ type Client struct {
 	conn     net.Conn
 	maxFrame int
 	timeout  time.Duration
+	logf     func(format string, args ...any)
 
 	dialRetries int
 	dialBackoff time.Duration
@@ -217,7 +237,9 @@ func (c *Client) roundTrip(reqType byte, req any, wantType byte, out any) error 
 	}
 	switch typ {
 	case wantType:
-		if out == nil {
+		// A payload-less response (an old-style promote ack) decodes into
+		// nothing; out keeps its zero value.
+		if out == nil || len(payload) == 0 {
 			return nil
 		}
 		return wire.Unmarshal(payload, out)
@@ -226,7 +248,7 @@ func (c *Client) roundTrip(reqType byte, req any, wantType byte, out any) error 
 		if err := wire.Unmarshal(payload, &er); err != nil {
 			return err
 		}
-		return &RemoteError{Code: er.Code, Message: er.Message, Line: er.Line}
+		return &RemoteError{Code: er.Code, Message: er.Message, Line: er.Line, Epoch: er.Epoch}
 	default:
 		return fmt.Errorf("client: unexpected %s response to %s",
 			wire.TypeName(typ), wire.TypeName(reqType))
@@ -236,11 +258,23 @@ func (c *Client) roundTrip(reqType byte, req any, wantType byte, out any) error 
 // Exec runs a script on the server as the next operation blocks in its
 // stream, exactly like sopr.DB.Exec runs it locally.
 func (c *Client) Exec(src string) (*sopr.Result, error) {
+	return c.ExecAt(src, 0)
+}
+
+// ExecAt is Exec carrying the caller's cluster epoch. A server at a newer
+// epoch refuses with CodeStaleEpoch (the caller must re-probe the
+// cluster); a server at an older one learns of the epoch and fences
+// itself — the write answers CodeFenced instead of landing on a zombie
+// primary's dead history. Epoch 0 claims nothing.
+func (c *Client) ExecAt(src string, epoch uint64) (*sopr.Result, error) {
 	var resp wire.ExecResponse
-	if err := c.roundTrip(wire.MsgExec, wire.ExecRequest{Src: src}, wire.MsgExecResult, &resp); err != nil {
+	if err := c.roundTrip(wire.MsgExec, wire.ExecRequest{Src: src, Epoch: epoch}, wire.MsgExecResult, &resp); err != nil {
 		return nil, err
 	}
-	res := &sopr.Result{RolledBack: resp.RolledBack, RollbackRule: resp.RollbackRule, LSN: resp.LSN}
+	res := &sopr.Result{
+		RolledBack: resp.RolledBack, RollbackRule: resp.RollbackRule,
+		LSN: resp.LSN, Epoch: resp.Epoch, Synced: resp.Synced,
+	}
 	for _, f := range resp.Firings {
 		res.Firings = append(res.Firings, sopr.Firing{Rule: f.Rule, Effect: f.Effect})
 	}
@@ -319,11 +353,39 @@ func (c *Client) Ping() error {
 	return c.roundTrip(wire.MsgPing, nil, wire.MsgPong, nil)
 }
 
-// Promote asks a replica to detach from its primary and accept writes.
-// It fails with a RemoteError on a node that is not a replica. Clients
-// normally never call this directly — Cluster failover does.
+// Promote asks a replica to detach from its primary and accept writes in
+// whatever epoch the node opens. It fails with a RemoteError on a node
+// that cannot be promoted. Clients normally never call this directly —
+// Cluster failover does.
 func (c *Client) Promote() error {
-	return c.roundTrip(wire.MsgReplPromote, nil, wire.MsgReplPromoted, nil)
+	_, _, err := c.PromoteTo(0)
+	return err
+}
+
+// PromoteTo is Promote with an explicit target epoch: the node opens
+// max(epoch, its highest seen + 1), and reports the epoch actually opened
+// together with its durable LSN. Epoch 0 lets the node pick.
+func (c *Client) PromoteTo(epoch uint64) (openedEpoch, lsn uint64, err error) {
+	var resp wire.ReplPromotedResponse
+	var req any
+	if epoch > 0 {
+		req = wire.ReplPromoteRequest{Epoch: epoch}
+	}
+	if err := c.roundTrip(wire.MsgReplPromote, req, wire.MsgReplPromoted, &resp); err != nil {
+		return 0, 0, err
+	}
+	return resp.Epoch, resp.LSN, nil
+}
+
+// Follow points the node at a leader for the given epoch: a replica
+// re-points its stream and resumes from its applied LSN; a promoted node
+// or old primary demotes itself into the leader's follower, truncating
+// any unshipped suffix. The epoch must be current or it fails with
+// CodeStaleEpoch. Cluster failover calls this on the new leader's
+// siblings and, once reachable again, on the deposed primary.
+func (c *Client) Follow(leader string, epoch uint64) error {
+	req := wire.ReplFollowRequest{Leader: leader, Epoch: epoch}
+	return c.roundTrip(wire.MsgReplFollow, req, wire.MsgReplFollowed, nil)
 }
 
 // IsRemote reports whether err is a server-reported failure with the given

@@ -2,10 +2,18 @@
 // replicas. Writes go to the primary; reads fan out round-robin across
 // replicas (falling back to the primary), each carrying the
 // read-your-writes LSN token from the cluster's last write so a replica
-// never answers with state older than the caller's own writes. When the
-// primary dies mid-write, the cluster fails over: it promotes the
-// reachable replica with the highest applied LSN and retries the write
-// once there.
+// never answers with state older than the caller's own writes.
+//
+// Failover is epoch-fenced: when the primary dies mid-write the cluster
+// promotes the best reachable replica — highest applied LSN, durable
+// (-data) nodes winning ties, lowest address as the deterministic final
+// tie-break — into the next epoch, and every write from then on carries
+// that epoch. A durable winner ships WAL itself, so the cluster re-points
+// the surviving siblings at it (Follow) and they resume from their
+// applied LSN; only a non-durable winner orphans them into the sticky
+// "stale" state. A deposed primary that comes back is discovered by the
+// next probe and demoted under the current leader, truncating whatever
+// suffix it accepted on the losing side of the partition.
 package client
 
 import (
@@ -26,10 +34,13 @@ var ErrNoPrimary = errors.New("client: no writable endpoint in cluster")
 // endpoint is one cluster member: its address, a lazily-(re)dialed
 // connection, and what the last stats probe said about it.
 type endpoint struct {
-	addr string
-	c    *Client // nil when down / not yet dialed
-	role string  // "primary", "replica", or "" before the first probe
-	lsn  uint64  // position from the last probe
+	addr    string
+	c       *Client // nil when down / not yet dialed
+	role    string  // "primary", "replica", "stale", or "" before the first probe
+	lsn     uint64  // position from the last probe
+	epoch   uint64  // promotion epoch from the last probe
+	durable bool    // node has its own WAL (can lead after promotion)
+	fenced  bool    // node saw a newer epoch and refuses writes
 }
 
 // Cluster routes requests across a primary and its replicas. It is safe
@@ -37,12 +48,14 @@ type endpoint struct {
 // round trips are serialized by each endpoint's Client.
 type Cluster struct {
 	opts []Option
+	logf func(format string, args ...any)
 
 	mu      sync.Mutex
 	eps     []*endpoint
-	primary int // index into eps, -1 when unknown
-	rr      int // round-robin cursor over read endpoints
-	token   uint64
+	primary int    // index into eps, -1 when unknown
+	rr      int    // round-robin cursor over read endpoints
+	token   uint64 // read-your-writes LSN floor
+	epoch   uint64 // highest promotion epoch seen anywhere
 }
 
 // DialCluster connects to a cluster given its member addresses in any
@@ -55,6 +68,13 @@ func DialCluster(addrs []string, opts ...Option) (*Cluster, error) {
 		return nil, fmt.Errorf("client: DialCluster needs at least one address")
 	}
 	cl := &Cluster{opts: opts, primary: -1}
+	// Options configure Clients; extract the cluster-relevant ones by
+	// applying them to a scratch instance.
+	var scratch Client
+	for _, o := range opts {
+		o(&scratch)
+	}
+	cl.logf = scratch.logf
 	for _, a := range addrs {
 		cl.eps = append(cl.eps, &endpoint{addr: a})
 	}
@@ -63,6 +83,12 @@ func DialCluster(addrs []string, opts ...Option) (*Cluster, error) {
 		return nil, ErrNoEndpoints
 	}
 	return cl, nil
+}
+
+func (cl *Cluster) log(format string, args ...any) {
+	if cl.logf != nil {
+		cl.logf(format, args...)
+	}
 }
 
 // Close closes every endpoint connection.
@@ -107,10 +133,11 @@ func (cl *Cluster) markDown(ep *endpoint) {
 	}
 }
 
-// probe refreshes one endpoint's role and position. A "stale" role is
-// sticky: replicas of a failed-over primary can never catch up (the
-// promoted node ships no WAL), so they stay out of the read set for the
-// life of this cluster handle. Callers hold cl.mu.
+// probe refreshes one endpoint's role and position. A "stale" role —
+// a replica orphaned by the promotion of a non-durable sibling — heals
+// only if the node has reconnected into the current epoch's replication
+// tree; otherwise it stays out of the read set for the life of this
+// cluster handle. Callers hold cl.mu.
 func (cl *Cluster) probe(ep *endpoint) error {
 	c, err := cl.ensure(ep)
 	if err != nil {
@@ -124,20 +151,29 @@ func (cl *Cluster) probe(ep *endpoint) error {
 		return err
 	}
 	role := "primary" // no replication state = standalone, writable
-	var lsn uint64
+	var lsn, epoch uint64
+	var durable, fenced bool
+	connected := false
 	if st.Repl != nil {
 		role, lsn = st.Repl.Role, st.Repl.LSN
+		epoch, durable = st.Repl.Epoch, st.Repl.Durable
+		connected, fenced = st.Repl.Connected, st.Repl.Fenced
 	}
-	if ep.role == "stale" && role == "replica" {
-		ep.lsn = lsn
+	if epoch > cl.epoch {
+		cl.epoch = epoch
+	}
+	if ep.role == "stale" && role == "replica" && !(connected && epoch >= cl.epoch) {
+		ep.lsn, ep.epoch, ep.durable, ep.fenced = lsn, epoch, durable, fenced
 		return nil
 	}
-	ep.role, ep.lsn = role, lsn
+	ep.role, ep.lsn, ep.epoch, ep.durable, ep.fenced = role, lsn, epoch, durable, fenced
 	return nil
 }
 
 // probeAll refreshes every endpoint and re-elects the write target,
-// returning how many members are reachable.
+// returning how many members are reachable. When more than one node
+// claims to be primary — a healed partition returning a deposed leader —
+// the highest epoch wins and the losers are demoted under it on the spot.
 func (cl *Cluster) probeAll() int {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
@@ -148,11 +184,60 @@ func (cl *Cluster) probeAll() int {
 			continue
 		}
 		reachable++
-		if ep.role == "primary" && cl.primary < 0 {
+		if ep.role != "primary" || ep.fenced {
+			// A fenced "primary" knows it lost its epoch; it is a demotion
+			// candidate, never the write target.
+			continue
+		}
+		if cl.primary < 0 || ep.epoch > cl.eps[cl.primary].epoch {
 			cl.primary = i
 		}
 	}
+	if cl.primary >= 0 {
+		leader := cl.eps[cl.primary]
+		if leader.durable {
+			for _, ep := range cl.eps {
+				if ep == leader || ep.c == nil || ep.role != "primary" {
+					continue
+				}
+				if ep.epoch >= leader.epoch && !ep.fenced {
+					continue
+				}
+				// A zombie: it led an epoch the cluster has moved past.
+				// Demote it under the real leader; its unshipped suffix is
+				// truncated on rejoin (loudly, in its stats).
+				if err := ep.c.Follow(leader.addr, leader.epoch); err != nil {
+					cl.log("client: demote stale primary %s under %s (epoch %d): %v", ep.addr, leader.addr, leader.epoch, err)
+					if IsConn(err) {
+						cl.markDown(ep)
+					}
+					continue
+				}
+				cl.log("client: demoted stale primary %s under %s at epoch %d", ep.addr, leader.addr, leader.epoch)
+				ep.role = "replica"
+				ep.epoch = leader.epoch
+				ep.fenced = false
+			}
+		}
+	}
 	return reachable
+}
+
+// Refresh re-probes every endpoint, re-electing the write target and
+// demoting any deposed primary a healed partition has returned. Call it
+// after repairing the cluster; routine operation self-heals through the
+// write path's failover.
+func (cl *Cluster) Refresh() int { return cl.probeAll() }
+
+// Leader reports the current write target's address and the cluster's
+// epoch ("" when no primary is known).
+func (cl *Cluster) Leader() (addr string, epoch uint64) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.primary >= 0 {
+		addr = cl.eps[cl.primary].addr
+	}
+	return addr, cl.epoch
 }
 
 // writeTarget returns the current primary's client, re-probing when the
@@ -171,52 +256,105 @@ func (cl *Cluster) writeTarget() (*Client, error) {
 	return cl.ensure(cl.eps[cl.primary])
 }
 
-// Exec runs a script on the primary. On a transport failure it fails
-// over — promoting the reachable replica with the highest applied LSN —
-// and retries the write once there. The retry makes Exec at-least-once
-// across failover: a write the dead primary committed but never
-// acknowledged may be applied again on the new one.
+// Exec runs a script on the primary, carrying the cluster's epoch so a
+// zombie primary is fenced instead of accepting the write. On a transport
+// failure or a write refusal it fails over — promoting the best reachable
+// replica into the next epoch — and retries the write once there. The
+// retry makes Exec at-least-once across failover: a write the dead
+// primary committed but never acknowledged may be applied again on the
+// new one.
 func (cl *Cluster) Exec(src string) (*sopr.Result, error) {
 	c, err := cl.writeTarget()
+	if errors.Is(err, ErrNoPrimary) {
+		// No member is writable at all — the primary died before this
+		// client ever reached it. Electing here gives a fresh client the
+		// same failover authority as one that watched the primary die.
+		if ferr := cl.failover(); ferr != nil {
+			return nil, fmt.Errorf("%w (failover also failed: %v)", err, ferr)
+		}
+		c, err = cl.writeTarget()
+	}
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.Exec(src)
+	cl.mu.Lock()
+	epoch := cl.epoch
+	cl.mu.Unlock()
+	res, err := c.ExecAt(src, epoch)
 	if err == nil {
-		cl.noteWrite(res.LSN)
+		cl.noteWrite(res)
 		return res, nil
 	}
-	if !IsConn(err) && !IsRemote(err, CodeReadOnly) && !IsRemote(err, CodeShutdown) {
+	var re *RemoteError
+	switch {
+	case errors.As(err, &re) && re.Code == CodeStaleEpoch:
+		// The cluster moved past our view (another client failed over).
+		// Adopt the server's epoch and re-probe; no promotion needed.
+		cl.noteEpoch(re.Epoch)
+		cl.probeAll()
+	case IsConn(err) || IsRemote(err, CodeReadOnly) || IsRemote(err, CodeShutdown) || IsRemote(err, CodeFenced):
+		if ferr := cl.failover(); ferr != nil {
+			return nil, fmt.Errorf("%w (failover also failed: %v)", err, ferr)
+		}
+	default:
 		return nil, err // a genuine script error: the cluster is healthy
-	}
-	if ferr := cl.failover(); ferr != nil {
-		return nil, fmt.Errorf("%w (failover also failed: %v)", err, ferr)
 	}
 	c, err2 := cl.writeTarget()
 	if err2 != nil {
 		return nil, err2
 	}
-	res, err2 = c.Exec(src)
+	cl.mu.Lock()
+	epoch = cl.epoch
+	cl.mu.Unlock()
+	res, err2 = c.ExecAt(src, epoch)
 	if err2 != nil {
 		return nil, err2
 	}
-	cl.noteWrite(res.LSN)
+	cl.noteWrite(res)
 	return res, nil
 }
 
-// noteWrite advances the read-your-writes token.
-func (cl *Cluster) noteWrite(lsn uint64) {
+// noteWrite advances the read-your-writes token and the epoch view.
+func (cl *Cluster) noteWrite(res *sopr.Result) {
 	cl.mu.Lock()
-	if lsn > cl.token {
-		cl.token = lsn
+	if res.LSN > cl.token {
+		cl.token = res.LSN
+	}
+	if res.Epoch > cl.epoch {
+		cl.epoch = res.Epoch
 	}
 	cl.mu.Unlock()
 }
 
+// noteEpoch adopts a higher epoch learned from an error or probe.
+func (cl *Cluster) noteEpoch(epoch uint64) {
+	cl.mu.Lock()
+	if epoch > cl.epoch {
+		cl.epoch = epoch
+	}
+	cl.mu.Unlock()
+}
+
+// betterCandidate orders promotion candidates: most history first (an
+// acknowledged async write lives only where it was applied), durable
+// nodes breaking LSN ties (a durable winner keeps every sibling in the
+// cluster; an in-memory one orphans them), address as the final,
+// deterministic tie-break so concurrent failovers pick the same node.
+func betterCandidate(a, b *endpoint) bool {
+	if a.lsn != b.lsn {
+		return a.lsn > b.lsn
+	}
+	if a.durable != b.durable {
+		return a.durable
+	}
+	return a.addr < b.addr
+}
+
 // failover elects a new primary: mark the old one down, re-probe
-// everyone, and — if no member is already writable — promote the
-// reachable replica with the highest applied LSN (losing any committed
-// records past it; replication is asynchronous).
+// everyone, and — if no member is already writable — promote the best
+// reachable replica (see betterCandidate) into the next epoch. A durable
+// winner then re-points the surviving siblings at itself; a non-durable
+// winner cannot feed them, so they go sticky-stale.
 func (cl *Cluster) failover() error {
 	cl.mu.Lock()
 	if cl.primary >= 0 {
@@ -236,7 +374,7 @@ func (cl *Cluster) failover() error {
 		if ep.c == nil || ep.role != "replica" {
 			continue
 		}
-		if best < 0 || ep.lsn > cl.eps[best].lsn {
+		if best < 0 || betterCandidate(ep, cl.eps[best]) {
 			best = i
 		}
 	}
@@ -244,18 +382,49 @@ func (cl *Cluster) failover() error {
 		return ErrNoPrimary
 	}
 	ep := cl.eps[best]
-	if err := ep.c.Promote(); err != nil {
+	newEpoch, lsn, err := ep.c.PromoteTo(cl.epoch + 1)
+	if err != nil {
 		cl.markDown(ep)
 		return fmt.Errorf("promote %s: %w", ep.addr, err)
 	}
+	if newEpoch == 0 {
+		newEpoch = cl.epoch + 1 // legacy server: trust our own target
+	}
 	ep.role = "primary"
+	ep.epoch = newEpoch
+	if lsn > ep.lsn {
+		ep.lsn = lsn
+	}
 	cl.primary = best
-	// The old primary's other replicas are now permanently stale: the
-	// promoted node cannot feed them. Take them out of the read set.
-	for _, other := range cl.eps {
-		if other != ep && other.role == "replica" {
-			other.role = "stale"
+	if newEpoch > cl.epoch {
+		cl.epoch = newEpoch
+	}
+	cl.log("client: failover promoted %s at epoch %d (durable=%v, lsn %d)", ep.addr, newEpoch, ep.durable, ep.lsn)
+	if !ep.durable {
+		// The old primary's other replicas are now permanently stale: the
+		// promoted node ships no WAL to feed them. Out of the read set.
+		for _, other := range cl.eps {
+			if other != ep && other.role == "replica" {
+				other.role = "stale"
+			}
 		}
+		return nil
+	}
+	// The winner ships WAL: re-point every surviving replica at it so they
+	// resume from their applied LSN instead of going stale.
+	for _, other := range cl.eps {
+		if other == ep || other.role != "replica" || other.c == nil {
+			continue
+		}
+		if err := other.c.Follow(ep.addr, newEpoch); err != nil {
+			cl.log("client: re-point %s at %s (epoch %d): %v", other.addr, ep.addr, newEpoch, err)
+			if IsConn(err) {
+				cl.markDown(other)
+			}
+			continue
+		}
+		cl.log("client: re-pointed %s at %s (epoch %d)", other.addr, ep.addr, newEpoch)
+		other.epoch = newEpoch
 	}
 	return nil
 }
@@ -374,4 +543,11 @@ func (cl *Cluster) Token() uint64 {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	return cl.token
+}
+
+// Epoch reports the highest promotion epoch this cluster handle has seen.
+func (cl *Cluster) Epoch() uint64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.epoch
 }

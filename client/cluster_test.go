@@ -54,29 +54,41 @@ func startCluster(t *testing.T, nReplicas int) *clusterNodes {
 		_ = sdb.Close()
 	})
 	for i := 0; i < nReplicas; i++ {
-		fl := repl.NewFollower(repl.FollowerConfig{
-			Primary:      cn.primaryAddr,
-			ReconnectMin: 10 * time.Millisecond,
-			ReconnectMax: 200 * time.Millisecond,
-			AckInterval:  10 * time.Millisecond,
-		})
-		go fl.Run()
-		rsrv := server.New(fl, server.Config{ReplWaitTimeout: 2 * time.Second})
-		rln, err := server.Listen("127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		go rsrv.Serve(rln)
-		rn := &replicaNode{addr: rln.Addr().String(), fl: fl, srv: rsrv}
-		cn.replicas = append(cn.replicas, rn)
-		t.Cleanup(func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			_ = rn.srv.Shutdown(ctx)
-			rn.fl.Close()
-		})
+		cn.addReplica(t, "")
 	}
 	return cn
+}
+
+// addReplica attaches a follower to the cluster's primary; a non-empty
+// dir makes it durable (own WAL, preferred at failover ties).
+func (cn *clusterNodes) addReplica(t *testing.T, dir string) *replicaNode {
+	t.Helper()
+	fl, err := repl.NewFollower(repl.FollowerConfig{
+		Primary:      cn.primaryAddr,
+		DataDir:      dir,
+		ReconnectMin: 10 * time.Millisecond,
+		ReconnectMax: 200 * time.Millisecond,
+		AckInterval:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fl.Run()
+	rsrv := server.New(fl, server.Config{ReplWaitTimeout: 2 * time.Second})
+	rln, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rsrv.Serve(rln)
+	rn := &replicaNode{addr: rln.Addr().String(), fl: fl, srv: rsrv}
+	cn.replicas = append(cn.replicas, rn)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = rn.srv.Shutdown(ctx)
+		rn.fl.Close()
+	})
+	return rn
 }
 
 func (cn *clusterNodes) addrs() []string {
@@ -237,6 +249,145 @@ func TestClusterFailover(t *testing.T) {
 	rows, err = cl.Query(`select v from kv where k = 'a';`)
 	if err != nil || len(rows.Data) != 1 {
 		t.Fatalf("pre-failover data = %+v, err %v", rows, err)
+	}
+}
+
+// TestClusterDialAfterPrimaryDeathPromotes: a client that dials the
+// cluster AFTER the primary is already gone must still be able to
+// write — its first Exec finds no writable member and elects one, with
+// the same authority as a client that watched the primary die.
+func TestClusterDialAfterPrimaryDeathPromotes(t *testing.T) {
+	cn := startCluster(t, 2)
+	seed, err := client.DialCluster(cn.addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.Exec(clusterSchema + `insert into kv values ('a', 1);`); err != nil {
+		t.Fatal(err)
+	}
+	_ = seed.Close()
+	cn.waitCaughtUp(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = cn.psrv.Shutdown(ctx)
+	_ = cn.sdb.Close()
+
+	cl, err := client.DialCluster(cn.addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := cl.Exec(`insert into kv values ('b', 2);`)
+	if err != nil {
+		t.Fatalf("exec on freshly dialed primary-less cluster: %v", err)
+	}
+	if res.Epoch == 0 {
+		t.Fatalf("write accepted at epoch 0, want a post-failover epoch")
+	}
+	promoted := 0
+	for _, r := range cn.replicas {
+		if r.fl.Promoted() {
+			promoted++
+		}
+	}
+	if promoted != 1 {
+		t.Fatalf("%d replicas promoted, want exactly 1", promoted)
+	}
+	rows, err := cl.Query(`select v from kv where k = 'b';`)
+	if err != nil || len(rows.Data) != 1 {
+		t.Fatalf("read-back after dial-time failover = %+v, err %v", rows, err)
+	}
+}
+
+// TestClusterFailoverPrefersDurableReplica: at equal LSN the failover
+// tie-break must pick the durable replica — an in-memory winner would
+// orphan every sibling, a durable one keeps feeding them — and re-point
+// the in-memory survivor at the new leader instead of going stale.
+func TestClusterFailoverPrefersDurableReplica(t *testing.T) {
+	cn := startCluster(t, 0)
+	inmem := cn.addReplica(t, "")
+	durable := cn.addReplica(t, t.TempDir())
+	cl, err := client.DialCluster(cn.addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Exec(clusterSchema + `insert into kv values ('a', 1);`); err != nil {
+		t.Fatal(err)
+	}
+	cn.waitCaughtUp(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = cn.psrv.Shutdown(ctx)
+	_ = cn.sdb.Close()
+
+	res, err := cl.Exec(`insert into kv values ('b', 2);`)
+	if err != nil {
+		t.Fatalf("exec after primary death: %v", err)
+	}
+	if !durable.fl.Promoted() || inmem.fl.Promoted() {
+		t.Fatalf("promoted: durable=%v inmem=%v; the durable replica must win the tie",
+			durable.fl.Promoted(), inmem.fl.Promoted())
+	}
+	if res.Epoch != 1 {
+		t.Fatalf("post-failover write epoch = %d, want 1", res.Epoch)
+	}
+	if addr, epoch := cl.Leader(); addr != durable.addr || epoch != 1 {
+		t.Fatalf("leader = %s epoch %d, want %s epoch 1", addr, epoch, durable.addr)
+	}
+	// The in-memory survivor is re-pointed, not orphaned: it streams from
+	// the new leader and keeps serving reads.
+	deadline := time.Now().Add(15 * time.Second)
+	for inmem.fl.Leader() != durable.addr || inmem.fl.AppliedLSN() < res.LSN {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-memory replica never re-pointed: leader %s, lsn %d (want %s, %d)",
+				inmem.fl.Leader(), inmem.fl.AppliedLSN(), durable.addr, res.LSN)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := inmem.fl.ReplStats(); st.Role != "replica" {
+		t.Fatalf("in-memory survivor role = %s, want replica", st.Role)
+	}
+	rows, err := cl.Query(`select v from kv where k = 'b';`)
+	if err != nil || len(rows.Data) != 1 {
+		t.Fatalf("read after failover = %+v, err %v", rows, err)
+	}
+}
+
+// TestClusterFailoverTieBreakDeterministic: two durable replicas at the
+// same LSN — the lowest address must win, so concurrent failovers (or a
+// re-run) elect the same node.
+func TestClusterFailoverTieBreakDeterministic(t *testing.T) {
+	cn := startCluster(t, 0)
+	r1 := cn.addReplica(t, t.TempDir())
+	r2 := cn.addReplica(t, t.TempDir())
+	cl, err := client.DialCluster(cn.addrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Exec(clusterSchema + `insert into kv values ('a', 1);`); err != nil {
+		t.Fatal(err)
+	}
+	cn.waitCaughtUp(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = cn.psrv.Shutdown(ctx)
+	_ = cn.sdb.Close()
+
+	if _, err := cl.Exec(`insert into kv values ('b', 2);`); err != nil {
+		t.Fatalf("exec after primary death: %v", err)
+	}
+	want, other := r1, r2
+	if r2.addr < r1.addr {
+		want, other = r2, r1
+	}
+	if !want.fl.Promoted() || other.fl.Promoted() {
+		t.Fatalf("promoted %v/%v (addrs %s < %s): tie-break must pick the lowest address",
+			r1.fl.Promoted(), r2.fl.Promoted(), want.addr, other.addr)
 	}
 }
 

@@ -35,20 +35,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: E1, E5, B1..B13, S1..S4, F1, or all")
+	exp := flag.String("exp", "all", "experiment to run: E1, E5, B1..B13, S1..S5, F1, or all")
 	flag.IntVar(&s2TotalOps, "s2ops", 2000, "total read operations per S2 table cell")
 	flag.IntVar(&s3TotalOps, "s3ops", 2000, "total read operations per S3 table row")
 	flag.IntVar(&s4TotalOps, "s4ops", 2000, "total read operations per S4 table row")
+	flag.IntVar(&s5Txns, "s5txns", 300, "committed transactions per S5 table row")
 	flag.Parse()
 	runs := map[string]func(){
 		"E1": e1, "E5": e5, "B1": b1, "B2": b2, "B3": b3, "B4": b4,
 		"B5": b5, "B6": b6, "B7": b7, "B8": b8, "B9": b9, "B10": b10,
-		"B12": b12, "B13": b13, "S1": s1, "S2": s2, "S3": s3, "S4": s4, "F1": f1,
+		"B12": b12, "B13": b13, "S1": s1, "S2": s2, "S3": s3, "S4": s4, "S5": s5, "F1": f1,
 	}
 	if *exp != "all" {
 		fn, ok := runs[strings.ToUpper(*exp)]
 		if !ok {
-			fmt.Println("unknown experiment; use E1, B1..B13, S1..S4, F1 or all")
+			fmt.Println("unknown experiment; use E1, B1..B13, S1..S5, F1 or all")
 			return
 		}
 		fn()

@@ -76,10 +76,11 @@ func s4run(nrep, total int) (rps, usPerRead, wps float64, lag uint64) {
 
 	followers := make([]*repl.Follower, nrep)
 	for i := range followers {
-		fl := repl.NewFollower(repl.FollowerConfig{
+		fl, err := repl.NewFollower(repl.FollowerConfig{
 			Primary:     pln.Addr().String(),
 			AckInterval: 20 * time.Millisecond,
 		})
+		must(err)
 		go fl.Run()
 		defer fl.Close()
 		rsrv := server.New(fl, server.Config{})

@@ -18,11 +18,21 @@
 // A durable soprd also serves WAL-shipping replication: read replicas run
 //
 //	$ soprd -addr :5478 -follow primary-host:5477
+//	$ soprd -addr :5479 -follow primary-host:5477 -data /var/lib/sopr-replica
 //
-// and keep an in-memory copy current by replaying the primary's record
-// stream (bootstrapping from its newest checkpoint), serving queries,
-// dumps, and stats while rejecting writes. Replicas keep no local state:
-// -follow excludes -data and -init.
+// and keep a copy current by replaying the primary's record stream
+// (bootstrapping from its newest checkpoint), serving queries, dumps, and
+// stats while rejecting writes. A plain -follow replica keeps no local
+// state; with -data it is a durable follower — it persists the stream in
+// its own write-ahead log, restarts from local state, and after a
+// failover promotion serves as a full WAL-shipping primary that the
+// surviving replicas re-point to. Promotions are fenced by monotonically
+// increasing epochs carried on every frame: a deposed primary's writes
+// answer a typed "fenced" error, and it demotes itself under the new
+// leader when the partition heals. With -sync-followers N, the primary
+// holds each commit's ack until N followers have acknowledged the
+// record's LSN (degrading to an async ack, with a warning, after
+// -sync-timeout).
 package main
 
 import (
@@ -55,6 +65,8 @@ type options struct {
 	shutdownTimeout time.Duration
 	selectTriggers  bool
 	maxTransitions  int
+	syncFollowers   int
+	syncTimeout     time.Duration
 	trace           bool
 	verbose         bool
 }
@@ -74,6 +86,8 @@ func main() {
 	flag.DurationVar(&o.shutdownTimeout, "shutdown-timeout", 30*time.Second, "max time to drain in-flight transactions on shutdown")
 	flag.BoolVar(&o.selectTriggers, "select-triggers", false, "enable Section 5.1 select-triggered rules")
 	flag.IntVar(&o.maxTransitions, "max-transitions", 0, "runaway guard: max rule transitions per transaction (0 = default)")
+	flag.IntVar(&o.syncFollowers, "sync-followers", 0, "hold each commit ack until this many followers ack its LSN (0 = async replication)")
+	flag.DurationVar(&o.syncTimeout, "sync-timeout", 0, "max sync-commit wait before degrading to an async ack (0 = 2s)")
 	flag.BoolVar(&o.trace, "trace", false, "log rule-processing events to stderr")
 	flag.BoolVar(&o.verbose, "v", false, "log connection events")
 	flag.Parse()
@@ -187,46 +201,90 @@ func run(o options, sigc <-chan os.Signal, ready chan<- net.Addr) error {
 	}
 
 	var backend server.DB
-	var sdb *sopr.SynchronizedDB // nil on a replica
 	durable := o.dataDir != ""
+	// checkpoint and shutdown route through whichever backend owns the log.
+	var checkpoint func() error
+	var shutdown func()
 	if o.follow != "" {
-		// A replica holds no local state: it bootstraps from the primary's
-		// checkpoint and replays its stream, so a data directory or init
-		// script would only be silently ignored — refuse them instead.
-		if durable {
-			return fmt.Errorf("-follow and -data are mutually exclusive: replicas keep no local log")
-		}
+		// A replica bootstraps from the primary's checkpoint and replays
+		// its stream, so an init script would only be silently ignored —
+		// refuse it instead. With -data the replica persists the stream in
+		// its own log (a durable follower); without it, replay state is
+		// memory-only and a restart rejoins from scratch.
 		if o.initFile != "" {
 			return fmt.Errorf("-follow and -init are mutually exclusive: replicas bootstrap from the primary")
 		}
 		if o.trace {
 			return fmt.Errorf("-trace is not supported on a replica: replay runs with rules disabled")
 		}
-		fl := repl.NewFollower(repl.FollowerConfig{
+		if o.syncFollowers > 0 && !durable {
+			return fmt.Errorf("-sync-followers needs -data: only a durable follower can lead after promotion")
+		}
+		fl, err := repl.NewFollower(repl.FollowerConfig{
 			Primary:            o.follow,
+			DataDir:            o.dataDir,
+			SyncFollowers:      o.syncFollowers,
+			SyncTimeout:        o.syncTimeout,
 			SelectTriggers:     o.selectTriggers,
 			MaxRuleTransitions: o.maxTransitions,
 			Logf:               logger.Printf,
 		})
+		if err != nil {
+			return err
+		}
 		go fl.Run()
 		defer fl.Close()
 		backend = fl
-		logger.Printf("replica: following %s", o.follow)
+		if durable {
+			checkpoint = fl.Checkpoint
+			logger.Printf("replica: following %s (durable, %s, applied lsn %d, epoch %d)",
+				o.follow, o.dataDir, fl.AppliedLSN(), fl.KnownEpoch())
+		} else {
+			logger.Printf("replica: following %s", o.follow)
+		}
 	} else {
 		db, err := openDB(o, logger)
 		if err != nil {
 			return err
 		}
-		sdb = sopr.Synchronized(db)
-		defer func() { _ = sdb.Close() }() // error paths below close explicitly
-		if o.trace {
-			sdb.TraceTo(os.Stderr)
-		}
 		if durable {
-			// A durable primary ships its WAL to any replica that joins.
-			cfg.Repl = repl.NewSource(db.WALLog(), repl.SourceConfig{Logf: logger.Printf})
+			// A durable primary ships its WAL to any replica that joins,
+			// fences itself when the cluster elects a newer epoch, and —
+			// with -sync-followers — holds commit acks for follower acks.
+			p, err := repl.NewPrimary(db, repl.PrimaryConfig{
+				SyncFollowers: o.syncFollowers,
+				SyncTimeout:   o.syncTimeout,
+				Logf:          logger.Printf,
+			})
+			if err != nil {
+				_ = db.Close()
+				return err
+			}
+			defer func() { _ = p.Close() }() // error paths below close explicitly
+			if o.trace {
+				p.DB().TraceTo(os.Stderr)
+			}
+			backend = p
+			checkpoint = p.Checkpoint
+			shutdown = func() {
+				if err := p.Checkpoint(); err != nil {
+					logger.Printf("final checkpoint: %v", err)
+				}
+				if err := p.Close(); err != nil {
+					logger.Printf("close log: %v", err)
+				}
+			}
+		} else {
+			if o.syncFollowers > 0 {
+				return fmt.Errorf("-sync-followers needs -data: an in-memory server ships no WAL")
+			}
+			sdb := sopr.Synchronized(db)
+			defer func() { _ = sdb.Close() }()
+			if o.trace {
+				sdb.TraceTo(os.Stderr)
+			}
+			backend = sdb
 		}
-		backend = sdb
 	}
 
 	srv := server.New(backend, cfg)
@@ -245,7 +303,7 @@ func run(o options, sigc <-chan os.Signal, ready chan<- net.Addr) error {
 	ckptDone := make(chan struct{})
 	go func() {
 		defer close(ckptDone)
-		if !durable || o.ckptInterval <= 0 {
+		if checkpoint == nil || o.ckptInterval <= 0 {
 			return
 		}
 		t := time.NewTicker(o.ckptInterval)
@@ -253,7 +311,7 @@ func run(o options, sigc <-chan os.Signal, ready chan<- net.Addr) error {
 		for {
 			select {
 			case <-t.C:
-				if err := sdb.Checkpoint(); err != nil {
+				if err := checkpoint(); err != nil {
 					logger.Printf("checkpoint: %v", err)
 				}
 			case <-ckptStop:
@@ -276,12 +334,13 @@ func run(o options, sigc <-chan os.Signal, ready chan<- net.Addr) error {
 		<-serveDone
 		close(ckptStop)
 		<-ckptDone
-		if durable {
-			if err := sdb.Checkpoint(); err != nil {
+		if shutdown != nil {
+			shutdown()
+		} else if checkpoint != nil {
+			// A durable follower: persist its state as a checkpoint image
+			// so the next start replays only the records since.
+			if err := checkpoint(); err != nil {
 				logger.Printf("final checkpoint: %v", err)
-			}
-			if err := sdb.Close(); err != nil {
-				logger.Printf("close log: %v", err)
 			}
 		}
 		st := srv.Stats()

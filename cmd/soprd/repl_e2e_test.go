@@ -173,13 +173,16 @@ func TestReplicationThreeNodeE2E(t *testing.T) {
 	stopDurable(t, psig, pdone)
 }
 
-// TestFollowFlagConflicts: -follow excludes local state and rule tracing;
-// each conflicting combination must be refused before anything serves.
+// TestFollowFlagConflicts: -follow still excludes init scripts and rule
+// tracing (-data is now allowed: that is a durable follower), and
+// -sync-followers requires a WAL to ship from. Each conflicting
+// combination must be refused before anything serves.
 func TestFollowFlagConflicts(t *testing.T) {
 	cases := []options{
-		{addr: "127.0.0.1:0", follow: "localhost:5477", dataDir: t.TempDir()},
 		{addr: "127.0.0.1:0", follow: "localhost:5477", initFile: "x.sql"},
 		{addr: "127.0.0.1:0", follow: "localhost:5477", trace: true},
+		{addr: "127.0.0.1:0", follow: "localhost:5477", syncFollowers: 1},
+		{addr: "127.0.0.1:0", syncFollowers: 1}, // in-memory primary ships no WAL
 	}
 	for i, o := range cases {
 		if err := run(o, nil, nil); err == nil {

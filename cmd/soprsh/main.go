@@ -306,6 +306,22 @@ func metaRemote(c *client.Client, cmd string) bool {
 		s := st.Server
 		fmt.Printf("server: connections=%d active=%d execs=%d queries=%d errors=%d in_flight=%d\n",
 			s.Accepted, s.Active, s.Execs, s.Queries, s.Errors, s.InFlight)
+		if r := st.Repl; r != nil {
+			fmt.Printf("repl: role=%s epoch=%d lsn=%d durable=%t", r.Role, r.Epoch, r.LSN, r.Durable)
+			if r.Role == "replica" {
+				fmt.Printf(" leader=%s connected=%t lag=%d resets=%d discarded=%d",
+					r.Leader, r.Connected, r.Lag, r.Resets, r.DiscardedRecords)
+			} else {
+				fmt.Printf(" followers=%d min_follower_lsn=%d", r.Followers, r.MinFollowerLSN)
+				if r.SyncFollowers > 0 {
+					fmt.Printf(" sync_followers=%d sync_timeouts=%d", r.SyncFollowers, r.SyncTimeouts)
+				}
+			}
+			if r.Fenced {
+				fmt.Print(" FENCED")
+			}
+			fmt.Println()
+		}
 	case ".dump":
 		script, err := c.Dump()
 		if err != nil {

@@ -164,6 +164,11 @@ func (db *DB) CurrentLSN() uint64 {
 // stream sessions can tail and pin it.
 func (db *DB) WALLog() *wal.Log { return db.walLog }
 
+// Engine exposes the underlying engine. The replication package uses it
+// when a demoted primary must re-home its engine under a follower that
+// shares the same log; it is not part of the stable public surface.
+func (db *DB) Engine() *engine.Engine { return db.eng }
+
 // Close flushes and closes the write-ahead log. Executing against a closed
 // durable database fails. Close on an in-memory database is a no-op.
 func (db *DB) Close() error {

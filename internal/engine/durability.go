@@ -226,6 +226,12 @@ func (e *Engine) ReplayRecord(rec wal.Record) error {
 		if err := e.execDefinition(st); err != nil {
 			return fmt.Errorf("engine: replay lsn %d: %w", rec.LSN, err)
 		}
+	case wal.KindEpoch:
+		// Promotion epochs fence the replication stream (repl package);
+		// they occupy an LSN but carry no database effect.
+		if rec.Epoch == nil {
+			return fmt.Errorf("engine: replay: epoch record lsn %d has no payload", rec.LSN)
+		}
 	default:
 		return fmt.Errorf("engine: replay: unexpected record kind %d at lsn %d", rec.Kind, rec.LSN)
 	}
@@ -273,10 +279,19 @@ func (e *Engine) Checkpoint() error {
 	if e.wal == nil {
 		return fmt.Errorf("engine: no write-ahead log attached")
 	}
+	return e.CheckpointTo(e.wal)
+}
+
+// CheckpointTo writes the image through an explicit log. A durable
+// replication follower checkpoints its engine into its own log this way:
+// the follower's engine has no WAL attached (replayed records are already
+// in the log), but its log still needs periodic images for pruning and for
+// bootstrapping siblings after a promotion.
+func (e *Engine) CheckpointTo(l *wal.Log) error {
 	if e.store.InTxn() {
 		return fmt.Errorf("engine: cannot checkpoint during a transaction")
 	}
-	err := e.wal.WriteCheckpoint(func(cw *wal.CheckpointWriter) error {
+	err := l.WriteCheckpoint(func(cw *wal.CheckpointWriter) error {
 		var schema strings.Builder
 		if err := dumpTables(&schema, e.store.Catalog()); err != nil {
 			return err

@@ -15,8 +15,27 @@ import (
 
 // FollowerConfig tunes a replica.
 type FollowerConfig struct {
-	// Primary is the primary soprd's address (host:port). Required.
+	// Primary is the leader soprd's address (host:port). Required; Follow
+	// re-points it at failover.
 	Primary string
+	// DataDir, when set, makes the follower durable: every applied stream
+	// record is written into its own wal.Log before the engine applies it,
+	// and checkpoint bootstraps seed the log. A durable follower restarts
+	// from local state, and after promotion it is a full WAL-shipping
+	// source that siblings can re-point to. Empty keeps the follower
+	// in-memory (PR 6 behavior: rejoin from LSN 0 after a restart).
+	DataDir string
+	// FS routes the durable follower's log through an alternate filesystem
+	// (fault-injection tests); nil uses the real one.
+	FS wal.FS
+	// SyncFollowers, on a promoted durable follower, is the number of
+	// follower acks each commit waits for before acknowledging (0 = async).
+	SyncFollowers int
+	// SyncTimeout bounds the synchronous-commit wait (default 2s); on
+	// timeout the commit degrades to an async ack with Synced=false.
+	SyncTimeout time.Duration
+	// Heartbeat configures the follower's own Source (durable mode).
+	Heartbeat time.Duration
 	// SelectTriggers and MaxRuleTransitions mirror the primary's engine
 	// options; they only matter after promotion (replay runs with rules
 	// disabled regardless).
@@ -28,8 +47,10 @@ type FollowerConfig struct {
 	// follower reconnects (default 10s; the primary heartbeats every
 	// second when idle).
 	StreamTimeout time.Duration
-	// AckInterval rate-limits progress acks while records are flowing
-	// (default 200ms). Heartbeats are always acked immediately.
+	// AckInterval is the progress-ack cadence (default 200ms). Acks are
+	// sent on this timer whenever the applied LSN moved — including when
+	// the stream then went idle — so the source's retention pin releases
+	// promptly instead of waiting for the next record or heartbeat.
 	AckInterval time.Duration
 	// ReconnectMin/ReconnectMax bound the reconnect backoff
 	// (defaults 100ms / 5s).
@@ -59,52 +80,130 @@ func (c *FollowerConfig) fill() {
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = wire.ReplMaxFrame
 	}
+	if c.SyncTimeout <= 0 {
+		c.SyncTimeout = 2 * time.Second
+	}
 }
 
-// Follower is a read replica: an in-memory engine kept current by
-// replaying the primary's WAL stream with rule processing disabled — the
-// same replay crash recovery runs, so the state cannot diverge from what
-// the primary committed. It implements the server backend interface;
-// Exec returns ErrReadOnly until Promote flips the node writable.
+// Follower is a replica: an engine kept current by replaying the leader's
+// WAL stream with rule processing disabled — the same replay crash
+// recovery runs, so the state cannot diverge from what the leader
+// committed. It implements the server backend interface; Exec returns
+// ErrReadOnly (or FencedError after a fencing step-down) until Promote
+// flips the node writable.
 //
-// Followers keep no local log. A restarted follower rejoins from LSN 0
-// and the primary bootstraps it from its newest checkpoint image.
+// An in-memory follower keeps no local log: a restarted one rejoins from
+// LSN 0 and the leader bootstraps it from its newest checkpoint image. A
+// durable follower (DataDir) persists the stream into its own wal.Log and
+// recovers from it at startup; after promotion it appends an epoch record,
+// attaches the log to its engine, and serves as a WAL-shipping source for
+// re-pointed siblings.
 type Follower struct {
 	cfg FollowerConfig
+	log *wal.Log // nil in-memory
+	src *Source  // non-nil when durable: serves joins over log
 
 	// mu guards the engine: stream apply and promoted writes take it
 	// exclusively, queries/dumps/stats share it (the same discipline as
-	// SynchronizedDB on the primary).
+	// SynchronizedDB on the primary). Promote takes it to exclude an
+	// in-flight apply while it appends the epoch record.
 	mu  sync.RWMutex
 	eng *engine.Engine
 
 	// smu guards replication status, separate from mu so stats and
-	// read-your-writes waits never queue behind a large apply.
+	// read-your-writes waits never queue behind a large apply. Lock order:
+	// mu before smu (never the reverse).
 	smu        sync.Mutex
 	applied    uint64
 	primaryLSN uint64
+	epoch      uint64 // epoch of the local history (join token)
+	known      uint64 // highest epoch observed anywhere (>= epoch)
+	fencedBy   uint64 // epoch that forced a step-down; 0 when not fenced
+	leader     string // current upstream address
 	connected  bool
 	promoted   bool
 	appliedCh  chan struct{} // closed on each applied/promoted change
 
+	resets       int64 // reset-and-rebootstrap cycles
+	discarded    int64 // locally-held records dropped by resets
+	syncTimeouts int64 // degraded synchronous commits
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
+	wake     chan struct{} // nudges Run out of parking/backoff
 
 	connMu sync.Mutex
-	conn   net.Conn // live stream connection, closed by Close/Promote
+	conn   net.Conn // live stream connection, closed by Close/Promote/Follow
 }
 
-// NewFollower builds a replica targeting cfg.Primary. Call Run to start
-// the stream loop.
-func NewFollower(cfg FollowerConfig) *Follower {
+// NewFollower builds a replica targeting cfg.Primary, recovering local
+// state from cfg.DataDir when set. Call Run to start the stream loop.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	cfg.fill()
 	f := &Follower{
-		cfg:  cfg,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		cfg:    cfg,
+		leader: cfg.Primary,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		wake:   make(chan struct{}, 1),
 	}
-	f.eng = engine.New(f.engineConfig())
+	if cfg.DataDir == "" {
+		f.eng = engine.New(f.engineConfig())
+		return f, nil
+	}
+	l, rec, err := wal.Open(cfg.DataDir, wal.Options{FS: cfg.FS})
+	if err != nil {
+		return nil, fmt.Errorf("repl: open follower log: %w", err)
+	}
+	// Recover exactly as OpenDurable does, but leave the WAL detached:
+	// stream applies are already in the log (AppendRaw precedes the engine
+	// apply), so the engine must not re-log them. Promote attaches it.
+	eng := engine.New(f.engineConfig())
+	if rec.Checkpoint != nil {
+		if err := eng.LoadCheckpoint(rec.Checkpoint); err != nil {
+			_ = l.Close()
+			return nil, fmt.Errorf("repl: recover follower %s: %w", cfg.DataDir, err)
+		}
+	}
+	for _, r := range rec.Records {
+		if err := eng.ReplayRecord(r); err != nil {
+			_ = l.Close()
+			return nil, fmt.Errorf("repl: recover follower %s: %w", cfg.DataDir, err)
+		}
+	}
+	eng.PublishSnapshot()
+	f.log, f.eng = l, eng
+	f.applied = l.NextLSN() - 1
+	f.primaryLSN = f.applied
+	f.epoch = l.Epoch()
+	f.known = l.Epoch()
+	f.src = NewSource(l, SourceConfig{Heartbeat: cfg.Heartbeat, OnFenced: f.ObserveEpoch, Logf: cfg.Logf})
+	return f, nil
+}
+
+// newFollowerShared wraps an existing engine and log — a demoted primary's
+// — as a follower. The engine keeps its attached WAL (replay never
+// re-logs), and the demoted node keeps serving its existing Source.
+func newFollowerShared(cfg FollowerConfig, eng *engine.Engine, l *wal.Log, src *Source, knownEpoch uint64) *Follower {
+	cfg.fill()
+	f := &Follower{
+		cfg:    cfg,
+		log:    l,
+		src:    src,
+		eng:    eng,
+		leader: cfg.Primary,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		wake:   make(chan struct{}, 1),
+	}
+	f.applied = l.NextLSN() - 1
+	f.primaryLSN = f.applied
+	f.epoch = l.Epoch()
+	f.known = knownEpoch
+	if f.epoch > f.known {
+		f.known = f.epoch
+	}
 	return f
 }
 
@@ -121,9 +220,15 @@ func (f *Follower) logf(format string, args ...any) {
 	}
 }
 
-// Run drives the stream: dial, join, apply until the session drops, back
-// off, rejoin from the last applied LSN. It returns when Close or Promote
-// is called.
+// ReplSource exposes the follower's own stream source (durable mode): the
+// server serves MsgReplJoin sessions through it, which is how re-pointed
+// siblings resume from a promoted follower. Nil on an in-memory follower.
+func (f *Follower) ReplSource() *Source { return f.src }
+
+// Run drives the stream: dial the current leader, join, apply until the
+// session drops, back off, rejoin from the applied LSN. A promoted node
+// parks until Follow demotes it (or Close). Run returns when Close is
+// called.
 func (f *Follower) Run() {
 	defer close(f.done)
 	backoff := f.cfg.ReconnectMin
@@ -133,7 +238,16 @@ func (f *Follower) Run() {
 			return
 		default:
 		}
-		nc, err := net.DialTimeout("tcp", f.cfg.Primary, f.cfg.DialTimeout)
+		if f.Promoted() {
+			select {
+			case <-f.stop:
+				return
+			case <-f.wake:
+			}
+			continue
+		}
+		leader := f.Leader()
+		nc, err := net.DialTimeout("tcp", leader, f.cfg.DialTimeout)
 		if err == nil {
 			f.setConn(nc)
 			start := f.AppliedLSN()
@@ -145,12 +259,16 @@ func (f *Follower) Run() {
 				backoff = f.cfg.ReconnectMin // the session made progress
 			}
 		}
-		if err != nil {
-			f.logf("repl: stream to %s: %v", f.cfg.Primary, err)
+		if err != nil && !f.Promoted() {
+			f.logf("repl: stream to %s: %v", leader, err)
 		}
 		select {
 		case <-f.stop:
 			return
+		case <-f.wake:
+			// Re-pointed, demoted, or promoted: re-evaluate immediately.
+			backoff = f.cfg.ReconnectMin
+			continue
 		case <-time.After(backoff):
 		}
 		backoff *= 2
@@ -160,37 +278,73 @@ func (f *Follower) Run() {
 	}
 }
 
-// stream runs one session: join at the applied LSN, then decode and apply
-// frames until the connection breaks or the primary goes silent.
+func (f *Follower) wakeLoop() {
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+}
+
+// stream runs one session: join at the applied LSN with the local
+// history's epoch, then decode and apply frames until the connection
+// breaks, the leader goes silent, or the leader turns out to be stale.
 func (f *Follower) stream(nc net.Conn) error {
-	from := f.AppliedLSN()
+	f.smu.Lock()
+	from, hist := f.applied, f.epoch
+	f.smu.Unlock()
 	if err := nc.SetWriteDeadline(time.Now().Add(f.cfg.StreamTimeout)); err != nil {
 		return err
 	}
-	if err := wire.WriteMessage(nc, wire.MsgReplJoin, &wire.ReplJoinRequest{FromLSN: from}, f.cfg.MaxFrame); err != nil {
+	if err := wire.WriteMessage(nc, wire.MsgReplJoin, &wire.ReplJoinRequest{FromLSN: from, Epoch: hist}, f.cfg.MaxFrame); err != nil {
 		return fmt.Errorf("join: %w", err)
 	}
 
 	var snap []wal.CkptPart // in-flight checkpoint bootstrap
+
+	// Acks share the connection with this loop's reads only, but two
+	// writers exist: the forced acks below and the idle ticker goroutine.
+	var ackMu sync.Mutex
 	acked := from
-	lastAck := time.Now()
 	sendAck := func(force bool) error {
-		app := f.AppliedLSN()
+		ackMu.Lock()
+		defer ackMu.Unlock()
+		f.smu.Lock()
+		app, known := f.applied, f.known
+		f.smu.Unlock()
 		if app == acked && !force {
-			return nil
-		}
-		if !force && time.Since(lastAck) < f.cfg.AckInterval {
 			return nil
 		}
 		if err := nc.SetWriteDeadline(time.Now().Add(f.cfg.StreamTimeout)); err != nil {
 			return err
 		}
-		if err := wire.WriteMessage(nc, wire.MsgReplAck, &wire.ReplAck{LSN: app}, f.cfg.MaxFrame); err != nil {
+		if err := wire.WriteMessage(nc, wire.MsgReplAck, &wire.ReplAck{LSN: app, Epoch: known}, f.cfg.MaxFrame); err != nil {
 			return fmt.Errorf("ack: %w", err)
 		}
-		acked, lastAck = app, time.Now()
+		acked = app
 		return nil
 	}
+
+	// The ack ticker keeps the source's retention pin moving even when no
+	// new frame prompts an ack — without it, rapid applies followed by an
+	// idle stream leave the last rate-limited ack unsent until the next
+	// heartbeat, pinning WAL segments the whole while.
+	tickStop := make(chan struct{})
+	defer close(tickStop)
+	go func() {
+		t := time.NewTicker(f.cfg.AckInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-tickStop:
+				return
+			case <-t.C:
+				if err := sendAck(false); err != nil {
+					_ = nc.Close() // surface on the main read loop
+					return
+				}
+			}
+		}
+	}()
 
 	for {
 		if err := nc.SetReadDeadline(time.Now().Add(f.cfg.StreamTimeout)); err != nil {
@@ -207,14 +361,19 @@ func (f *Follower) stream(nc net.Conn) error {
 		f.setConnected(true)
 		switch m := msg.(type) {
 		case *wire.ErrorResponse:
-			if m.Code == wire.CodeDiverged {
-				// Our state is ahead of this primary's log (e.g. it was
-				// restored from an older backup). Drop everything and
-				// rebuild from its checkpoint on the next join.
+			switch m.Code {
+			case wire.CodeDiverged:
+				// Our history forked from this leader's (an unshipped
+				// suffix, or state restored from an older backup). Drop
+				// everything and rebuild from its checkpoint on rejoin.
 				f.reset()
-				return fmt.Errorf("primary reports divergence (%s); reset for re-bootstrap", m.Message)
+				return fmt.Errorf("leader reports divergence (%s); reset for re-bootstrap", m.Message)
+			case wire.CodeFenced:
+				// We fenced the source: it is staler than our own history.
+				// Disconnect; Follow will re-point us at the real leader.
+				return fmt.Errorf("source is stale (our epoch fences it): %s", m.Message)
 			}
-			return fmt.Errorf("primary refused stream: %s: %s", m.Code, m.Message)
+			return fmt.Errorf("leader refused stream: %s: %s", m.Code, m.Message)
 		case *wire.ReplSnapFrame:
 			snap = append(snap, wal.CkptPart{Kind: m.Kind, Payload: m.Payload})
 			if m.Kind == wal.KindCkptEnd {
@@ -231,6 +390,9 @@ func (f *Follower) stream(nc net.Conn) error {
 			if snap != nil {
 				return fmt.Errorf("record lsn %d arrived inside a snapshot", m.LSN)
 			}
+			if m.Epoch != 0 && m.Epoch < f.KnownEpoch() {
+				return fmt.Errorf("stream record from stale epoch %d (cluster is at %d); disconnecting", m.Epoch, f.KnownEpoch())
+			}
 			if err := f.applyRecord(m); err != nil {
 				return err
 			}
@@ -238,6 +400,9 @@ func (f *Follower) stream(nc net.Conn) error {
 				return err
 			}
 		case *wire.ReplHeartbeat:
+			if m.Epoch != 0 && m.Epoch < f.KnownEpoch() {
+				return fmt.Errorf("heartbeat from stale epoch %d (cluster is at %d); disconnecting", m.Epoch, f.KnownEpoch())
+			}
 			f.setPrimaryLSN(m.LSN)
 			if err := sendAck(true); err != nil {
 				return err
@@ -247,11 +412,19 @@ func (f *Follower) stream(nc net.Conn) error {
 }
 
 // installSnapshot replaces the engine with one rebuilt from checkpoint
-// parts, exactly as crash recovery loads a checkpoint image.
+// parts, exactly as crash recovery loads a checkpoint image. A durable
+// follower first seeds its own log with the image (InstallCheckpoint), so
+// its local history carries the same coverage — and epoch table — as the
+// leader's.
 func (f *Follower) installSnapshot(parts []wal.CkptPart) error {
 	ck, err := wal.AssembleCheckpoint(parts)
 	if err != nil {
 		return err
+	}
+	if f.log != nil {
+		if _, err := f.log.InstallCheckpoint(parts); err != nil {
+			return err
+		}
 	}
 	eng := engine.New(f.engineConfig())
 	if err := eng.LoadCheckpoint(ck); err != nil {
@@ -260,16 +433,30 @@ func (f *Follower) installSnapshot(parts []wal.CkptPart) error {
 	f.mu.Lock()
 	f.eng = eng
 	f.mu.Unlock()
+	f.smu.Lock()
+	if f.log != nil {
+		f.epoch = f.log.Epoch()
+	} else {
+		// The image's epoch is at most the leader's; in-memory followers
+		// learn the exact value from in-band epoch records.
+		f.epoch = 0
+	}
+	if f.epoch > f.known {
+		f.known = f.epoch
+	}
+	f.smu.Unlock()
 	f.advanceTo(ck.Meta.LSN)
 	f.setPrimaryLSN(ck.Meta.LSN)
 	f.logf("repl: installed checkpoint image at lsn %d", ck.Meta.LSN)
 	return nil
 }
 
-// applyRecord replays one WAL record, enforcing LSN continuity. An apply
-// failure resets the follower: partial application of a composed net
-// effect cannot be reconciled in place, but a checkpoint re-bootstrap
-// always can.
+// applyRecord replays one WAL record, enforcing LSN continuity. A durable
+// follower appends the record to its own log before the engine applies it
+// (log-before-apply: a crash between the two replays the record from the
+// local log at restart). An apply failure resets the follower: partial
+// application of a composed net effect cannot be reconciled in place, but
+// a checkpoint re-bootstrap always can.
 func (f *Follower) applyRecord(m *wire.ReplRecord) error {
 	want := f.AppliedLSN() + 1
 	if m.LSN != want {
@@ -280,6 +467,17 @@ func (f *Follower) applyRecord(m *wire.ReplRecord) error {
 		return fmt.Errorf("decode record lsn %d: %w", m.LSN, err)
 	}
 	f.mu.Lock()
+	if f.Promoted() {
+		f.mu.Unlock()
+		return fmt.Errorf("promoted mid-stream; discarding record lsn %d", m.LSN)
+	}
+	if f.log != nil {
+		if err := f.log.AppendRaw(wal.RawRecord{LSN: m.LSN, Kind: m.Kind, Payload: m.Payload}); err != nil {
+			f.mu.Unlock()
+			f.reset()
+			return fmt.Errorf("append record lsn %d to local log failed; reset for re-bootstrap: %w", m.LSN, err)
+		}
+	}
 	err = f.eng.ReplayRecord(rec)
 	if err == nil {
 		// Publish per applied record so snapshot-based reads (Query, Dump,
@@ -294,14 +492,35 @@ func (f *Follower) applyRecord(m *wire.ReplRecord) error {
 		f.reset()
 		return fmt.Errorf("apply record lsn %d failed; reset for re-bootstrap: %w", m.LSN, err)
 	}
+	if rec.Kind == wal.KindEpoch {
+		f.smu.Lock()
+		if rec.Epoch.Epoch > f.epoch {
+			f.epoch = rec.Epoch.Epoch
+		}
+		if rec.Epoch.Epoch > f.known {
+			f.known = rec.Epoch.Epoch
+		}
+		f.smu.Unlock()
+		f.logf("repl: adopted epoch %d at lsn %d", rec.Epoch.Epoch, m.LSN)
+	}
 	f.advanceTo(m.LSN)
 	f.setPrimaryLSN(m.LSN)
 	return nil
 }
 
-// reset discards all replayed state so the next join starts from LSN 0
-// (checkpoint bootstrap).
+// reset discards all replayed state — including a durable follower's
+// local log — so the next join starts from LSN 0 (checkpoint bootstrap).
+// Discarded records are the loud report the tentpole demands: a returning
+// primary's unshipped suffix dies here, visibly.
 func (f *Follower) reset() {
+	f.smu.Lock()
+	discarded := f.applied
+	f.smu.Unlock()
+	if f.log != nil {
+		if err := f.log.Reset(); err != nil {
+			f.logf("repl: RESET FAILED to clear local log: %v (follower may be unable to recover locally)", err)
+		}
+	}
 	eng := engine.New(f.engineConfig())
 	f.mu.Lock()
 	f.eng = eng
@@ -309,7 +528,13 @@ func (f *Follower) reset() {
 	f.smu.Lock()
 	f.applied = 0
 	f.primaryLSN = 0
+	f.epoch = 0
+	f.resets++
+	f.discarded += int64(discarded)
 	f.smu.Unlock()
+	if discarded > 0 {
+		f.logf("repl: RESET discarded %d locally-held records (history diverged from the leader); rebootstrapping from scratch", discarded)
+	}
 }
 
 func (f *Follower) setConn(nc net.Conn) {
@@ -365,6 +590,52 @@ func (f *Follower) AppliedLSN() uint64 {
 // it is the applied LSN.
 func (f *Follower) CurrentLSN() uint64 { return f.AppliedLSN() }
 
+// Leader reports the current upstream address.
+func (f *Follower) Leader() string {
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	return f.leader
+}
+
+// KnownEpoch reports the highest promotion epoch this node has observed.
+func (f *Follower) KnownEpoch() uint64 {
+	f.smu.Lock()
+	defer f.smu.Unlock()
+	return f.known
+}
+
+// Epoch implements the server's epoch-gate capability.
+func (f *Follower) Epoch() uint64 { return f.KnownEpoch() }
+
+// ObserveEpoch records that epoch e exists somewhere in the cluster. A
+// promoted node seeing an epoch above its own steps down on the spot: it
+// stops accepting writes (FencedError) until Follow re-integrates it
+// under the new leader. An in-memory promoted node also resets — its
+// post-promotion state was never shipped anywhere and cannot be
+// reconciled.
+func (f *Follower) ObserveEpoch(e uint64) {
+	f.smu.Lock()
+	if e <= f.known {
+		f.smu.Unlock()
+		return
+	}
+	f.known = e
+	steppedDown := f.promoted
+	if steppedDown {
+		f.promoted = false
+		f.fencedBy = e
+	}
+	f.smu.Unlock()
+	if steppedDown {
+		f.logf("repl: FENCED by epoch %d; stepping down (writes refused until re-pointed at the new leader)", e)
+		if f.log == nil {
+			f.reset()
+		}
+		f.closeConn()
+		f.wakeLoop()
+	}
+}
+
 // WaitForLSN blocks until the follower has applied lsn, the timeout
 // elapses (LagError), or the node is promoted (a promoted node is the
 // freshest state there is).
@@ -395,60 +666,177 @@ func (f *Follower) WaitForLSN(lsn uint64, timeout time.Duration) error {
 	}
 }
 
-// Promoted reports whether this node has been promoted to accept writes.
+// Promoted reports whether this node currently accepts writes.
 func (f *Follower) Promoted() bool {
 	f.smu.Lock()
 	defer f.smu.Unlock()
 	return f.promoted
 }
 
-// Promote detaches the node from the primary and makes it writable. The
-// promoted node runs in-memory from its applied state (rules re-enabled
-// for new work); it keeps no WAL, so it cannot itself serve replication —
-// promotion is a failover stopgap, not a durable primary.
-func (f *Follower) Promote() error {
+// Promote detaches the node from its leader and makes it writable in a
+// new epoch: max(epoch, highest seen + 1), so epochs never move backward.
+// A durable follower appends the epoch record to its own log and attaches
+// the log to its engine — from here on it is a complete primary: commits
+// are logged, siblings can join its Source, sync-commit applies. An
+// in-memory follower promotes too (rules re-enabled, logical-clock LSNs)
+// but ships no WAL: a failover stopgap, its siblings go stale.
+// The returned epoch is the one actually opened.
+func (f *Follower) Promote(epoch uint64) (uint64, error) {
+	f.mu.Lock() // exclude an in-flight stream apply
 	f.smu.Lock()
-	already := f.promoted
+	if f.promoted {
+		cur := f.known
+		f.smu.Unlock()
+		f.mu.Unlock()
+		return cur, nil
+	}
+	newEpoch := f.known + 1
+	if epoch > newEpoch {
+		newEpoch = epoch
+	}
+	f.smu.Unlock()
+	if f.log != nil {
+		if _, err := f.log.AppendEpoch(newEpoch); err != nil {
+			f.mu.Unlock()
+			return 0, fmt.Errorf("repl: promote: %w", err)
+		}
+		if f.eng.WAL() == nil {
+			f.eng.AttachWAL(f.log)
+		}
+	}
+	f.mu.Unlock()
+	f.smu.Lock()
 	f.promoted = true
+	f.fencedBy = 0
+	f.epoch = newEpoch
+	f.known = newEpoch
+	if f.log != nil {
+		if lsn := f.log.NextLSN() - 1; lsn > f.applied {
+			f.applied = lsn
+		}
+	}
 	if f.appliedCh != nil {
 		close(f.appliedCh) // wake read-your-writes waiters
 		f.appliedCh = nil
 	}
 	f.smu.Unlock()
-	if already {
-		return nil
-	}
-	f.stopOnce.Do(func() { close(f.stop) })
 	f.closeConn()
-	f.logf("repl: promoted at lsn %d; stream to %s stopped", f.AppliedLSN(), f.cfg.Primary)
+	f.wakeLoop()
+	f.logf("repl: PROMOTED at lsn %d, epoch %d (durable=%v)", f.AppliedLSN(), newEpoch, f.log != nil)
+	return newEpoch, nil
+}
+
+// Follow makes this node a follower of leader in the given epoch. On a
+// replica it re-points the stream (the failover path for a promoted
+// durable sibling: resume from the applied LSN instead of going stale).
+// On a promoted node it is a demotion order and requires a strictly newer
+// epoch; the local log keeps only the prefix the new leader shares — any
+// unshipped suffix is discarded on the divergence reset that follows.
+func (f *Follower) Follow(leader string, epoch uint64) error {
+	f.smu.Lock()
+	if epoch < f.known || (f.promoted && epoch <= f.known) {
+		cur := f.known
+		f.smu.Unlock()
+		return &StaleEpochError{Epoch: cur}
+	}
+	wasPromoted := f.promoted
+	f.promoted = false
+	f.fencedBy = 0
+	if epoch > f.known {
+		f.known = epoch
+	}
+	oldLeader := f.leader
+	f.leader = leader
+	f.smu.Unlock()
+	if wasPromoted {
+		f.logf("repl: DEMOTED into follower of %s at epoch %d; any unshipped suffix will be truncated on rejoin", leader, epoch)
+		if f.log == nil {
+			// An in-memory promoted node's post-promotion state was never
+			// shipped; only a full rebuild can align it with the new leader.
+			f.reset()
+		}
+	} else if oldLeader != leader {
+		f.logf("repl: re-pointing stream from %s to %s (epoch %d)", oldLeader, leader, epoch)
+	}
+	f.closeConn()
+	f.wakeLoop()
 	return nil
 }
 
-// Close stops the stream loop and waits for it to exit.
+// Checkpoint writes the follower's state as a checkpoint image into its
+// own log (durable mode), pruning shipped segments and refreshing the
+// bootstrap image it can serve to siblings.
+func (f *Follower) Checkpoint() error {
+	if f.log == nil {
+		return fmt.Errorf("repl: in-memory follower has no log to checkpoint")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eng.CheckpointTo(f.log)
+}
+
+// Close stops the stream loop and waits for it to exit, then closes the
+// local log (durable mode).
 func (f *Follower) Close() {
 	f.stopOnce.Do(func() { close(f.stop) })
 	f.closeConn()
 	<-f.done
+	if f.log != nil {
+		if err := f.log.Close(); err != nil {
+			f.logf("repl: close follower log: %v", err)
+		}
+	}
 }
 
 // --- server backend ---
 
-// Exec rejects writes until the node is promoted; after promotion it
-// executes the script with full rule processing, like a primary.
+// Exec rejects writes until the node is promoted (FencedError when the
+// refusal is due to a fencing step-down); after promotion it executes the
+// script with full rule processing, like a primary, and — durable, with
+// SyncFollowers configured — holds the ack until enough followers confirm.
 func (f *Follower) Exec(src string) (*sopr.Result, error) {
-	if !f.Promoted() {
+	f.smu.Lock()
+	promoted, fencedBy := f.promoted, f.fencedBy
+	f.smu.Unlock()
+	if !promoted {
+		if fencedBy != 0 {
+			return nil, &FencedError{Epoch: fencedBy}
+		}
 		return nil, ErrReadOnly
+	}
+	var before uint64
+	if f.log != nil {
+		before = f.log.NextLSN() - 1
 	}
 	f.mu.Lock()
 	txn, err := f.eng.Exec(src)
 	f.mu.Unlock()
-	// Keep the logical clock moving: each write advances the promoted
-	// node's LSN so read-your-writes tokens issued here are strictly newer
-	// than anything the old primary's other replicas have applied — a
-	// promoted node ships no WAL, so those replicas are permanently stale
-	// and must answer such tokens with CodeLagging, not old data.
-	f.advanceTo(f.AppliedLSN() + 1)
-	return resultFromTxn(txn), wrapParse(err)
+	if f.log != nil {
+		f.advanceTo(f.log.NextLSN() - 1)
+	} else {
+		// Keep the logical clock moving: each write advances the promoted
+		// node's LSN so read-your-writes tokens issued here are strictly
+		// newer than anything the old primary's other replicas have
+		// applied — an in-memory promoted node ships no WAL, so those
+		// replicas are permanently stale and must answer such tokens with
+		// CodeLagging, not old data.
+		f.advanceTo(f.AppliedLSN() + 1)
+	}
+	res := resultFromTxn(txn)
+	if err == nil && res != nil && f.log != nil && f.src != nil && f.cfg.SyncFollowers > 0 {
+		if lsn := f.log.NextLSN() - 1; lsn > before {
+			if f.src.WaitForAcks(lsn, f.cfg.SyncFollowers, f.cfg.SyncTimeout) {
+				res.Synced = true
+			} else {
+				f.smu.Lock()
+				f.syncTimeouts++
+				f.smu.Unlock()
+				f.logf("repl: WARNING sync-commit wait for %d follower ack(s) at lsn %d timed out after %v; acking async",
+					f.cfg.SyncFollowers, lsn, f.cfg.SyncTimeout)
+			}
+		}
+	}
+	return res, wrapParse(err)
 }
 
 // Query runs a read-only query against the replayed state.
@@ -476,22 +864,37 @@ func (f *Follower) Stats() sopr.Stats {
 	return sopr.Stats(f.eng.Stats())
 }
 
-// ReplStats reports the node's replication position and lag.
+// ReplStats reports the node's replication position, epoch, and lag.
 func (f *Follower) ReplStats() *wire.ReplStats {
 	f.smu.Lock()
-	defer f.smu.Unlock()
 	st := &wire.ReplStats{
-		Role:       "replica",
-		LSN:        f.applied,
-		PrimaryLSN: f.primaryLSN,
-		Connected:  f.connected,
-		Promoted:   f.promoted,
+		Role:             "replica",
+		LSN:              f.applied,
+		PrimaryLSN:       f.primaryLSN,
+		Connected:        f.connected,
+		Promoted:         f.promoted,
+		Epoch:            f.known,
+		Durable:          f.log != nil,
+		Fenced:           f.fencedBy != 0,
+		Leader:           f.leader,
+		Resets:           f.resets,
+		DiscardedRecords: f.discarded,
+		SyncTimeouts:     f.syncTimeouts,
 	}
 	if f.primaryLSN > f.applied {
 		st.Lag = int64(f.primaryLSN - f.applied)
 	}
-	if f.promoted {
+	promoted := f.promoted
+	f.smu.Unlock()
+	if promoted {
 		st.Role = "primary"
+		st.Leader = ""
+		st.PrimaryLSN, st.Lag = 0, 0
+		if f.src != nil {
+			ss := f.src.Stats()
+			st.Followers, st.MinFollowerLSN = ss.Followers, ss.MinFollowerLSN
+			st.SyncFollowers = f.cfg.SyncFollowers
+		}
 	}
 	return st
 }

@@ -13,7 +13,10 @@ import (
 // applied+1 means the stream skipped or repeated something — the
 // follower must refuse it rather than apply out of order.
 func TestApplyRecordRejectsGaps(t *testing.T) {
-	f := NewFollower(FollowerConfig{Primary: "unused:0"})
+	f, err := NewFollower(FollowerConfig{Primary: "unused:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rec := func(lsn uint64) *wire.ReplRecord {
 		payload, _ := json.Marshal(map[string]any{"last_handle": lsn})
 		return &wire.ReplRecord{LSN: lsn, Kind: 1, Payload: payload}
@@ -36,7 +39,10 @@ func TestApplyRecordRejectsGaps(t *testing.T) {
 // leaves the follower reset to lsn 0, forcing a checkpoint re-bootstrap
 // instead of serving half-applied state.
 func TestApplyFailureResets(t *testing.T) {
-	f := NewFollower(FollowerConfig{Primary: "unused:0"})
+	f, err := NewFollower(FollowerConfig{Primary: "unused:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// A DDL record whose script is garbage fails replay.
 	payload, _ := json.Marshal(map[string]any{"sql": "definitely not sql ;"})
 	if err := f.applyRecord(&wire.ReplRecord{LSN: 1, Kind: 2, Payload: payload}); err == nil {
@@ -48,9 +54,12 @@ func TestApplyFailureResets(t *testing.T) {
 }
 
 func TestWaitForLSN(t *testing.T) {
-	f := NewFollower(FollowerConfig{Primary: "unused:0"})
+	f, err := NewFollower(FollowerConfig{Primary: "unused:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Timeout path: the typed lag error carries both positions.
-	err := f.WaitForLSN(5, 20*time.Millisecond)
+	err = f.WaitForLSN(5, 20*time.Millisecond)
 	var le *LagError
 	if !errors.As(err, &le) || le.Need != 5 || le.Have != 0 {
 		t.Fatalf("WaitForLSN = %v, want LagError{Need:5, Have:0}", err)
@@ -69,7 +78,7 @@ func TestWaitForLSN(t *testing.T) {
 		t.Fatal("WaitForLSN never woke after advance")
 	}
 	// Promotion path: a promoted node satisfies any floor immediately.
-	if err := f.Promote(); err != nil {
+	if _, err := f.Promote(0); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.WaitForLSN(1_000_000, 10*time.Millisecond); err != nil {
@@ -78,11 +87,14 @@ func TestWaitForLSN(t *testing.T) {
 }
 
 func TestExecReadOnlyUntilPromoted(t *testing.T) {
-	f := NewFollower(FollowerConfig{Primary: "unused:0"})
+	f, err := NewFollower(FollowerConfig{Primary: "unused:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := f.Exec(`create table t (a int);`); !errors.Is(err, ErrReadOnly) {
 		t.Fatalf("Exec before promotion = %v, want ErrReadOnly", err)
 	}
-	if err := f.Promote(); err != nil {
+	if _, err := f.Promote(0); err != nil {
 		t.Fatal(err)
 	}
 	if !f.Promoted() {

@@ -1,6 +1,6 @@
 // Package repl implements WAL-shipping streaming replication: one durable
-// primary ships its write-ahead log to any number of in-memory read
-// replicas over the wire transport.
+// primary ships its write-ahead log to followers over the wire transport,
+// with epoch-fenced failover and optional synchronous commit.
 //
 // The design leans entirely on the durability layer's determinism argument
 // (paper Definition 2.1, Section 4): the log records the composed net
@@ -12,12 +12,25 @@
 // queries from the resulting state. The primary keeps the paper's single
 // write stream (Section 2.1); replicas multiply read capacity.
 //
-// Source is the primary side: it serves stream sessions from an open
-// wal.Log, pinning WAL retention at the slowest connected follower so
-// checkpoint pruning never deletes a segment a lagging stream still
-// needs. Follower is the replica side: a reconnecting apply loop plus the
-// read-only server backend (Exec is rejected with ErrReadOnly until the
-// follower is promoted).
+// Failover keeps that stream single under partitions with promotion
+// epochs (wal.EpochRecord): every promotion appends an epoch record to
+// the new leader's log, and the epoch travels on exec requests, stream
+// records, and acks. A node that sees a higher epoch than its own fences
+// itself — its writes answer the typed FencedError until it is demoted
+// (Follow) into the new leader's follower, truncating any unshipped
+// suffix (reported loudly in stats). A durable follower (FollowerConfig
+// .DataDir) persists the stream into its own wal.Log, so after promotion
+// it serves as a WAL-shipping source itself and its former siblings
+// re-point to it and resume from their applied LSN.
+//
+// Source is the leader side: it serves stream sessions from an open
+// wal.Log, pinning WAL retention at the slowest connected follower,
+// refusing joins from diverged histories (the epoch table makes the check
+// exact), and releasing synchronous commits as follower acks arrive.
+// Follower is the replica side: a reconnecting apply loop plus the server
+// backend (Exec is rejected with ErrReadOnly until promotion). Primary
+// wraps a durable sopr.DB as the leader-side server backend, adding
+// fencing, sync-commit waits, and demotion into a shared-engine Follower.
 package repl
 
 import (
@@ -44,6 +57,29 @@ type LagError struct {
 
 func (e *LagError) Error() string {
 	return fmt.Sprintf("repl: replica at lsn %d has not reached lsn %d", e.Have, e.Need)
+}
+
+// FencedError rejects a write on a node that observed a promotion epoch
+// higher than its own: the cluster elected a new leader and this node's
+// writes can no longer join the single ordered stream. The server maps it
+// to CodeFenced with the fencing epoch so clients re-probe immediately.
+type FencedError struct {
+	Epoch uint64 // the epoch that fenced this node
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("repl: node fenced by epoch %d; writes go to the new leader", e.Epoch)
+}
+
+// StaleEpochError rejects a request carrying an epoch older than the
+// node's own: the caller's cluster view is out of date. The server maps
+// it to CodeStaleEpoch with the node's epoch.
+type StaleEpochError struct {
+	Epoch uint64 // the node's current epoch
+}
+
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("repl: request epoch is older than node epoch %d", e.Epoch)
 }
 
 // rowsFromExec converts an executor result into the public Rows type, the

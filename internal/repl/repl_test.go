@@ -123,13 +123,16 @@ type replica struct {
 
 func startReplica(t *testing.T, primaryAddr string) *replica {
 	t.Helper()
-	fl := repl.NewFollower(repl.FollowerConfig{
+	fl, err := repl.NewFollower(repl.FollowerConfig{
 		Primary:      primaryAddr,
 		ReconnectMin: 10 * time.Millisecond,
 		ReconnectMax: 250 * time.Millisecond,
 		AckInterval:  10 * time.Millisecond,
 		Logf:         t.Logf,
 	})
+	if err != nil {
+		t.Fatalf("NewFollower: %v", err)
+	}
 	go fl.Run()
 	srv := server.New(fl, server.Config{ReplWaitTimeout: 500 * time.Millisecond})
 	ln, err := server.Listen("127.0.0.1:0")

@@ -11,7 +11,7 @@ import (
 	"sopr/internal/wire"
 )
 
-// SourceConfig tunes the primary side of replication.
+// SourceConfig tunes the leader side of replication.
 type SourceConfig struct {
 	// Heartbeat is how often an idle stream sends MsgReplHeartbeat
 	// (default 1s). Followers size their read deadlines from it.
@@ -25,6 +25,10 @@ type SourceConfig struct {
 	// BatchBytes caps the payload bytes read per ReadRaw call
 	// (default 1 MiB).
 	BatchBytes int
+	// OnFenced is invoked (outside the source mutex) when a join or an ack
+	// reveals an epoch higher than this log's: the cluster moved on, and
+	// the node owning this source must stop accepting writes. May be nil.
+	OnFenced func(epoch uint64)
 	// Logf receives stream-session log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -47,18 +51,24 @@ func (c *SourceConfig) fill() {
 	}
 }
 
-// Source serves WAL stream sessions from a primary's open log. One Source
-// is shared by every follower connection; each ServeConn call runs one
-// session, holding a retention Pin that tracks the follower's
-// acknowledged position so checkpoint pruning never deletes a segment the
-// stream still needs (the log keeps every record at or after the minimum
-// pin across sessions).
+// Source serves WAL stream sessions from an open log. One Source is shared
+// by every follower connection; each ServeConn call runs one session,
+// holding a retention Pin that tracks the follower's acknowledged position
+// so checkpoint pruning never deletes a segment the stream still needs
+// (the log keeps every record at or after the minimum pin across
+// sessions). Both a durable primary and a durable follower own a Source —
+// the latter serves joins from its own log, which is what lets siblings
+// re-point to it after a promotion.
 type Source struct {
 	log *wal.Log
 	cfg SourceConfig
 
 	mu       sync.Mutex
 	sessions map[*session]struct{}
+	// ackCh is a broadcast channel for synchronous commit: closed and
+	// replaced whenever any session's acked LSN advances, waking
+	// WaitForAcks callers to re-count.
+	ackCh chan struct{}
 }
 
 // session is the per-follower accounting visible in Stats.
@@ -79,11 +89,18 @@ func (s *Source) logf(format string, args ...any) {
 	}
 }
 
-// Stats reports the primary's replication state: its durable LSN, the
-// number of connected stream sessions, and the minimum acknowledged LSN
-// across them (the current retention horizon).
+func (s *Source) fence(epoch uint64) {
+	s.logf("repl: observed epoch %d above local epoch %d; fencing", epoch, s.log.Epoch())
+	if s.cfg.OnFenced != nil {
+		s.cfg.OnFenced(epoch)
+	}
+}
+
+// Stats reports the source's replication state: its durable LSN and epoch,
+// the number of connected stream sessions, and the minimum acknowledged
+// LSN across them (the current retention horizon).
 func (s *Source) Stats() *wire.ReplStats {
-	st := &wire.ReplStats{Role: "primary", LSN: s.log.NextLSN() - 1}
+	st := &wire.ReplStats{Role: "primary", LSN: s.log.NextLSN() - 1, Epoch: s.log.Epoch(), Durable: true}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st.Followers = len(s.sessions)
@@ -97,6 +114,74 @@ func (s *Source) Stats() *wire.ReplStats {
 	return st
 }
 
+// ackedCount reports how many connected followers have acknowledged lsn.
+func (s *Source) ackedCount(lsn uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for sess := range s.sessions {
+		if sess.acked >= lsn {
+			n++
+		}
+	}
+	return n
+}
+
+// ackWait returns a channel closed the next time any follower ack
+// advances (or a session ends).
+func (s *Source) ackWait() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ackCh == nil {
+		s.ackCh = make(chan struct{})
+	}
+	return s.ackCh
+}
+
+// ackBroadcast wakes WaitForAcks callers. Called whenever a session's
+// acked LSN advances or the session set changes.
+func (s *Source) ackBroadcast() {
+	s.mu.Lock()
+	if s.ackCh != nil {
+		close(s.ackCh)
+		s.ackCh = nil
+	}
+	s.mu.Unlock()
+}
+
+// WaitForAcks blocks until n connected followers have acknowledged lsn or
+// the timeout elapses, reporting whether the quorum was met. Synchronous
+// commit calls it after the local append: met=true means the record
+// survives the loss of this node plus any n-1 of the acking followers.
+func (s *Source) WaitForAcks(lsn uint64, n int, timeout time.Duration) bool {
+	if n <= 0 {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.ackedCount(lsn) >= n {
+			return true
+		}
+		ch := s.ackWait()
+		// Re-check after arming the channel: an ack between the count and
+		// ackWait would otherwise be missed.
+		if s.ackedCount(lsn) >= n {
+			return true
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return s.ackedCount(lsn) >= n
+		}
+	}
+}
+
 // write sends one stream frame under the write deadline.
 func (s *Source) write(nc net.Conn, typ byte, v any) error {
 	if err := nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
@@ -105,24 +190,55 @@ func (s *Source) write(nc net.Conn, typ byte, v any) error {
 	return wire.WriteMessage(nc, typ, v, wire.ReplMaxFrame)
 }
 
-func (s *Source) writeError(nc net.Conn, code, format string, args ...any) error {
-	return s.write(nc, wire.MsgError, &wire.ErrorResponse{Code: code, Message: fmt.Sprintf(format, args...)})
+func (s *Source) writeError(nc net.Conn, code string, epoch uint64, format string, args ...any) error {
+	return s.write(nc, wire.MsgError, &wire.ErrorResponse{Code: code, Epoch: epoch, Message: fmt.Sprintf(format, args...)})
 }
 
-// ServeConn runs one stream session on nc after a MsgReplJoin whose
-// FromLSN was from (the last LSN the follower applied; 0 for a fresh
-// replica). It sends a checkpoint bootstrap when from+1 was pruned, then
-// streams records in LSN order with heartbeats when idle, advancing the
-// session's retention pin as acknowledgements arrive. It returns when the
-// connection fails or the follower goes silent past AckTimeout; the
-// caller closes nc.
-func (s *Source) ServeConn(nc net.Conn, from uint64) error {
+// ServeConn runs one stream session on nc after a MsgReplJoin. The join
+// carries the follower's applied LSN and the epoch of its local history;
+// the pair decides the session's fate exactly:
+//
+//   - join epoch above ours: we are the stale party. Fence this node and
+//     refuse with CodeFenced.
+//   - join epoch below ours and the follower's history reaches into an
+//     epoch it never saw (FromLSN >= that epoch's boundary): the histories
+//     forked. Refuse with CodeDiverged; the follower resets and
+//     rebootstraps.
+//   - otherwise the follower's history is a prefix of ours: stream from
+//     FromLSN+1 (bootstrapping from a checkpoint when that point is
+//     pruned). Epoch records travel in-band and the follower adopts them.
+//
+// It returns when the connection fails or the follower goes silent past
+// AckTimeout; the caller closes nc.
+func (s *Source) ServeConn(nc net.Conn, join wire.ReplJoinRequest) error {
+	from := join.FromLSN
+	epoch := s.log.Epoch()
+	if join.Epoch > epoch {
+		s.fence(join.Epoch)
+		_ = s.writeError(nc, wire.CodeFenced, join.Epoch,
+			"this log is at epoch %d; follower's history is at epoch %d", epoch, join.Epoch)
+		return fmt.Errorf("follower %s at epoch %d fences this log (epoch %d)", nc.RemoteAddr(), join.Epoch, epoch)
+	}
+	if join.Epoch < epoch {
+		boundary, ok := s.log.BoundaryFor(join.Epoch)
+		// The claimed history epoch must exist in our own table: a follower
+		// at an epoch we never recorded wrote records under a promotion we
+		// never saw (racing promoters), so nothing past an empty history is
+		// a shared prefix. With the epoch present, the fork test is exact:
+		// the follower diverged iff its history reaches the boundary where
+		// a newer epoch rewrote those positions.
+		if !s.log.HasEpoch(join.Epoch) || (ok && from >= boundary) || (!ok && from > 0) {
+			_ = s.writeError(nc, wire.CodeDiverged, epoch,
+				"follower history at epoch %d reaches lsn %d, past the epoch boundary %d; histories forked", join.Epoch, from, boundary)
+			return fmt.Errorf("follower %s diverged: epoch %d history at lsn %d crosses boundary %d", nc.RemoteAddr(), join.Epoch, from, boundary)
+		}
+	}
 	last := s.log.NextLSN() - 1
 	if from > last {
 		// The follower applied records this log never wrote. Streaming from
 		// here could silently fork history, so refuse loudly; the follower
 		// resets and rejoins from zero.
-		_ = s.writeError(nc, wire.CodeDiverged,
+		_ = s.writeError(nc, wire.CodeDiverged, epoch,
 			"follower at lsn %d is ahead of the log (last lsn %d)", from, last)
 		return fmt.Errorf("follower %s at lsn %d ahead of log (last %d)", nc.RemoteAddr(), from, last)
 	}
@@ -139,7 +255,7 @@ func (s *Source) ServeConn(nc net.Conn, from uint64) error {
 		if err != nil || !ok {
 			// Records before the oldest segment are gone and no checkpoint
 			// covers them: nothing can rebuild this follower.
-			_ = s.writeError(nc, wire.CodeInternal, "resume lsn %d pruned and no checkpoint available", next)
+			_ = s.writeError(nc, wire.CodeInternal, 0, "resume lsn %d pruned and no checkpoint available", next)
 			return fmt.Errorf("follower %s: resume lsn %d pruned, no checkpoint (err=%v)", nc.RemoteAddr(), next, err)
 		}
 		for _, part := range parts {
@@ -160,6 +276,9 @@ func (s *Source) ServeConn(nc net.Conn, from uint64) error {
 		s.mu.Lock()
 		delete(s.sessions, sess)
 		s.mu.Unlock()
+		// Wake sync-commit waiters so a lost follower is recounted now
+		// rather than at their timeout.
+		s.ackBroadcast()
 	}()
 
 	// The upstream direction runs in its own goroutine: acks advance the
@@ -178,12 +297,13 @@ func (s *Source) ServeConn(nc net.Conn, from uint64) error {
 		if err != nil {
 			// ErrCompacted cannot happen while our pin holds next; anything
 			// here is a real log failure.
-			_ = s.writeError(nc, wire.CodeInternal, "log read failed: %v", err)
+			_ = s.writeError(nc, wire.CodeInternal, 0, "log read failed: %v", err)
 			return fmt.Errorf("read log at lsn %d: %w", next, err)
 		}
 		if len(recs) > 0 {
+			epoch = s.log.Epoch()
 			for _, r := range recs {
-				msg := &wire.ReplRecord{LSN: r.LSN, Kind: r.Kind, Payload: r.Payload}
+				msg := &wire.ReplRecord{LSN: r.LSN, Kind: r.Kind, Payload: r.Payload, Epoch: epoch}
 				if err := s.write(nc, wire.MsgReplRecord, msg); err != nil {
 					return fmt.Errorf("send record lsn %d: %w", r.LSN, err)
 				}
@@ -200,7 +320,7 @@ func (s *Source) ServeConn(nc net.Conn, from uint64) error {
 		select {
 		case <-ch:
 		case <-time.After(s.cfg.Heartbeat):
-			if err := s.write(nc, wire.MsgReplHeartbeat, &wire.ReplHeartbeat{LSN: next - 1}); err != nil {
+			if err := s.write(nc, wire.MsgReplHeartbeat, &wire.ReplHeartbeat{LSN: next - 1, Epoch: s.log.Epoch()}); err != nil {
 				return fmt.Errorf("send heartbeat: %w", err)
 			}
 		case err := <-ackErr:
@@ -210,7 +330,9 @@ func (s *Source) ServeConn(nc net.Conn, from uint64) error {
 }
 
 // readAcks consumes the follower's upstream frames, advancing its
-// retention pin and lag accounting. It reports on ackErr exactly once.
+// retention pin, lag accounting, and sync-commit counts. An ack carrying
+// an epoch above the log's fences this node. It reports on ackErr exactly
+// once.
 func (s *Source) readAcks(nc net.Conn, sess *session, pin *wal.Pin, ackErr chan<- error) {
 	for {
 		if err := nc.SetReadDeadline(time.Now().Add(s.cfg.AckTimeout)); err != nil {
@@ -235,11 +357,20 @@ func (s *Source) readAcks(nc net.Conn, sess *session, pin *wal.Pin, ackErr chan<
 			ackErr <- err
 			return
 		}
+		if ack.Epoch > s.log.Epoch() {
+			s.fence(ack.Epoch)
+			ackErr <- fmt.Errorf("follower ack at epoch %d fences this log (epoch %d)", ack.Epoch, s.log.Epoch())
+			return
+		}
 		s.mu.Lock()
-		if ack.LSN > sess.acked {
+		advanced := ack.LSN > sess.acked
+		if advanced {
 			sess.acked = ack.LSN
 		}
 		s.mu.Unlock()
+		if advanced {
+			s.ackBroadcast()
+		}
 		pin.Advance(ack.LSN + 1)
 	}
 }

@@ -60,14 +60,39 @@ type LSNWaiter interface {
 	WaitForLSN(lsn uint64, timeout time.Duration) error
 }
 
-// Promoter lets a replica backend be promoted to accept writes
-// (MsgReplPromote, sent by clients failing over from a dead primary).
+// Promoter lets a backend be promoted to accept writes in a new epoch
+// (MsgReplPromote, sent by clients failing over from a dead primary). It
+// returns the epoch actually opened: at least the requested one, and
+// always above every epoch the node has seen.
 type Promoter interface {
-	Promote() error
+	Promote(epoch uint64) (uint64, error)
 }
 
-// ReplStatser lets a replica backend report its replication position;
-// primaries report theirs from Config.Repl instead.
+// Epocher lets the server run the epoch gate: requests carrying an epoch
+// older than the node's answer CodeStaleEpoch, and a request revealing a
+// newer epoch fences a stale leader before the request executes.
+type Epocher interface {
+	Epoch() uint64
+	ObserveEpoch(epoch uint64)
+}
+
+// FollowerBackend lets a backend be pointed at (or demoted under) a
+// leader for a given epoch (MsgReplFollow): a replica re-points its
+// stream, a primary demotes itself into a follower of the new leader.
+type FollowerBackend interface {
+	Follow(leader string, epoch uint64) error
+}
+
+// ReplSourcer lets a backend serve WAL stream sessions (MsgReplJoin) from
+// its own source — a primary always, a durable follower too, which is
+// what lets siblings re-point to a promoted follower. It takes precedence
+// over Config.Repl.
+type ReplSourcer interface {
+	ReplSource() *repl.Source
+}
+
+// ReplStatser lets a backend report its replication position; backends
+// without it fall back to Config.Repl's source stats.
 type ReplStatser interface {
 	ReplStats() *wire.ReplStats
 }
@@ -188,7 +213,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
-			nc.Close()
+			_ = nc.Close()
 			continue
 		}
 		s.conns[c] = struct{}{}
@@ -208,7 +233,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	if s.ln != nil {
-		s.ln.Close()
+		_ = s.ln.Close()
 	}
 	for c := range s.conns {
 		if !c.busy {
@@ -229,7 +254,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		s.mu.Lock()
 		for c := range s.conns {
-			c.nc.Close()
+			_ = c.nc.Close()
 		}
 		s.mu.Unlock()
 		<-done
@@ -280,7 +305,7 @@ func (s *Server) removeConn(c *conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
 	s.mu.Unlock()
-	c.nc.Close()
+	_ = c.nc.Close()
 	s.active.Add(-1)
 	s.wg.Done()
 }
@@ -358,6 +383,24 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 			s.badFrames.Add(1)
 			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeBadFrame, Message: err.Error()})
 		}
+		if req.Epoch > 0 {
+			// Epoch gate: a request from a cluster view older than this
+			// node's is refused outright (the client must re-probe), and a
+			// request revealing a newer epoch fences a stale leader before
+			// anything executes — its Exec below answers the typed fenced
+			// error instead of extending a dead history.
+			if ep, ok := s.db.(Epocher); ok {
+				if cur := ep.Epoch(); req.Epoch < cur {
+					return s.writeError(c, wire.ErrorResponse{
+						Code:    wire.CodeStaleEpoch,
+						Epoch:   cur,
+						Message: fmt.Sprintf("request epoch %d is older than node epoch %d", req.Epoch, cur),
+					})
+				} else if req.Epoch > cur {
+					ep.ObserveEpoch(req.Epoch)
+				}
+			}
+		}
 		res, err := s.db.Exec(req.Src)
 		if err != nil {
 			return s.writeError(c, execError(err))
@@ -368,6 +411,12 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 		}
 		if ln, ok := s.db.(CurrentLSNer); ok {
 			resp.LSN = ln.CurrentLSN()
+		}
+		if ep, ok := s.db.(Epocher); ok {
+			resp.Epoch = ep.Epoch()
+		}
+		if res != nil {
+			resp.Synced = res.Synced
 		}
 		return s.write(c, wire.MsgExecResult, resp)
 
@@ -411,14 +460,47 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 		if !ok {
 			return s.writeError(c, wire.ErrorResponse{
 				Code:    wire.CodeExec,
-				Message: "not a replica: this node cannot be promoted",
+				Message: "this node cannot be promoted",
 			})
 		}
-		if err := p.Promote(); err != nil {
-			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeInternal, Message: err.Error()})
+		// An empty payload is a legacy promote with no target epoch; the
+		// node still opens one above everything it has seen.
+		var req wire.ReplPromoteRequest
+		if len(payload) > 0 {
+			if err := wire.Unmarshal(payload, &req); err != nil {
+				s.badFrames.Add(1)
+				return s.writeError(c, wire.ErrorResponse{Code: wire.CodeBadFrame, Message: err.Error()})
+			}
 		}
-		s.logf("conn %v: promoted to accept writes", c.nc.RemoteAddr())
-		return s.write(c, wire.MsgReplPromoted, nil)
+		epoch, err := p.Promote(req.Epoch)
+		if err != nil {
+			return s.writeError(c, execError(err))
+		}
+		resp := &wire.ReplPromotedResponse{Epoch: epoch}
+		if ln, ok := s.db.(CurrentLSNer); ok {
+			resp.LSN = ln.CurrentLSN()
+		}
+		s.logf("conn %v: promoted to accept writes at epoch %d", c.nc.RemoteAddr(), epoch)
+		return s.write(c, wire.MsgReplPromoted, resp)
+
+	case wire.MsgReplFollow:
+		f, ok := s.db.(FollowerBackend)
+		if !ok {
+			return s.writeError(c, wire.ErrorResponse{
+				Code:    wire.CodeExec,
+				Message: "this node cannot follow a leader",
+			})
+		}
+		var req wire.ReplFollowRequest
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			s.badFrames.Add(1)
+			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeBadFrame, Message: err.Error()})
+		}
+		if err := f.Follow(req.Leader, req.Epoch); err != nil {
+			return s.writeError(c, execError(err))
+		}
+		s.logf("conn %v: following %s at epoch %d", c.nc.RemoteAddr(), req.Leader, req.Epoch)
+		return s.write(c, wire.MsgReplFollowed, &wire.ReplFollowedResponse{Epoch: req.Epoch})
 
 	case wire.MsgStats:
 		s.statsReqs.Add(1)
@@ -466,10 +548,16 @@ func (s *Server) handleReplJoin(c *conn, payload []byte) {
 		s.writeError(c, wire.ErrorResponse{Code: wire.CodeBadFrame, Message: err.Error()})
 		return
 	}
-	if s.cfg.Repl == nil {
+	src := s.cfg.Repl
+	if rs, ok := s.db.(ReplSourcer); ok {
+		if bs := rs.ReplSource(); bs != nil {
+			src = bs
+		}
+	}
+	if src == nil {
 		s.writeError(c, wire.ErrorResponse{
 			Code:    wire.CodeNotPrimary,
-			Message: "this server does not ship a WAL (in-memory, or itself a replica)",
+			Message: "this server does not ship a WAL (in-memory, or an in-memory replica)",
 		})
 		return
 	}
@@ -479,8 +567,8 @@ func (s *Server) handleReplJoin(c *conn, payload []byte) {
 		s.logf("conn %v: clear read deadline: %v", peer, err)
 		return
 	}
-	s.logf("conn %v: repl stream join from lsn %d", peer, req.FromLSN)
-	if err := s.cfg.Repl.ServeConn(c.nc, req.FromLSN); err != nil && !errors.Is(err, net.ErrClosed) {
+	s.logf("conn %v: repl stream join from lsn %d (epoch %d)", peer, req.FromLSN, req.Epoch)
+	if err := src.ServeConn(c.nc, req); err != nil && !errors.Is(err, net.ErrClosed) {
 		s.logf("conn %v: repl stream end: %v", peer, err)
 	}
 }
@@ -497,6 +585,14 @@ func execError(err error) wire.ErrorResponse {
 	var le *repl.LagError
 	if errors.As(err, &le) {
 		return wire.ErrorResponse{Code: wire.CodeLagging, Message: err.Error()}
+	}
+	var fe *repl.FencedError
+	if errors.As(err, &fe) {
+		return wire.ErrorResponse{Code: wire.CodeFenced, Epoch: fe.Epoch, Message: err.Error()}
+	}
+	var se *repl.StaleEpochError
+	if errors.As(err, &se) {
+		return wire.ErrorResponse{Code: wire.CodeStaleEpoch, Epoch: se.Epoch, Message: err.Error()}
 	}
 	return wire.ErrorResponse{Code: wire.CodeExec, Message: err.Error()}
 }

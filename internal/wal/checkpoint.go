@@ -28,9 +28,10 @@ type Checkpoint struct {
 // CheckpointWriter streams a database image into a checkpoint file. The
 // engine calls Meta once, then Rows per tuple batch, then Rules once.
 type CheckpointWriter struct {
-	w   io.Writer
-	lsn uint64
-	err error
+	w      io.Writer
+	lsn    uint64
+	epochs []EpochMark
+	err    error
 }
 
 func (cw *CheckpointWriter) write(kind byte, v any) error {
@@ -52,8 +53,9 @@ func (cw *CheckpointWriter) write(kind byte, v any) error {
 }
 
 // Meta writes the image header: the handle counter and the schema script.
+// The covered LSN and the epoch table come from the log, not the engine.
 func (cw *CheckpointWriter) Meta(lastHandle uint64, schema string) error {
-	return cw.write(KindCkptMeta, &CkptMeta{LastHandle: lastHandle, LSN: cw.lsn, Schema: schema})
+	return cw.write(KindCkptMeta, &CkptMeta{LastHandle: lastHandle, LSN: cw.lsn, Schema: schema, Epochs: cw.epochs})
 }
 
 // Rows writes one batch of a table's tuples.
@@ -69,9 +71,9 @@ func (cw *CheckpointWriter) Rules(sql string) error {
 // writeCheckpoint writes the image atomically: build streams records into
 // a temp file which is synced and renamed into place (AtomicWriteFile, the
 // same helper soprsh uses for dumps).
-func writeCheckpoint(fs FS, path string, lsn uint64, build func(*CheckpointWriter) error) error {
+func writeCheckpoint(fs FS, path string, lsn uint64, epochs []EpochMark, build func(*CheckpointWriter) error) error {
 	return AtomicWriteFile(fs, path, func(w io.Writer) error {
-		cw := &CheckpointWriter{w: w, lsn: lsn}
+		cw := &CheckpointWriter{w: w, lsn: lsn, epochs: epochs}
 		if err := build(cw); err != nil {
 			return err
 		}

@@ -1,0 +1,256 @@
+// Promotion epochs: the log's fencing clock for replication failover.
+//
+// Every promotion of a replica to primary appends a KindEpoch record to the
+// new primary's log. The record gives the epoch a position in the LSN
+// stream — its LSN is the *boundary* of the epoch: records below it are
+// shared history with the previous epoch, records at or above it belong to
+// the new one. The full epoch table (EpochMarks) rides inside every
+// checkpoint's meta record, so the boundaries survive pruning and
+// bootstrap: a follower restored from a checkpoint image knows exactly
+// where every epoch it has ever heard of began.
+//
+// The table is what makes divergence detection exact instead of
+// LSN-heuristic: a follower joining with (epoch e, last LSN n) has forked
+// history if and only if n >= BoundaryFor(e) — it holds records at
+// positions the newer epoch rewrote. LSN comparison alone cannot see this
+// (the zombie's suffix and the new leader's suffix can have identical
+// LSNs with different contents).
+//
+// This file also holds the follower side of durable replication: AppendRaw
+// writes records received from the stream verbatim at their original LSNs,
+// Reset discards a forked log entirely, and InstallCheckpoint seeds a
+// fresh log from a shipped bootstrap image so the follower can itself
+// serve as a WAL-shipping source after promotion.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// EpochMark records where one promotion epoch begins: the LSN of the epoch
+// record that opened it. Records with smaller LSNs predate the epoch.
+type EpochMark struct {
+	Epoch uint64 `json:"e"`
+	LSN   uint64 `json:"lsn"`
+}
+
+// EpochRecord is the payload of a KindEpoch log record, appended by a
+// promotion. Replaying it has no database effect; it exists to give the
+// epoch a durable position in the LSN stream.
+type EpochRecord struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// Epoch reports the log's current promotion epoch: the highest epoch
+// recorded in it (via checkpoint meta or epoch records). A log that has
+// never seen a promotion is at epoch 0.
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// EpochMarks returns a copy of the epoch table in ascending order. The
+// genesis epoch 0 is implicit (it starts at LSN 0 and has no mark).
+func (l *Log) EpochMarks() []EpochMark {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]EpochMark, len(l.marks))
+	copy(out, l.marks)
+	return out
+}
+
+// BoundaryFor returns the LSN where the first epoch newer than epoch
+// begins. ok is false when no newer epoch exists (epoch is current or
+// ahead). A follower whose history is at epoch e with last LSN n has
+// diverged from this log exactly when n >= BoundaryFor(e).
+func (l *Log) BoundaryFor(epoch uint64) (lsn uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, m := range l.marks {
+		if m.Epoch > epoch {
+			return m.LSN, true
+		}
+	}
+	return 0, false
+}
+
+// HasEpoch reports whether this log's history includes the given epoch.
+// Epoch 0 is the implicit genesis and always present. A follower claiming
+// a history epoch this log never recorded wrote records under a promotion
+// this log never saw — its history is forked even if its LSNs predate
+// every boundary we know.
+func (l *Log) HasEpoch(epoch uint64) bool {
+	if epoch == 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, m := range l.marks {
+		if m.Epoch == epoch {
+			return true
+		}
+	}
+	return false
+}
+
+// AppendEpoch appends an epoch record opening the given epoch, which must
+// be greater than the log's current one (epochs only move forward). It
+// returns the record's LSN — the new epoch's boundary.
+func (l *Log) AppendEpoch(epoch uint64) (uint64, error) {
+	payload, err := marshalPayload(&EpochRecord{Epoch: epoch})
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch <= l.epoch {
+		return 0, fmt.Errorf("wal: epoch %d is not greater than current epoch %d", epoch, l.epoch)
+	}
+	lsn := l.nextLSN
+	if err := l.appendLocked(KindEpoch, payload); err != nil {
+		return 0, err
+	}
+	l.epoch = epoch
+	l.marks = append(l.marks, EpochMark{Epoch: epoch, LSN: lsn})
+	return lsn, nil
+}
+
+// AppendRaw appends one record received from a replication stream,
+// verbatim, at its original LSN — which must be exactly the next LSN this
+// log would assign (the stream's strict ordering is the log's). Epoch
+// records advance the local epoch table as they land.
+func (l *Log) AppendRaw(rec RawRecord) error {
+	var er *EpochRecord
+	if rec.Kind == KindEpoch {
+		er = &EpochRecord{}
+		if err := unmarshalJSON(rec.Payload, er); err != nil {
+			return fmt.Errorf("wal: append raw epoch record lsn %d: %w", rec.LSN, err)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rec.LSN != l.nextLSN {
+		return fmt.Errorf("wal: append raw record lsn %d, want %d", rec.LSN, l.nextLSN)
+	}
+	if er != nil && er.Epoch <= l.epoch {
+		return fmt.Errorf("wal: raw epoch record %d does not advance current epoch %d", er.Epoch, l.epoch)
+	}
+	if err := l.appendLocked(rec.Kind, rec.Payload); err != nil {
+		return err
+	}
+	if er != nil {
+		l.epoch = er.Epoch
+		l.marks = append(l.marks, EpochMark{Epoch: er.Epoch, LSN: rec.LSN})
+	}
+	return nil
+}
+
+// Reset discards the log entirely: every segment and checkpoint file is
+// removed, the epoch table is cleared, and appending restarts at LSN 1. A
+// follower calls it when the primary reports divergence — its local
+// history forked from the leader's and cannot be reconciled in place.
+// Retention pins are dropped (their holders' sessions are broken by the
+// same event that forced the reset).
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if l.seg != nil {
+		_ = l.seg.Close() // contents are being discarded; close errors too
+		l.seg = nil
+	}
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: reset: list dir: %w", err)
+	}
+	var firstErr error
+	for _, name := range names {
+		_, isSeg := parseSeq(name, segPrefix, segSuffix)
+		_, isCkpt := parseSeq(name, ckptPrefix, ckptSuffix)
+		if !isSeg && !isCkpt {
+			continue
+		}
+		if err := l.fs.Remove(filepath.Join(l.dir, name)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return fmt.Errorf("wal: reset: %w", firstErr)
+	}
+	l.nextLSN = 1
+	l.segSize = 0
+	l.epoch = 0
+	l.marks = nil
+	l.failed = nil
+	l.pins = nil
+	return l.startSegment(1)
+}
+
+// InstallCheckpoint seeds the log from a bootstrap image shipped as raw
+// checkpoint parts: the image is validated, written as a local checkpoint
+// file, and the log's position jumps to the image's LSN + 1 (adopting the
+// image's epoch table). The log must not already hold records past the
+// image — call Reset first when rejoining after divergence. This is what
+// lets a durable follower later serve as a WAL-shipping source itself: its
+// local log carries the same coverage guarantee as the primary's.
+func (l *Log) InstallCheckpoint(parts []CkptPart) (*Checkpoint, error) {
+	ck, err := AssembleCheckpoint(parts)
+	if err != nil {
+		return nil, fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, errors.New("wal: log is closed")
+	}
+	if l.nextLSN > ck.Meta.LSN+1 {
+		return nil, fmt.Errorf("wal: log at lsn %d already holds records past checkpoint lsn %d; reset before installing", l.nextLSN-1, ck.Meta.LSN)
+	}
+	path := filepath.Join(l.dir, ckptName(ck.Meta.LSN))
+	err = AtomicWriteFile(l.fs, path, func(w io.Writer) error {
+		for _, part := range parts {
+			if _, err := w.Write(encodeFrame(part.Kind, ck.Meta.LSN, part.Payload)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wal: install checkpoint: %w", err)
+	}
+	// Existing segments hold only records the image covers (guarded above);
+	// drop them and restart the segment stream right after the image.
+	if l.seg != nil {
+		_ = l.seg.Close()
+		l.seg = nil
+	}
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: install checkpoint: list dir: %w", err)
+	}
+	for _, name := range names {
+		if _, ok := parseSeq(name, segPrefix, segSuffix); ok {
+			_ = l.fs.Remove(filepath.Join(l.dir, name)) // best effort; covered by the image
+		}
+	}
+	l.nextLSN = ck.Meta.LSN + 1
+	l.segSize = 0
+	l.marks = append([]EpochMark(nil), ck.Meta.Epochs...)
+	l.epoch = 0
+	if len(l.marks) > 0 {
+		l.epoch = l.marks[len(l.marks)-1].Epoch
+	}
+	if err := l.startSegment(l.nextLSN); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}

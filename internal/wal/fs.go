@@ -126,7 +126,7 @@ func AtomicWriteFile(fs FS, path string, write func(io.Writer) error) error {
 		return err
 	}
 	cleanup := func(err error) error {
-		_ = f.Close()     // double Close is harmless on every FS here
+		_ = f.Close()      // double Close is harmless on every FS here
 		_ = fs.Remove(tmp) // best effort: the temp file is garbage either way
 		return err
 	}

@@ -142,6 +142,12 @@ type Log struct {
 	pins map[*Pin]uint64
 	// appendCh wakes tailing readers parked in Appended.
 	appendCh chan struct{}
+
+	// epoch is the current promotion epoch; marks is the full ascending
+	// epoch table (see epoch.go). Both recovered at Open from the newest
+	// checkpoint's meta plus any epoch records in the tail.
+	epoch uint64
+	marks []EpochMark
 }
 
 func segName(firstLSN uint64) string {
@@ -306,6 +312,26 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 
 	l := &Log{fs: fs, dir: dir, opts: opts, nextLSN: next}
 
+	// Rebuild the epoch table: the checkpoint's meta carries every boundary
+	// it covered; epoch records in the tail extend it.
+	if rec.Checkpoint != nil {
+		l.marks = append(l.marks, rec.Checkpoint.Meta.Epochs...)
+	}
+	for _, r := range rec.Records {
+		if r.Kind == KindEpoch && r.Epoch != nil {
+			l.marks = append(l.marks, EpochMark{Epoch: r.Epoch.Epoch, LSN: r.LSN})
+		}
+	}
+	for i := 1; i < len(l.marks); i++ {
+		if l.marks[i].Epoch <= l.marks[i-1].Epoch || l.marks[i].LSN <= l.marks[i-1].LSN {
+			return nil, nil, fmt.Errorf("wal: epoch table out of order: epoch %d at lsn %d follows epoch %d at lsn %d",
+				l.marks[i].Epoch, l.marks[i].LSN, l.marks[i-1].Epoch, l.marks[i-1].LSN)
+		}
+	}
+	if len(l.marks) > 0 {
+		l.epoch = l.marks[len(l.marks)-1].Epoch
+	}
+
 	// Open the active segment: the last one if its LSNs continue the
 	// stream, else a fresh segment starting at nextLSN.
 	if len(segs) > 0 {
@@ -405,6 +431,11 @@ func (l *Log) AppendDDL(stmt string) error {
 func (l *Log) append(kind byte, payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(kind, payload)
+}
+
+// appendLocked frames and writes one record at l.nextLSN. Callers hold l.mu.
+func (l *Log) appendLocked(kind byte, payload []byte) error {
 	if l.failed != nil {
 		return fmt.Errorf("%w: %w", ErrLogFailed, l.failed)
 	}
@@ -553,7 +584,8 @@ func (l *Log) WriteCheckpoint(build func(*CheckpointWriter) error) error {
 		}
 	}
 	path := filepath.Join(l.dir, ckptName(lsn))
-	if err := writeCheckpoint(l.fs, path, lsn, build); err != nil {
+	epochs := append([]EpochMark(nil), l.marks...)
+	if err := writeCheckpoint(l.fs, path, lsn, epochs, build); err != nil {
 		return fmt.Errorf("wal: write checkpoint: %w", err)
 	}
 	l.prune(lsn)

@@ -42,6 +42,10 @@ const (
 	KindCkptRows  byte = 4 // CkptRows: one batch of tuples with handles
 	KindCkptRules byte = 5 // CkptRules: rule definitions script
 	KindCkptEnd   byte = 6 // empty: marks the checkpoint complete
+
+	// KindEpoch opens a promotion epoch (EpochRecord, see epoch.go). It has
+	// no database effect; its LSN is the epoch's boundary in the stream.
+	KindEpoch byte = 7
 )
 
 // recHeaderSize is the fixed envelope prefix: u32 length + u32 crc.
@@ -143,6 +147,10 @@ type CkptMeta struct {
 	LastHandle uint64 `json:"last_handle"`
 	LSN        uint64 `json:"lsn"`
 	Schema     string `json:"schema"`
+	// Epochs is the full promotion-epoch table at checkpoint time, so a
+	// node bootstrapped from this image can still place every historical
+	// epoch boundary (epoch.go) after the records themselves are pruned.
+	Epochs []EpochMark `json:"epochs,omitempty"`
 }
 
 // CkptRows is one batch of a table's tuples, handles included.
@@ -163,6 +171,7 @@ type Record struct {
 	Kind   byte
 	Commit *CommitRecord // set for KindCommit
 	DDL    *DDLRecord    // set for KindDDL
+	Epoch  *EpochRecord  // set for KindEpoch
 }
 
 // encodeFrame frames one record: envelope, kind, LSN, payload.
@@ -229,6 +238,11 @@ func decodeRecord(raw rawRecord) (Record, error) {
 		rec.DDL = &DDLRecord{}
 		if err := json.Unmarshal(raw.payload, rec.DDL); err != nil {
 			return rec, fmt.Errorf("wal: decode ddl record lsn %d: %w", raw.lsn, err)
+		}
+	case KindEpoch:
+		rec.Epoch = &EpochRecord{}
+		if err := json.Unmarshal(raw.payload, rec.Epoch); err != nil {
+			return rec, fmt.Errorf("wal: decode epoch record lsn %d: %w", raw.lsn, err)
 		}
 	default:
 		return rec, fmt.Errorf("wal: unexpected record kind %d at lsn %d in log segment", raw.kind, raw.lsn)

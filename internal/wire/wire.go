@@ -69,6 +69,11 @@ const (
 // blocks in its single stream.
 type ExecRequest struct {
 	Src string `json:"src"`
+	// Epoch, when nonzero, is the highest promotion epoch the client has
+	// observed. A server at a lower epoch fences itself and refuses the
+	// write; a server at a higher epoch answers stale_epoch so the client
+	// re-probes. Zero claims nothing (pre-failover clients).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // QueryRequest asks the server to evaluate a single SELECT outside any
@@ -105,6 +110,13 @@ type ExecResponse struct {
 	// in-memory server). Clients use it as a read-your-writes token: a
 	// later query with MinLSN = LSN on any replica observes this write.
 	LSN uint64 `json:"lsn,omitempty"`
+	// Epoch is the serving node's promotion epoch at exec time.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Synced reports that the commit was acknowledged by the configured
+	// number of synchronous followers before this response was sent — the
+	// write survives any single failover to one of them. False in async
+	// mode and when the sync wait timed out (degraded ack).
+	Synced bool `json:"synced,omitempty"`
 }
 
 // DumpResponse carries a SQL script recreating the database.
@@ -158,6 +170,10 @@ type ErrorResponse struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	Line    int    `json:"line,omitempty"`
+	// Epoch qualifies fenced/stale_epoch errors: the epoch that fenced the
+	// node (fenced) or the node's own current epoch (stale_epoch), so the
+	// client can adopt it and re-probe without another round trip.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // ---------------------------------------------------------------------------
@@ -357,6 +373,10 @@ func TypeName(typ byte) string {
 		return "repl_heartbeat"
 	case MsgReplPromoted:
 		return "repl_promoted"
+	case MsgReplFollow:
+		return "repl_follow"
+	case MsgReplFollowed:
+		return "repl_followed"
 	default:
 		return fmt.Sprintf("0x%02x", typ)
 	}

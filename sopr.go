@@ -287,6 +287,13 @@ type Result struct {
 	// clients carry it as a read-your-writes token: a replica read with
 	// this MinLSN sees at least the state this call produced.
 	LSN uint64
+	// Epoch is the serving node's promotion epoch (0 before any failover,
+	// and always 0 on a plain local database).
+	Epoch uint64
+	// Synced reports that the configured number of synchronous followers
+	// acknowledged this commit before it was acknowledged to the caller
+	// (false in async replication mode or after a degraded sync wait).
+	Synced bool
 }
 
 // Exec parses and executes a script: DDL, rule definitions, queries, and
