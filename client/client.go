@@ -32,6 +32,10 @@ const (
 	CodeTooLarge = wire.CodeTooLarge
 	CodeShutdown = wire.CodeShutdown
 	CodeInternal = wire.CodeInternal
+	// CodeFrameTooLarge reports an oversized request frame the server
+	// drained: the connection stays usable — split or shrink the request
+	// and resend.
+	CodeFrameTooLarge = wire.CodeFrameTooLarge
 
 	CodeReadOnly   = wire.CodeReadOnly
 	CodeNotPrimary = wire.CodeNotPrimary
@@ -82,6 +86,7 @@ type ServerStats struct {
 	Accepted    int64 // connections accepted
 	Active      int64 // connections currently open
 	Execs       int64 // Exec requests served
+	BatchExecs  int64 // ExecBatch requests served
 	Queries     int64 // Query requests served
 	Dumps       int64 // Dump requests served
 	StatsReqs   int64 // Stats requests served
@@ -271,6 +276,30 @@ func (c *Client) ExecAt(src string, epoch uint64) (*sopr.Result, error) {
 	if err := c.roundTrip(wire.MsgExec, wire.ExecRequest{Src: src, Epoch: epoch}, wire.MsgExecResult, &resp); err != nil {
 		return nil, err
 	}
+	return decodeExecResponse(resp)
+}
+
+// ExecBatch runs a list of data-manipulation statements on the server as
+// ONE operation block: one wire frame, one engine pass, one commit record,
+// one (shared) fsync — exactly like sopr.DB.ExecBatch runs it locally.
+// Definitions are rejected; rules process the block's net effect once, as
+// they would for the same statements in one script.
+func (c *Client) ExecBatch(stmts []string) (*sopr.Result, error) {
+	return c.ExecBatchAt(stmts, 0)
+}
+
+// ExecBatchAt is ExecBatch carrying the caller's cluster epoch (see
+// ExecAt for the epoch-gate semantics).
+func (c *Client) ExecBatchAt(stmts []string, epoch uint64) (*sopr.Result, error) {
+	var resp wire.ExecResponse
+	req := wire.ExecBatchRequest{Stmts: stmts, Epoch: epoch}
+	if err := c.roundTrip(wire.MsgExecBatch, req, wire.MsgExecBatchResult, &resp); err != nil {
+		return nil, err
+	}
+	return decodeExecResponse(resp)
+}
+
+func decodeExecResponse(resp wire.ExecResponse) (*sopr.Result, error) {
 	res := &sopr.Result{
 		RolledBack: resp.RolledBack, RollbackRule: resp.RollbackRule,
 		LSN: resp.LSN, Epoch: resp.Epoch, Synced: resp.Synced,
@@ -334,10 +363,20 @@ func (c *Client) Stats() (*Stats, error) {
 			WALBytes:            resp.Engine.WALBytes,
 			RecoveredRecords:    resp.Engine.RecoveredRecords,
 			Checkpoints:         resp.Engine.Checkpoints,
+			GroupCommits:        resp.Engine.GroupCommits,
+			GroupedTxns:         resp.Engine.GroupedTxns,
+			TxnsPerSync:         txnsPerSync(resp.Engine.GroupedTxns, resp.Engine.GroupCommits),
 		},
 		Server: ServerStats(resp.Server),
 		Repl:   replStats(resp.Repl),
 	}, nil
+}
+
+func txnsPerSync(grouped, commits int64) float64 {
+	if commits == 0 {
+		return 0
+	}
+	return float64(grouped) / float64(commits)
 }
 
 func replStats(rs *wire.ReplStats) *ReplStats {

@@ -264,6 +264,27 @@ func (cl *Cluster) writeTarget() (*Client, error) {
 // primary committed but never acknowledged may be applied again on the
 // new one.
 func (cl *Cluster) Exec(src string) (*sopr.Result, error) {
+	return cl.write(func(c *Client, epoch uint64) (*sopr.Result, error) {
+		return c.ExecAt(src, epoch)
+	})
+}
+
+// ExecBatch runs a list of data-manipulation statements on the primary as
+// one operation block (see Client.ExecBatch), with Exec's epoch-carrying
+// and failover-retry semantics. The whole batch is one transaction, so the
+// at-least-once caveat applies to the block as a unit: across a failover
+// either every statement is re-applied or none is.
+func (cl *Cluster) ExecBatch(stmts []string) (*sopr.Result, error) {
+	return cl.write(func(c *Client, epoch uint64) (*sopr.Result, error) {
+		return c.ExecBatchAt(stmts, epoch)
+	})
+}
+
+// write routes one write through the current primary, carrying the
+// cluster's epoch so a zombie primary is fenced instead of accepting it;
+// on a transport failure or a write refusal it fails over and retries
+// once on the new leader.
+func (cl *Cluster) write(do func(c *Client, epoch uint64) (*sopr.Result, error)) (*sopr.Result, error) {
 	c, err := cl.writeTarget()
 	if errors.Is(err, ErrNoPrimary) {
 		// No member is writable at all — the primary died before this
@@ -280,7 +301,7 @@ func (cl *Cluster) Exec(src string) (*sopr.Result, error) {
 	cl.mu.Lock()
 	epoch := cl.epoch
 	cl.mu.Unlock()
-	res, err := c.ExecAt(src, epoch)
+	res, err := do(c, epoch)
 	if err == nil {
 		cl.noteWrite(res)
 		return res, nil
@@ -306,7 +327,7 @@ func (cl *Cluster) Exec(src string) (*sopr.Result, error) {
 	cl.mu.Lock()
 	epoch = cl.epoch
 	cl.mu.Unlock()
-	res, err2 = c.ExecAt(src, epoch)
+	res, err2 = do(c, epoch)
 	if err2 != nil {
 		return nil, err2
 	}

@@ -30,6 +30,8 @@ import (
 
 	"sopr"
 	"sopr/client"
+	"sopr/internal/sqlast"
+	"sopr/internal/sqlparse"
 	"sopr/internal/wal"
 )
 
@@ -41,21 +43,49 @@ type execer interface {
 
 // remoteSession adapts a client.Client to the statement loop. A lone
 // SELECT is sent as a query request — the read path the server answers
-// under the shared lock and, on a replica, the only path there is
-// (replicas refuse exec with a read_only error) — while everything else
-// is an exec operation block.
+// with no locking and, on a replica, the only path there is (replicas
+// refuse exec with a read_only error). A multi-statement buffer of
+// data-manipulation statements (`insert ...; delete ...;` on one input
+// line) ships as ONE batch frame, which the server runs as one operation
+// block with one commit fsync. Everything else — definitions, or anything
+// this client cannot parse — goes through the script exec path, letting
+// the server report its own (line-numbered) errors.
 type remoteSession struct{ c *client.Client }
 
 func (s remoteSession) Exec(src string) (*sopr.Result, error) {
-	if t := strings.TrimSpace(src); len(t) >= 6 &&
-		strings.EqualFold(t[:6], "select") && strings.Count(t, ";") <= 1 {
-		rows, err := s.c.Query(src)
-		if err != nil {
-			return nil, err
-		}
-		return &sopr.Result{Results: []*sopr.Rows{rows}}, nil
+	stmts, err := sqlparse.ParseStatements(src)
+	if err != nil || len(stmts) == 0 {
+		return s.c.Exec(src)
 	}
-	return s.c.Exec(src)
+	if len(stmts) == 1 {
+		if _, ok := stmts[0].(*sqlast.Select); ok {
+			rows, err := s.c.Query(src)
+			if err != nil {
+				return nil, err
+			}
+			return &sopr.Result{Results: []*sopr.Rows{rows}}, nil
+		}
+		return s.c.Exec(src)
+	}
+	batch := make([]string, len(stmts))
+	for i, st := range stmts {
+		switch st := st.(type) {
+		case *sqlast.Insert:
+			batch[i] = st.String()
+		case *sqlast.Delete:
+			batch[i] = st.String()
+		case *sqlast.Update:
+			batch[i] = st.String()
+		case *sqlast.Select:
+			batch[i] = st.String()
+		case *sqlast.ProcessRules:
+			batch[i] = st.String()
+		default:
+			// A definition in the buffer: not batchable, script path.
+			return s.c.Exec(src)
+		}
+	}
+	return s.c.ExecBatch(batch)
 }
 
 func main() {
@@ -361,4 +391,8 @@ func printEngineStats(s sopr.Stats) {
 		s.Committed, s.RolledBack, s.ExternalTransitions, s.RuleConsiderations, s.RuleFirings, s.IndexLookups, s.HeapScans)
 	fmt.Printf("wal: appends=%d bytes=%d recovered_records=%d checkpoints=%d\n",
 		s.WALAppends, s.WALBytes, s.RecoveredRecords, s.Checkpoints)
+	if s.GroupCommits > 0 {
+		fmt.Printf("wal: group_commits=%d grouped_txns=%d txns_per_sync=%.2f\n",
+			s.GroupCommits, s.GroupedTxns, s.TxnsPerSync)
+	}
 }

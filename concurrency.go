@@ -41,11 +41,30 @@ func Synchronized(db *DB) *SynchronizedDB {
 }
 
 // Exec runs a script as one serialized operation block, under the write
-// mutex: writes preserve the paper's single-stream semantics.
+// mutex: writes preserve the paper's single-stream semantics. The
+// durability wait happens *after* the mutex is released: the engine pass
+// (parse, rules, append to the log, in-memory commit) is serialized, but
+// the commit-record fsync is not — overlapping committers park on the
+// write-ahead log's commit queue and one leader fsync acknowledges all of
+// them (group commit). A transaction is still only acknowledged once its
+// record is durable; what changed is how many acknowledgements one fsync
+// covers.
 func (s *SynchronizedDB) Exec(src string) (*Result, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.db.Exec(src)
+	res, lsn, err := s.db.execNoWait(src)
+	s.mu.Unlock()
+	return s.db.finish(res, lsn, err)
+}
+
+// ExecBatch runs a batch of data-manipulation statements as one operation
+// block (see DB.ExecBatch), serialized under the write mutex with the
+// durability wait outside it — the batch pays one engine pass, one commit
+// record, and one (shared) fsync no matter how many statements it holds.
+func (s *SynchronizedDB) ExecBatch(stmts []string) (*Result, error) {
+	s.mu.Lock()
+	res, lsn, err := s.db.execBatchNoWait(stmts)
+	s.mu.Unlock()
+	return s.db.finish(res, lsn, err)
 }
 
 // MustExec is Exec that panics on error — for examples and tests.

@@ -172,19 +172,26 @@ func (e *Engine) buildCommitRecord(eff *rules.Effect) (*wal.CommitRecord, error)
 	return rec, nil
 }
 
-// logCommit appends the transaction's net effect. Called immediately before
-// store.Commit; an error fails the transaction (log-before-commit: a
-// transaction is only acknowledged once its record is in the log, so the
-// log can lose at most unacknowledged work, never acknowledged work).
-func (e *Engine) logCommit(eff *rules.Effect) error {
+// logCommit appends the transaction's net effect and returns its LSN.
+// Called immediately before store.Commit; an error fails the transaction
+// (log-before-commit: a transaction is only acknowledged once its record
+// is in the log, so the log can lose at most unacknowledged work, never
+// acknowledged work). The append is asynchronous with respect to
+// durability: the record is framed and written but not yet fsynced — the
+// owner must call wal.Log.WaitDurable on the returned LSN before
+// acknowledging the transaction, which is where concurrent committers
+// coalesce onto one group-commit fsync (sopr.DB and SynchronizedDB do
+// this after releasing the write mutex).
+func (e *Engine) logCommit(eff *rules.Effect) (uint64, error) {
 	rec, err := e.buildCommitRecord(eff)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if err := e.wal.AppendCommit(rec); err != nil {
-		return fmt.Errorf("engine: log commit: %w", err)
+	lsn, err := e.wal.AppendCommitAsync(rec)
+	if err != nil {
+		return 0, fmt.Errorf("engine: log commit: %w", err)
 	}
-	return nil
+	return lsn, nil
 }
 
 // logDefinition appends a successfully-executed definition statement.

@@ -160,6 +160,12 @@ type TxnResult struct {
 	// Queries holds the results of SELECT statements executed in the
 	// transaction's operation block, in order.
 	Queries []*exec.Result
+	// LastLSN is the log position of the newest commit record this
+	// execution appended (0 without a WAL, or when nothing committed).
+	// The record is written but not necessarily fsynced yet: the owner
+	// must pass it to wal.Log.WaitDurable before acknowledging the work,
+	// so that concurrent committers share one group-commit fsync.
+	LastLSN uint64
 }
 
 // Engine is the database system with the production rules facility.
@@ -313,6 +319,9 @@ func (e *Engine) ExecStatements(stmts []sqlast.Statement) (*TxnResult, error) {
 				total.RolledBack = true
 				total.RollbackRule = res.RollbackRule
 			}
+			if res.LastLSN > total.LastLSN {
+				total.LastLSN = res.LastLSN
+			}
 		}
 		return err
 	}
@@ -341,6 +350,40 @@ func (e *Engine) ExecStatements(stmts []sqlast.Statement) (*TxnResult, error) {
 		return total, err
 	}
 	return total, nil
+}
+
+// ExecBatch executes a batch of statement sources as ONE operation block
+// — one externally-generated transition, one transaction, one commit
+// record — regardless of how the statements are split across the batch
+// entries. This is the set-oriented submission path: Section 5.3's
+// PROCESS RULES semantics already decouple rule processing from statement
+// boundaries, so the rules see the batch's composed net effect exactly as
+// if the statements had arrived as one consecutive block. SELECTs are
+// evaluated inside the block (they observe the batch's preceding writes,
+// and with EnableSelectTriggers contribute S components); PROCESS RULES
+// statements are triggering points as usual. Definition statements
+// execute between transactions and are therefore rejected here — submit
+// them through Exec.
+func (e *Engine) ExecBatch(srcs []string) (*TxnResult, error) {
+	var ops []sqlast.Statement
+	for i, src := range srcs {
+		stmts, err := sqlparse.ParseStatements(src)
+		if err != nil {
+			return nil, fmt.Errorf("batch statement %d: %w", i+1, err)
+		}
+		for _, st := range stmts {
+			switch st.(type) {
+			case *sqlast.Insert, *sqlast.Delete, *sqlast.Update, *sqlast.Select, *sqlast.ProcessRules:
+				ops = append(ops, st)
+			default:
+				return nil, fmt.Errorf("engine: batch statement %d: %T is a definition; definitions execute between transactions and cannot join a batch block", i+1, st)
+			}
+		}
+	}
+	if len(ops) == 0 {
+		return &TxnResult{}, nil
+	}
+	return e.RunTransaction(ops)
 }
 
 // Query evaluates a SELECT against the currently published committed
@@ -590,14 +633,18 @@ func (e *Engine) RunTransaction(ops []sqlast.Statement) (*TxnResult, error) {
 		}
 	}
 
-	// Log before commit: the net effect must be durable (per the fsync
-	// policy) before the transaction can be acknowledged. A log failure
-	// rolls the transaction back, so the log can run behind the database
-	// only by unacknowledged work.
+	// Log before commit: the net effect is appended (and its LSN recorded
+	// in the result) before the in-memory commit, so the log can run
+	// behind the database only by unacknowledged work. A log failure
+	// rolls the transaction back. Durability is deferred: the owner calls
+	// WaitDurable(LastLSN) before acknowledging, outside its write lock,
+	// which is where concurrent committers share one group-commit fsync.
 	if e.wal != nil {
-		if err := e.logCommit(e.walEff); err != nil {
+		lsn, err := e.logCommit(e.walEff)
+		if err != nil {
 			return fail(err)
 		}
+		res.LastLSN = lsn
 	}
 	if err := e.store.Commit(); err != nil {
 		return fail(err)

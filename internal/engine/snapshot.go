@@ -32,6 +32,7 @@ func (e *Engine) publish() {
 	if e.wal != nil {
 		ws := e.wal.Stats()
 		st.WALAppends, st.WALBytes = ws.Appends, ws.Bytes
+		st.WALGroupCommits, st.WALGroupedTxns = ws.GroupCommits, ws.GroupedTxns
 		lsn = e.wal.NextLSN() - 1
 	}
 	var rules strings.Builder

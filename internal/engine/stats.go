@@ -25,6 +25,11 @@ type Stats struct {
 	WALBytes         int64
 	RecoveredRecords int64
 	Checkpoints      int64
+	// Group-commit counters (SyncAlways durable path): leader fsyncs
+	// issued from the commit queue and the committers they acknowledged.
+	// WALGroupedTxns/WALGroupCommits is the fsync amortization factor.
+	WALGroupCommits int64
+	WALGroupedTxns  int64
 }
 
 // Stats returns a snapshot of the engine's counters, lock-free: the

@@ -1,0 +1,64 @@
+package oracle
+
+import (
+	"bytes"
+
+	"sopr/internal/engine"
+	"sopr/internal/gen"
+)
+
+// RunBatchDiff checks batch-block parity: executing each transaction's
+// statements through the set-oriented batch entry point (ExecBatch, the
+// wire protocol's MsgExecBatch path) must be indistinguishable from
+// executing the same statements as one script — identical outcomes and
+// firing sequences transaction by transaction, and a byte-identical dump
+// at the end. Both submissions form ONE operation block, so the paper's
+// rule semantics (rules see the block's net effect once) admit no
+// difference; any divergence is an engine bug in the batch path.
+func RunBatchDiff(w *gen.Workload, opts Options) *Divergence {
+	choose := Chooser(opts.Salt)
+	script := engine.New(engine.Config{MaxRuleTransitions: w.Cap, SelectHook: choose})
+	if _, err := script.Exec(w.SetupSQL()); err != nil {
+		return diverge("setup", -1, "script engine rejected setup: %v", err)
+	}
+	batch := engine.New(engine.Config{MaxRuleTransitions: w.Cap, SelectHook: choose})
+	if _, err := batch.Exec(w.SetupSQL()); err != nil {
+		return diverge("setup", -1, "batch engine rejected setup: %v", err)
+	}
+
+	for i := range w.Txns {
+		stmts := make([]string, len(w.Txns[i]))
+		for si := range w.Txns[i] {
+			stmts[si] = w.Txns[i][si].SQL()
+		}
+		scriptOut := engineOutcome(script.Exec(w.TxnSQL(i)))
+		batchOut := engineOutcome(batch.ExecBatch(stmts))
+		if msg := outcomesDiffer(batchOut, scriptOut); msg != "" {
+			return diverge("batchparity", i, "batch vs script: %s", msg)
+		}
+		scriptState, err := engineState(script, w)
+		if err != nil {
+			return diverge("batchparity", i, "script state: %v", err)
+		}
+		batchState, err := engineState(batch, w)
+		if err != nil {
+			return diverge("batchparity", i, "batch state: %v", err)
+		}
+		if msg := statesDiffer(batchState, scriptState); msg != "" {
+			return diverge("batchparity", i, "batch vs script: %s", msg)
+		}
+	}
+
+	var scriptDump, batchDump bytes.Buffer
+	if err := script.Dump(&scriptDump); err != nil {
+		return diverge("batchparity", -1, "script dump: %v", err)
+	}
+	if err := batch.Dump(&batchDump); err != nil {
+		return diverge("batchparity", -1, "batch dump: %v", err)
+	}
+	if !bytes.Equal(scriptDump.Bytes(), batchDump.Bytes()) {
+		return diverge("batchparity", -1, "dumps differ\n--- script ---\n%s\n--- batch ---\n%s",
+			scriptDump.String(), batchDump.String())
+	}
+	return nil
+}

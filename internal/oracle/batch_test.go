@@ -1,0 +1,32 @@
+package oracle
+
+import (
+	"testing"
+
+	"sopr/internal/gen"
+)
+
+// TestBatchParity runs the batch-vs-script differential check over at
+// least 1000 generated workloads: every transaction submitted through the
+// batch entry point must produce the same outcome, firing sequence, and
+// exact state as the same statements submitted as one script, ending in
+// byte-identical dumps.
+func TestBatchParity(t *testing.T) {
+	iters := int64(1000)
+	if n := int64(*diffIters); n > iters {
+		iters = n
+	}
+	if testing.Short() {
+		iters = 100
+	}
+	for seed := int64(0); seed < iters; seed++ {
+		w := gen.Generate(seed)
+		if d := RunBatchDiff(w, Options{Salt: uint64(seed)}); d != nil {
+			data, err := w.Marshal()
+			if err != nil {
+				t.Fatalf("seed %d: %v (unmarshalable workload)", seed, d)
+			}
+			t.Fatalf("seed %d: %v\n%s", seed, d, data)
+		}
+	}
+}

@@ -168,8 +168,15 @@ func RunDiff(w *gen.Workload, opts Options) *Divergence {
 		return diverge("dumpreload", -1, "%s", msg)
 	}
 
-	// WAL crash-replay: drop unsynced bytes (fsync-always ⇒ every commit
-	// survives), recover into a fresh engine, demand the exact state back.
+	// WAL crash-replay: drop unsynced bytes, recover into a fresh engine,
+	// demand the exact state back. Commit records are appended without an
+	// inline fsync (group commit defers durability to the owner's
+	// WaitDurable); this harness drives the engine directly, so the Sync
+	// here stands in for that wait — after it, every commit above counts
+	// as acknowledged and must survive the crash.
+	if err := log.Sync(); err != nil {
+		return diverge("walreplay", -1, "sync: %v", err)
+	}
 	mem.DropUnsynced()
 	log2, rec2, err := wal.Open("diff", wal.Options{FS: mem, Policy: wal.SyncAlways})
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -216,10 +217,33 @@ func (p *Primary) Follow(leader string, epoch uint64) error {
 // holds the ack until enough followers confirm the commit's LSN. A fenced
 // node refuses with FencedError; a demoted one routes to its follower.
 func (p *Primary) Exec(src string) (*sopr.Result, error) {
+	return p.execSync(
+		func(f *Follower) (*sopr.Result, error) { return f.Exec(src) },
+		func() (*sopr.Result, error) { return p.sdb.Exec(src) },
+	)
+}
+
+// ExecBatch runs a batch of statements as one operation block (see
+// sopr.DB.ExecBatch) behind the same fencing gate and synchronous-commit
+// ack hold as Exec: the whole block is one commit record, so a sync-commit
+// cluster pays one follower-ack wait per batch instead of per statement.
+func (p *Primary) ExecBatch(stmts []string) (*sopr.Result, error) {
+	return p.execSync(
+		// A demoted node routes to its follower, which refuses writes with
+		// the typed read-only error; joining the batch gives it one script
+		// to refuse.
+		func(f *Follower) (*sopr.Result, error) { return f.Exec(strings.Join(stmts, ";\n")) },
+		func() (*sopr.Result, error) { return p.sdb.ExecBatch(stmts) },
+	)
+}
+
+// execSync is the shared write wrapper: the fencing gate, in-flight write
+// accounting (demotion drains it), and the synchronous-commit ack hold.
+func (p *Primary) execSync(onFollower func(*Follower) (*sopr.Result, error), run func() (*sopr.Result, error)) (*sopr.Result, error) {
 	p.mu.Lock()
 	if f := p.demoted; f != nil {
 		p.mu.Unlock()
-		return f.Exec(src)
+		return onFollower(f)
 	}
 	if p.fencedAt > 0 {
 		e := p.fencedAt
@@ -231,7 +255,7 @@ func (p *Primary) Exec(src string) (*sopr.Result, error) {
 	defer p.execWG.Done()
 
 	before := p.log.NextLSN() - 1
-	res, err := p.sdb.Exec(src)
+	res, err := run()
 	if err != nil || res == nil || p.cfg.SyncFollowers <= 0 {
 		return res, err
 	}

@@ -48,6 +48,16 @@ type DB interface {
 
 // Optional backend capabilities, discovered by interface assertion:
 //
+// BatchExecer lets a backend run a list of data-manipulation statements as
+// one operation block (one engine pass, one commit record, one shared
+// fsync). SynchronizedDB and repl.Primary implement it; a backend without
+// it serves MsgExecBatch by joining the statements into one script — still
+// a single block, just via the script path. Read-only followers reject
+// either way with their typed read_only error.
+type BatchExecer interface {
+	ExecBatch(stmts []string) (*sopr.Result, error)
+}
+
 // CurrentLSNer lets the server attach the durable LSN to exec responses —
 // the read-your-writes token clients carry to replica reads.
 type CurrentLSNer interface {
@@ -141,6 +151,7 @@ type Server struct {
 	accepted    atomic.Int64
 	active      atomic.Int64
 	execs       atomic.Int64
+	batchExecs  atomic.Int64
 	queries     atomic.Int64
 	dumps       atomic.Int64
 	statsReqs   atomic.Int64
@@ -269,6 +280,7 @@ func (s *Server) Stats() wire.ServerStats {
 		Accepted:    s.accepted.Load(),
 		Active:      s.active.Load(),
 		Execs:       s.execs.Load(),
+		BatchExecs:  s.batchExecs.Load(),
 		Queries:     s.queries.Load(),
 		Dumps:       s.dumps.Load(),
 		StatsReqs:   s.statsReqs.Load(),
@@ -328,9 +340,26 @@ func (s *Server) serveConn(c *conn) {
 			case err == io.EOF:
 				s.logf("conn %v: closed by peer", peer)
 			case errors.Is(err, wire.ErrFrameTooLarge):
-				// The oversized payload is still in the stream; tell the
-				// client why, then cut the connection.
+				// The oversized payload is still in the stream, but its
+				// declared length is known, so the session is recoverable:
+				// drain exactly that many bytes (still under the read
+				// deadline set above), answer the typed frame_too_large
+				// error, and resynchronize on the next frame boundary. The
+				// client can split the request — an oversized batch, say —
+				// and resend on the same connection.
 				s.badFrames.Add(1)
+				var fse *wire.FrameSizeError
+				if errors.As(err, &fse) {
+					if _, derr := io.CopyN(io.Discard, c.nc, int64(fse.Declared)); derr == nil {
+						s.logf("conn %v: drained oversized %s frame (%d bytes)", peer, wire.TypeName(typ), fse.Declared)
+						if s.writeError(c, wire.ErrorResponse{Code: wire.CodeFrameTooLarge, Message: err.Error()}) {
+							continue
+						}
+						return
+					}
+				}
+				// No declared length or the drain failed: the stream cannot
+				// be trusted; tell the client why, then cut the connection.
 				s.writeError(c, wire.ErrorResponse{Code: wire.CodeTooLarge, Message: err.Error()})
 				s.logf("conn %v: %v", peer, err)
 			case errors.Is(err, net.ErrClosed):
@@ -383,42 +412,39 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 			s.badFrames.Add(1)
 			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeBadFrame, Message: err.Error()})
 		}
-		if req.Epoch > 0 {
-			// Epoch gate: a request from a cluster view older than this
-			// node's is refused outright (the client must re-probe), and a
-			// request revealing a newer epoch fences a stale leader before
-			// anything executes — its Exec below answers the typed fenced
-			// error instead of extending a dead history.
-			if ep, ok := s.db.(Epocher); ok {
-				if cur := ep.Epoch(); req.Epoch < cur {
-					return s.writeError(c, wire.ErrorResponse{
-						Code:    wire.CodeStaleEpoch,
-						Epoch:   cur,
-						Message: fmt.Sprintf("request epoch %d is older than node epoch %d", req.Epoch, cur),
-					})
-				} else if req.Epoch > cur {
-					ep.ObserveEpoch(req.Epoch)
-				}
-			}
+		if proceed, alive := s.gateEpoch(c, req.Epoch); !proceed {
+			return alive
 		}
 		res, err := s.db.Exec(req.Src)
 		if err != nil {
 			return s.writeError(c, execError(err))
 		}
-		resp, err := execResponse(res)
+		return s.writeExecResult(c, wire.MsgExecResult, res)
+
+	case wire.MsgExecBatch:
+		s.batchExecs.Add(1)
+		var req wire.ExecBatchRequest
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			s.badFrames.Add(1)
+			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeBadFrame, Message: err.Error()})
+		}
+		if proceed, alive := s.gateEpoch(c, req.Epoch); !proceed {
+			return alive
+		}
+		var res *sopr.Result
+		var err error
+		if be, ok := s.db.(BatchExecer); ok {
+			res, err = be.ExecBatch(req.Stmts)
+		} else {
+			// Joining the statements into one script is semantically the
+			// same single operation block — just without the batch entry
+			// point's cheaper path.
+			res, err = s.db.Exec(strings.Join(req.Stmts, ";\n"))
+		}
 		if err != nil {
-			return s.writeError(c, wire.ErrorResponse{Code: wire.CodeInternal, Message: err.Error()})
+			return s.writeError(c, execError(err))
 		}
-		if ln, ok := s.db.(CurrentLSNer); ok {
-			resp.LSN = ln.CurrentLSN()
-		}
-		if ep, ok := s.db.(Epocher); ok {
-			resp.Epoch = ep.Epoch()
-		}
-		if res != nil {
-			resp.Synced = res.Synced
-		}
-		return s.write(c, wire.MsgExecResult, resp)
+		return s.writeExecResult(c, wire.MsgExecBatchResult, res)
 
 	case wire.MsgQuery:
 		s.queries.Add(1)
@@ -525,6 +551,8 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 				WALBytes:            es.WALBytes,
 				RecoveredRecords:    es.RecoveredRecords,
 				Checkpoints:         es.Checkpoints,
+				GroupCommits:        es.GroupCommits,
+				GroupedTxns:         es.GroupedTxns,
 			},
 			Server: s.Stats(),
 		})
@@ -536,6 +564,52 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 			Message: fmt.Sprintf("unknown request type %s", wire.TypeName(typ)),
 		})
 	}
+}
+
+// gateEpoch runs the epoch gate for a write request: a request from a
+// cluster view older than this node's is refused outright (the client must
+// re-probe), and a request revealing a newer epoch fences a stale leader
+// before anything executes — its Exec then answers the typed fenced error
+// instead of extending a dead history. proceed reports whether the request
+// may execute; when it may not, alive reports whether the connection is
+// still usable.
+func (s *Server) gateEpoch(c *conn, reqEpoch uint64) (proceed, alive bool) {
+	if reqEpoch == 0 {
+		return true, true
+	}
+	ep, ok := s.db.(Epocher)
+	if !ok {
+		return true, true
+	}
+	if cur := ep.Epoch(); reqEpoch < cur {
+		return false, s.writeError(c, wire.ErrorResponse{
+			Code:    wire.CodeStaleEpoch,
+			Epoch:   cur,
+			Message: fmt.Sprintf("request epoch %d is older than node epoch %d", reqEpoch, cur),
+		})
+	} else if reqEpoch > cur {
+		ep.ObserveEpoch(reqEpoch)
+	}
+	return true, true
+}
+
+// writeExecResult converts res for the wire, stamps the LSN token, epoch
+// and sync flag, and writes it as typ.
+func (s *Server) writeExecResult(c *conn, typ byte, res *sopr.Result) bool {
+	resp, err := execResponse(res)
+	if err != nil {
+		return s.writeError(c, wire.ErrorResponse{Code: wire.CodeInternal, Message: err.Error()})
+	}
+	if ln, ok := s.db.(CurrentLSNer); ok {
+		resp.LSN = ln.CurrentLSN()
+	}
+	if ep, ok := s.db.(Epocher); ok {
+		resp.Epoch = ep.Epoch()
+	}
+	if res != nil {
+		resp.Synced = res.Synced
+	}
+	return s.write(c, typ, resp)
 }
 
 // handleReplJoin turns the connection into a WAL stream session. It

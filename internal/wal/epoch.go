@@ -187,6 +187,7 @@ func (l *Log) Reset() error {
 		return fmt.Errorf("wal: reset: %w", firstErr)
 	}
 	l.nextLSN = 1
+	l.durable = 0
 	l.segSize = 0
 	l.epoch = 0
 	l.marks = nil
@@ -243,6 +244,7 @@ func (l *Log) InstallCheckpoint(parts []CkptPart) (*Checkpoint, error) {
 		}
 	}
 	l.nextLSN = ck.Meta.LSN + 1
+	l.durable = ck.Meta.LSN
 	l.segSize = 0
 	l.marks = append([]EpochMark(nil), ck.Meta.Epochs...)
 	l.epoch = 0

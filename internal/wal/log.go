@@ -103,6 +103,22 @@ type Stats struct {
 	Appends int64 // records appended
 	Bytes   int64 // bytes appended (framing included)
 	Syncs   int64 // fsync calls issued
+	// Group commit (SyncAlways): GroupCommits counts leader fsyncs issued
+	// from WaitDurable, GroupedTxns counts the parked committers those
+	// fsyncs covered. GroupedTxns/GroupCommits is the amortization factor
+	// — how many transactions each durable-path fsync acknowledged.
+	GroupCommits int64
+	GroupedTxns  int64
+}
+
+// TxnsPerSync reports the group-commit amortization factor: committers
+// acknowledged per leader fsync. 0 before any group commit; 1.0 means no
+// overlap (every committer synced alone); >1 means fsyncs were shared.
+func (s Stats) TxnsPerSync() float64 {
+	if s.GroupCommits == 0 {
+		return 0
+	}
+	return float64(s.GroupedTxns) / float64(s.GroupCommits)
 }
 
 // Recovery reports what Open found in the data directory.
@@ -133,6 +149,21 @@ type Log struct {
 	stats   Stats
 	failed  error // sticky first write failure
 	closed  bool
+
+	// Group commit (SyncAlways; see WaitDurable). durable is the highest
+	// LSN known fsynced: every inline sync (append, rotate, Sync, Close)
+	// advances it, and a group-commit leader advances it to the horizon
+	// its fsync covered. syncing marks a leader mid-fsync outside l.mu —
+	// at most one at a time, so concurrent committers coalesce onto the
+	// in-flight sync instead of each issuing their own. groupWake is
+	// signaled when durable advances, the leader slot frees, or the log
+	// fails or closes. parked counts the committers currently inside
+	// WaitDurable per LSN, so a leader can account exactly how many
+	// transactions its fsync acknowledged.
+	durable   uint64
+	syncing   bool
+	groupWake *sync.Cond
+	parked    map[uint64]int
 
 	syncStop chan struct{}
 	syncDone chan struct{}
@@ -310,7 +341,11 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 		next = 1
 	}
 
-	l := &Log{fs: fs, dir: dir, opts: opts, nextLSN: next}
+	l := &Log{fs: fs, dir: dir, opts: opts, nextLSN: next, parked: make(map[uint64]int)}
+	l.groupWake = sync.NewCond(&l.mu)
+	// Everything recovered is on disk already; durability waits start at
+	// the recovered horizon.
+	l.durable = next - 1
 
 	// Rebuild the epoch table: the checkpoint's meta carries every boundary
 	// it covered; epoch records in the tail extend it.
@@ -403,20 +438,49 @@ func (l *Log) rotate() error {
 		return fmt.Errorf("wal: sync before rotate: %w", err)
 	}
 	l.stats.Syncs++
+	l.advanceDurable(l.nextLSN - 1)
 	if err := l.seg.Close(); err != nil {
 		return fmt.Errorf("wal: close segment: %w", err)
 	}
 	return l.startSegment(l.nextLSN)
 }
 
+// advanceDurable records that every LSN through lsn is fsynced. Callers
+// hold l.mu and have just observed a successful sync covering lsn.
+func (l *Log) advanceDurable(lsn uint64) {
+	if lsn > l.durable {
+		l.durable = lsn
+	}
+}
+
 // AppendCommit appends one committed transaction's net effect. With
 // SyncAlways the record is durable when AppendCommit returns.
 func (l *Log) AppendCommit(rec *CommitRecord) error {
-	payload, err := marshalPayload(rec)
+	lsn, err := l.AppendCommitAsync(rec)
 	if err != nil {
 		return err
 	}
-	return l.append(KindCommit, payload)
+	return l.WaitDurable(lsn)
+}
+
+// AppendCommitAsync appends one committed transaction's net effect
+// without waiting for durability and returns the record's LSN. The
+// caller must not acknowledge the transaction until WaitDurable(lsn)
+// returns nil: keeping the fsync out of the append — and out of
+// whatever write lock the caller holds — is what lets concurrent
+// committers share one group-commit fsync.
+func (l *Log) AppendCommitAsync(rec *CommitRecord) (uint64, error) {
+	payload, err := marshalPayload(rec)
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.nextLSN
+	if err := l.appendLockedSync(KindCommit, payload, false); err != nil {
+		return 0, err
+	}
+	return lsn, nil
 }
 
 // AppendDDL appends one definition statement.
@@ -436,6 +500,15 @@ func (l *Log) append(kind byte, payload []byte) error {
 
 // appendLocked frames and writes one record at l.nextLSN. Callers hold l.mu.
 func (l *Log) appendLocked(kind byte, payload []byte) error {
+	return l.appendLockedSync(kind, payload, true)
+}
+
+// appendLockedSync is appendLocked with the SyncAlways inline fsync made
+// optional: commit records pass sync=false and defer their durability to
+// WaitDurable, so the fsync happens outside the append (and outside the
+// caller's write lock) where concurrent committers can share it. Callers
+// hold l.mu.
+func (l *Log) appendLockedSync(kind byte, payload []byte, sync bool) error {
 	if l.failed != nil {
 		return fmt.Errorf("%w: %w", ErrLogFailed, l.failed)
 	}
@@ -458,12 +531,13 @@ func (l *Log) appendLocked(kind byte, payload []byte) error {
 		l.failed = err
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	if l.opts.Policy == SyncAlways {
+	if sync && l.opts.Policy == SyncAlways {
 		if err := l.seg.Sync(); err != nil {
 			l.failed = err
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 		l.stats.Syncs++
+		l.advanceDurable(l.nextLSN)
 	}
 	l.nextLSN++
 	l.stats.Appends++
@@ -483,10 +557,100 @@ func (l *Log) Sync() error {
 	}
 	if err := l.seg.Sync(); err != nil {
 		l.failed = err
+		l.groupWake.Broadcast()
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.stats.Syncs++
+	l.advanceDurable(l.nextLSN - 1)
+	l.groupWake.Broadcast()
 	return nil
+}
+
+// WaitDurable blocks until every record with LSN at or below lsn is
+// fsynced, or returns the log's sticky error — after poisoning, no
+// commit is ever acknowledged again. Under SyncAlways this is the group
+// commit point: committers append under the log mutex, then park here;
+// one becomes the leader, captures the current append horizon, issues a
+// single fsync outside the mutex (so later committers keep appending),
+// and wakes every parked committer the fsync covered. Committers whose
+// records landed during the in-flight fsync are beyond the captured
+// horizon and wait for the next leader — an fsync only ever acknowledges
+// the prefix it provably covered. Under SyncInterval and SyncNever it
+// returns immediately: durability is the background syncer's (or the
+// operating system's) business, and the caller accepted that window.
+func (l *Log) WaitDurable(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return fmt.Errorf("%w: %w", ErrLogFailed, l.failed)
+	}
+	if l.opts.Policy != SyncAlways || lsn <= l.durable {
+		return nil
+	}
+	if lsn >= l.nextLSN {
+		return fmt.Errorf("wal: wait durable lsn %d: not appended (next lsn %d)", lsn, l.nextLSN)
+	}
+	l.parked[lsn]++
+	defer func() {
+		if l.parked[lsn]--; l.parked[lsn] <= 0 {
+			delete(l.parked, lsn)
+		}
+	}()
+	for {
+		if l.failed != nil {
+			return fmt.Errorf("%w: %w", ErrLogFailed, l.failed)
+		}
+		if lsn <= l.durable {
+			return nil
+		}
+		if l.closed {
+			return errors.New("wal: log is closed")
+		}
+		if l.syncing {
+			l.groupWake.Wait()
+			continue
+		}
+		// Become the leader: capture the covered horizon and the active
+		// segment under the mutex, fsync outside it, then acknowledge
+		// exactly the captured prefix.
+		l.syncing = true
+		seg, target := l.seg, l.nextLSN-1
+		l.mu.Unlock()
+		serr := seg.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		if serr != nil {
+			if l.failed == nil && l.seg != seg && l.durable >= target {
+				// The segment was rotated away (or checkpointed) while we
+				// were syncing it: rotation fsyncs a segment before closing
+				// it and advances the durable horizon, so the captured
+				// prefix is already safe and the error is just "file
+				// closed". A genuine rotation-sync failure would have set
+				// l.failed, which the check above rules out.
+				l.groupWake.Broadcast()
+				continue
+			}
+			if l.failed == nil {
+				l.failed = serr
+			}
+			l.groupWake.Broadcast()
+			return fmt.Errorf("wal: sync: %w", serr)
+		}
+		l.stats.Syncs++
+		prev := l.durable
+		l.advanceDurable(target)
+		l.stats.GroupCommits++
+		// Count the committers this fsync acknowledged: parked entries in
+		// (prev durable, target]. Entries at or below the previous horizon
+		// were satisfied by an earlier sync and just have not woken yet —
+		// counting them again would inflate TxnsPerSync.
+		for plsn, n := range l.parked {
+			if plsn > prev && plsn <= target {
+				l.stats.GroupedTxns += int64(n)
+			}
+		}
+		l.groupWake.Broadcast()
+	}
 }
 
 func (l *Log) syncLoop() {
@@ -496,9 +660,14 @@ func (l *Log) syncLoop() {
 	for {
 		select {
 		case <-t.C:
-			// A failed background sync poisons the log via the sticky
-			// error; the next append surfaces it to the caller.
-			_ = l.Sync() // failure is recorded in l.failed
+			if err := l.Sync(); err != nil {
+				// The sticky error is recorded: every subsequent Append,
+				// WaitDurable, and commit acknowledgement fails with
+				// ErrLogFailed, so a background fsync failure can never be
+				// followed by a successfully-acked transaction. The log is
+				// dead; stop ticking.
+				return
+			}
 		case <-l.syncStop:
 			return
 		}
@@ -543,6 +712,10 @@ func (l *Log) Close() error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Committers parked in WaitDurable must not sleep through the close:
+	// wake them so they observe l.closed (or the advanced durable horizon
+	// from the final sync below) and return.
+	defer l.groupWake.Broadcast()
 	if l.seg == nil {
 		return nil
 	}
@@ -552,6 +725,7 @@ func (l *Log) Close() error {
 			firstErr = err
 		} else {
 			l.stats.Syncs++
+			l.advanceDurable(l.nextLSN - 1)
 		}
 	}
 	if err := l.seg.Close(); err != nil && firstErr == nil {

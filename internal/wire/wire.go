@@ -28,18 +28,20 @@ import (
 // Message types. Requests have the high bit clear, responses have it set;
 // MsgError may answer any request.
 const (
-	MsgExec  byte = 0x01 // ExecRequest: run a script (DDL, rules, operation blocks)
-	MsgQuery byte = 0x02 // QueryRequest: evaluate one SELECT
-	MsgDump  byte = 0x03 // no payload: request a recreate script
-	MsgStats byte = 0x04 // no payload: request engine + server counters
-	MsgPing  byte = 0x05 // no payload: liveness probe
+	MsgExec      byte = 0x01 // ExecRequest: run a script (DDL, rules, operation blocks)
+	MsgQuery     byte = 0x02 // QueryRequest: evaluate one SELECT
+	MsgDump      byte = 0x03 // no payload: request a recreate script
+	MsgStats     byte = 0x04 // no payload: request engine + server counters
+	MsgPing      byte = 0x05 // no payload: liveness probe
+	MsgExecBatch byte = 0x06 // ExecBatchRequest: run N statements as one operation block
 
-	MsgExecResult  byte = 0x81 // ExecResponse
-	MsgQueryResult byte = 0x82 // Rows
-	MsgDumpResult  byte = 0x83 // DumpResponse
-	MsgStatsResult byte = 0x84 // StatsResponse
-	MsgPong        byte = 0x85 // no payload
-	MsgError       byte = 0xff // ErrorResponse
+	MsgExecResult      byte = 0x81 // ExecResponse
+	MsgQueryResult     byte = 0x82 // Rows
+	MsgDumpResult      byte = 0x83 // DumpResponse
+	MsgStatsResult     byte = 0x84 // StatsResponse
+	MsgPong            byte = 0x85 // no payload
+	MsgExecBatchResult byte = 0x86 // ExecResponse (same shape as MsgExecResult)
+	MsgError           byte = 0xff // ErrorResponse
 )
 
 // DefaultMaxFrame is the frame-size guard used when a Server or Client is
@@ -51,18 +53,40 @@ const DefaultMaxFrame = 8 << 20
 const headerSize = 5
 
 // ErrFrameTooLarge is returned when a frame (incoming or outgoing) exceeds
-// the maximum size. The connection is unusable afterwards: the oversized
-// payload is not consumed.
+// the maximum size. An oversized incoming frame's payload is not consumed,
+// but its declared length is known (see FrameSizeError), so a server can
+// drain exactly that many bytes and keep the session; an oversized
+// outgoing frame never touches the wire at all.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// FrameSizeError is the concrete error ReadFrame returns for an oversized
+// incoming frame. It wraps ErrFrameTooLarge (errors.Is keeps working) and
+// carries the declared payload length so the reader can discard exactly
+// the unread payload and resynchronize on the next frame boundary.
+type FrameSizeError struct {
+	Declared int // payload length from the frame header
+	Max      int // the limit it exceeded
+}
+
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("wire: frame exceeds maximum size: %d > %d bytes", e.Declared, e.Max)
+}
+
+func (e *FrameSizeError) Unwrap() error { return ErrFrameTooLarge }
 
 // Error codes carried by ErrorResponse.
 const (
 	CodeParse    = "parse"     // script failed to parse; Line is set
 	CodeExec     = "exec"      // script parsed but execution failed
 	CodeBadFrame = "bad_frame" // unknown message type or undecodable payload
-	CodeTooLarge = "too_large" // request frame exceeded the server's maximum
+	CodeTooLarge = "too_large" // request frame exceeded the maximum; session dropped
 	CodeShutdown = "shutdown"  // server is draining; retry elsewhere
 	CodeInternal = "internal"  // unexpected server-side failure
+	// CodeFrameTooLarge reports an oversized request frame whose payload
+	// the server drained: unlike CodeTooLarge, the session stays usable —
+	// the client may shrink (or split) the request and resend on the same
+	// connection.
+	CodeFrameTooLarge = "frame_too_large"
 )
 
 // ExecRequest asks the server to execute a script as the next operation
@@ -73,6 +97,18 @@ type ExecRequest struct {
 	// observed. A server at a lower epoch fences itself and refuses the
 	// write; a server at a higher epoch answers stale_epoch so the client
 	// re-probes. Zero claims nothing (pre-failover clients).
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// ExecBatchRequest asks the server to execute a list of data-manipulation
+// statements as ONE operation block: one engine pass, one commit record,
+// one (shared) fsync — the set-oriented batching the paper's rule model
+// makes natural, since rules already process net effects per transaction.
+// Definitions (CREATE TABLE/RULE, DROP, CHECKPOINT) are rejected: they
+// execute between transactions and cannot join a block.
+type ExecBatchRequest struct {
+	Stmts []string `json:"stmts"`
+	// Epoch has ExecRequest.Epoch semantics.
 	Epoch uint64 `json:"epoch,omitempty"`
 }
 
@@ -137,6 +173,8 @@ type EngineStats struct {
 	WALBytes            int64 `json:"wal_bytes"`
 	RecoveredRecords    int64 `json:"recovered_records"`
 	Checkpoints         int64 `json:"checkpoints"`
+	GroupCommits        int64 `json:"group_commits,omitempty"`
+	GroupedTxns         int64 `json:"grouped_txns,omitempty"`
 }
 
 // ServerStats are the network front-end's own counters, kept separately
@@ -145,6 +183,7 @@ type ServerStats struct {
 	Accepted    int64 `json:"accepted"`     // connections accepted
 	Active      int64 `json:"active"`       // connections currently open
 	Execs       int64 `json:"execs"`        // Exec requests served
+	BatchExecs  int64 `json:"batch_execs"`  // ExecBatch requests served
 	Queries     int64 `json:"queries"`      // Query requests served
 	Dumps       int64 `json:"dumps"`        // Dump requests served
 	StatsReqs   int64 `json:"stats_reqs"`   // Stats requests served
@@ -281,9 +320,11 @@ func WriteFrame(w io.Writer, typ byte, payload []byte, max int) error {
 }
 
 // ReadFrame reads one frame. max bounds the accepted payload size (0 means
-// DefaultMaxFrame). A declared length beyond max returns ErrFrameTooLarge
-// without consuming the payload; a stream that ends mid-frame returns
-// io.ErrUnexpectedEOF (io.EOF only at a clean frame boundary).
+// DefaultMaxFrame). A declared length beyond max returns a *FrameSizeError
+// (wrapping ErrFrameTooLarge) without consuming the payload — the caller
+// may drain FrameSizeError.Declared bytes to resynchronize; a stream that
+// ends mid-frame returns io.ErrUnexpectedEOF (io.EOF only at a clean frame
+// boundary).
 func ReadFrame(r io.Reader, max int) (typ byte, payload []byte, err error) {
 	if max <= 0 {
 		max = DefaultMaxFrame
@@ -300,7 +341,7 @@ func ReadFrame(r io.Reader, max int) (typ byte, payload []byte, err error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
 	if n > uint32(max) {
-		return 0, nil, fmt.Errorf("%w: %d > %d bytes", ErrFrameTooLarge, n, max)
+		return hdr[0], nil, &FrameSizeError{Declared: int(n), Max: max}
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
@@ -347,6 +388,8 @@ func TypeName(typ byte) string {
 		return "stats"
 	case MsgPing:
 		return "ping"
+	case MsgExecBatch:
+		return "exec_batch"
 	case MsgExecResult:
 		return "exec_result"
 	case MsgQueryResult:
@@ -357,6 +400,8 @@ func TypeName(typ byte) string {
 		return "stats_result"
 	case MsgPong:
 		return "pong"
+	case MsgExecBatchResult:
+		return "exec_batch_result"
 	case MsgError:
 		return "error"
 	case MsgReplJoin:

@@ -297,14 +297,77 @@ type Result struct {
 }
 
 // Exec parses and executes a script: DDL, rule definitions, queries, and
-// operation blocks. Consecutive DML statements form one transaction.
+// operation blocks. Consecutive DML statements form one transaction. On a
+// durable database, Exec returns only after the transaction's commit
+// record is fsynced (per the fsync policy): an acknowledged commit is
+// durable.
 func (db *DB) Exec(src string) (*Result, error) {
+	return db.finish(db.execNoWait(src))
+}
+
+// ExecBatch executes a batch of data-manipulation statements as ONE
+// operation block — one externally-generated transition, one transaction,
+// one commit record, one durable fsync — regardless of how many
+// statements the batch carries. This is the paper's set-oriented
+// submission path: rule processing is decoupled from statement boundaries
+// (Section 5.3), so the batch behaves exactly like the same statements
+// submitted consecutively in a single Exec script. SELECTs evaluate
+// inside the block and observe its preceding writes; definition
+// statements are rejected (they execute between transactions — use Exec).
+func (db *DB) ExecBatch(stmts []string) (*Result, error) {
+	return db.finish(db.execBatchNoWait(stmts))
+}
+
+// execNoWait runs the script without waiting for commit durability. The
+// returned lsn is the newest commit record the script appended (0 if
+// nothing committed, or in-memory).
+func (db *DB) execNoWait(src string) (*Result, uint64, error) {
 	txn, err := db.eng.Exec(src)
 	res := wrapTxn(txn)
+	var lsn uint64
+	if txn != nil {
+		lsn = txn.LastLSN
+	}
+	return res, lsn, wrapErr(err)
+}
+
+// execBatchNoWait is execNoWait for a batch block.
+func (db *DB) execBatchNoWait(stmts []string) (*Result, uint64, error) {
+	txn, err := db.eng.ExecBatch(stmts)
+	res := wrapTxn(txn)
+	var lsn uint64
+	if txn != nil {
+		lsn = txn.LastLSN
+	}
+	return res, lsn, wrapErr(err)
+}
+
+// finish completes an exec after the engine pass — and, crucially, after
+// the caller released any write lock: it parks on the write-ahead log's
+// group commit for the transaction's record (concurrent committers share
+// one fsync there) and stamps the read-your-writes LSN token. A
+// durability failure outranks nothing: if the engine pass itself errored,
+// that error is returned and the sticky log error will surface on the
+// next write.
+func (db *DB) finish(res *Result, lsn uint64, err error) (*Result, error) {
+	if werr := db.waitDurable(lsn); werr != nil && err == nil {
+		err = werr
+	}
 	if res != nil && db.walLog != nil {
 		res.LSN = db.CurrentLSN()
 	}
-	return res, wrapErr(err)
+	return res, err
+}
+
+// waitDurable parks until the given commit record is fsynced — the group
+// commit point. A no-op in-memory, when nothing committed, or under the
+// interval/never fsync policies (their durability window is the caller's
+// explicit choice).
+func (db *DB) waitDurable(lsn uint64) error {
+	if db.walLog == nil || lsn == 0 {
+		return nil
+	}
+	return db.walLog.WaitDurable(lsn)
 }
 
 func wrapTxn(txn *engine.TxnResult) *Result {
@@ -434,12 +497,20 @@ type Stats struct {
 	WALBytes            int64 // bytes appended to the write-ahead log
 	RecoveredRecords    int64 // log records replayed during crash recovery
 	Checkpoints         int64 // checkpoints written
+	// Group-commit counters (durable fsync=always path): GroupCommits is
+	// the number of leader fsyncs issued from the commit queue,
+	// GroupedTxns the number of committers those fsyncs acknowledged, and
+	// TxnsPerSync their ratio — the fsync amortization factor (1.0 means
+	// every committer synced alone; >1 means fsyncs were shared).
+	GroupCommits int64
+	GroupedTxns  int64
+	TxnsPerSync  float64
 }
 
 // Stats returns a snapshot of the database's cumulative counters.
 func (db *DB) Stats() Stats {
 	s := db.eng.Stats()
-	return Stats{
+	out := Stats{
 		Committed:           s.Committed,
 		RolledBack:          s.RolledBack,
 		ExternalTransitions: s.ExternalTransitions,
@@ -451,7 +522,13 @@ func (db *DB) Stats() Stats {
 		WALBytes:            s.WALBytes,
 		RecoveredRecords:    s.RecoveredRecords,
 		Checkpoints:         s.Checkpoints,
+		GroupCommits:        s.WALGroupCommits,
+		GroupedTxns:         s.WALGroupedTxns,
 	}
+	if out.GroupCommits > 0 {
+		out.TxnsPerSync = float64(out.GroupedTxns) / float64(out.GroupCommits)
+	}
+	return out
 }
 
 // Rules returns the defined rule names in definition order.
