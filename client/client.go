@@ -366,6 +366,8 @@ func (c *Client) Stats() (*Stats, error) {
 			GroupCommits:        resp.Engine.GroupCommits,
 			GroupedTxns:         resp.Engine.GroupedTxns,
 			TxnsPerSync:         txnsPerSync(resp.Engine.GroupedTxns, resp.Engine.GroupCommits),
+			PlannedQueries:      resp.Engine.PlannedQueries,
+			PlanProbeFallbacks:  resp.Engine.PlanProbeFallbacks,
 		},
 		Server: ServerStats(resp.Server),
 		Repl:   replStats(resp.Repl),

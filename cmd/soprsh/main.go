@@ -42,7 +42,7 @@ type execer interface {
 }
 
 // remoteSession adapts a client.Client to the statement loop. A lone
-// SELECT is sent as a query request — the read path the server answers
+// SELECT or EXPLAIN is sent as a query request — the read path the server answers
 // with no locking and, on a replica, the only path there is (replicas
 // refuse exec with a read_only error). A multi-statement buffer of
 // data-manipulation statements (`insert ...; delete ...;` on one input
@@ -58,7 +58,8 @@ func (s remoteSession) Exec(src string) (*sopr.Result, error) {
 		return s.c.Exec(src)
 	}
 	if len(stmts) == 1 {
-		if _, ok := stmts[0].(*sqlast.Select); ok {
+		switch stmts[0].(type) {
+		case *sqlast.Select, *sqlast.Explain:
 			rows, err := s.c.Query(src)
 			if err != nil {
 				return nil, err
@@ -394,5 +395,9 @@ func printEngineStats(s sopr.Stats) {
 	if s.GroupCommits > 0 {
 		fmt.Printf("wal: group_commits=%d grouped_txns=%d txns_per_sync=%.2f\n",
 			s.GroupCommits, s.GroupedTxns, s.TxnsPerSync)
+	}
+	if s.PlannedQueries > 0 || s.PlanProbeFallbacks > 0 {
+		fmt.Printf("planner: planned_queries=%d probe_fallbacks=%d\n",
+			s.PlannedQueries, s.PlanProbeFallbacks)
 	}
 }

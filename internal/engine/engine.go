@@ -64,6 +64,11 @@ type Config struct {
 	// NoHashJoin disables the hash equi-join fast path engine-wide (see
 	// exec.Env.NoHashJoin). Semantics are identical either way.
 	NoHashJoin bool
+	// NoPlanner disables the cost-based join planner engine-wide (see
+	// exec.Env.NoPlanner), leaving the legacy access paths. Used by the
+	// differential harness's planner-ablation parity check; semantics are
+	// identical either way.
+	NoPlanner bool
 }
 
 const defaultMaxRuleTransitions = 10000
@@ -193,6 +198,9 @@ type Engine struct {
 	// dumps, stats and LSN reads load it atomically and touch nothing else,
 	// so they run with zero locking concurrent with the write path.
 	snap atomic.Pointer[snapState]
+	// planCounters is shared planner telemetry (atomics; advanced by both
+	// the write path and concurrent lock-free readers).
+	planCounters exec.PlanCounters
 }
 
 // New returns an engine with an empty database.
@@ -340,6 +348,12 @@ func (e *Engine) ExecStatements(stmts []sqlast.Statement) (*TxnResult, error) {
 				return total, err
 			}
 			total.Queries = append(total.Queries, res)
+		case *sqlast.Explain:
+			res, err := e.Explain(s)
+			if err != nil {
+				return total, err
+			}
+			total.Queries = append(total.Queries, res)
 		default:
 			if err := e.execDefinition(st); err != nil {
 				return total, err
@@ -395,8 +409,18 @@ func (e *Engine) ExecBatch(srcs []string) (*TxnResult, error) {
 // consistent committed state (sopr.SynchronizedDB relies on exactly this
 // property).
 func (e *Engine) Query(sel *sqlast.Select) (*exec.Result, error) {
-	env := &exec.Env{Store: e.snap.Load().store, NoIndex: e.cfg.NoIndex, NoHashJoin: e.cfg.NoHashJoin}
+	env := &exec.Env{Store: e.snap.Load().store, NoIndex: e.cfg.NoIndex,
+		NoHashJoin: e.cfg.NoHashJoin, NoPlanner: e.cfg.NoPlanner, Counters: &e.planCounters}
 	return env.Query(sel)
+}
+
+// Explain renders the plan the executor would choose for the wrapped
+// statement, against the published committed snapshot, without executing
+// it.
+func (e *Engine) Explain(ex *sqlast.Explain) (*exec.Result, error) {
+	env := &exec.Env{Store: e.snap.Load().store, NoIndex: e.cfg.NoIndex,
+		NoHashJoin: e.cfg.NoHashJoin, NoPlanner: e.cfg.NoPlanner}
+	return env.Explain(ex.Stmt)
 }
 
 // newEnv returns a fresh evaluation environment carrying the engine's
@@ -405,24 +429,29 @@ func (e *Engine) Query(sel *sqlast.Select) (*exec.Result, error) {
 // Config.NoIndex/NoHashJoin ablations cover conditions and actions, not
 // just top-level queries.
 func (e *Engine) newEnv(trans *rules.TransSource) *exec.Env {
-	env := &exec.Env{Store: e.store, NoIndex: e.cfg.NoIndex, NoHashJoin: e.cfg.NoHashJoin}
+	env := &exec.Env{Store: e.store, NoIndex: e.cfg.NoIndex,
+		NoHashJoin: e.cfg.NoHashJoin, NoPlanner: e.cfg.NoPlanner, Counters: &e.planCounters}
 	if trans != nil {
 		env.Trans = trans
 	}
 	return env
 }
 
-// QueryString parses and evaluates a single SELECT.
+// QueryString parses and evaluates a single SELECT (or EXPLAIN, whose
+// plan rendering is served through the same read-only path).
 func (e *Engine) QueryString(src string) (*exec.Result, error) {
 	st, err := sqlparse.ParseStatement(src)
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := st.(*sqlast.Select)
-	if !ok {
-		return nil, fmt.Errorf("engine: QueryString requires a SELECT, got %T", st)
+	switch s := st.(type) {
+	case *sqlast.Select:
+		return e.Query(s)
+	case *sqlast.Explain:
+		return e.Explain(s)
+	default:
+		return nil, fmt.Errorf("engine: QueryString requires a SELECT or EXPLAIN, got %T", st)
 	}
-	return e.Query(sel)
 }
 
 // execDefinition handles DDL and rule-management statements, logging each

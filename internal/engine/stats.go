@@ -30,6 +30,11 @@ type Stats struct {
 	// WALGroupedTxns/WALGroupCommits is the fsync amortization factor.
 	WALGroupCommits int64
 	WALGroupedTxns  int64
+	// Planner counters: query blocks executed through the cost-based join
+	// planner, and index probes that fell back to a heap scan at lookup
+	// time (the 2^53 integer-keyspace fallback).
+	PlannedQueries     int64
+	PlanProbeFallbacks int64
 }
 
 // Stats returns a snapshot of the engine's counters, lock-free: the
@@ -42,5 +47,7 @@ func (e *Engine) Stats() Stats {
 	sn := e.snap.Load()
 	s := sn.stats
 	s.HeapScans, s.IndexLookups = sn.store.AccessStats()
+	s.PlannedQueries = e.planCounters.Planned.Load()
+	s.PlanProbeFallbacks = e.planCounters.ProbeFallbacks.Load()
 	return s
 }

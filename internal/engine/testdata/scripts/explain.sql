@@ -1,0 +1,33 @@
+create table emp (name varchar, emp_no int, salary float, dept_no int);
+create table dept (dept_no int, dname varchar);
+create table proj (pno int, dept_no int, budget float);
+create index emp_no_ix on emp (emp_no);
+create index dept_ix on dept (dept_no)
+--
+insert into emp values ('a', 1, 100.0, 1), ('b', 2, 200.0, 1), ('c', 3, 300.0, 2), ('d', 4, 120.0, 2), ('e', 5, 90.0, 3), ('f', 6, 130.0, 3), ('g', 7, 400.0, 1), ('h', 8, 80.0, 2);
+insert into dept values (1, 'eng'), (2, 'ops'), (3, 'hr');
+insert into proj values (10, 1, 5.0), (11, 2, 6.0)
+--
+explain select name from emp where emp_no = 3
+--
+explain select name from emp where salary > 100.0
+--
+explain select name from emp where emp_no in (1, 3, 5) order by name
+--
+explain select name from emp where emp_no = 9007199254740993.0
+--
+explain select name, dname from emp, dept where emp.dept_no = dept.dept_no and salary > 100.0
+--
+explain select name, dname, pno from emp, dept, proj where emp.dept_no = dept.dept_no and dept.dept_no = proj.dept_no
+--
+explain select dname, count(*) n from emp, dept where emp.dept_no = dept.dept_no group by dname order by n desc limit 2
+--
+explain delete from emp where emp_no = 3;
+explain update emp set salary = 1.0 where dept_no = 2;
+explain insert into proj values (12, 3, 1.0)
+--
+explain select name, pno from emp, proj where emp.dept_no = proj.dept_no
+--
+insert into proj values (20, 1, 1.0), (21, 1, 1.0), (22, 2, 1.0), (23, 2, 1.0), (24, 3, 1.0), (25, 3, 1.0), (26, 1, 1.0), (27, 2, 1.0), (28, 3, 1.0), (29, 1, 1.0), (30, 2, 1.0), (31, 3, 1.0)
+--
+explain select name, pno from emp, proj where emp.dept_no = proj.dept_no

@@ -73,6 +73,11 @@ func (e *Env) materializeFrom(tr *sqlast.TableRef, target int, sel *sqlast.Selec
 				}
 				return rel, nil
 			}
+			// Planned probe declined at lookup time (the 2^53
+			// integer-keyspace fallback): count it, then heap scan.
+			if e.Counters != nil {
+				e.Counters.ProbeFallbacks.Add(1)
+			}
 		}
 	}
 	return e.resolveTableRef(tr)
@@ -399,5 +404,9 @@ func (e *Env) indexedMatches(schema *catalog.Table, binding string, where sqlast
 	if probe == nil {
 		return nil, false, nil
 	}
-	return e.Store.IndexedLookup(schema.Name, probe.col, probe.vals...)
+	tuples, ok, err = e.Store.IndexedLookup(schema.Name, probe.col, probe.vals...)
+	if err == nil && !ok && e.Counters != nil {
+		e.Counters.ProbeFallbacks.Add(1)
+	}
+	return tuples, ok, err
 }

@@ -51,6 +51,13 @@ type Store interface {
 	Scan(table string, fn func(*storage.Tuple) bool) error
 	IndexedLookup(table string, col int, vals ...value.Value) ([]*storage.Tuple, bool, error)
 	HasIndex(table string, col int) bool
+	// Count, ColumnStats and ClassifyProbe feed the cost-based planner
+	// (plan.go, explain.go): table cardinality, per-column cardinality
+	// statistics, and plan-time classification of an index probe
+	// (including the 2^53 integer-keyspace fallback).
+	Count(table string) (int, error)
+	ColumnStats(table string, col int) (storage.ColStats, error)
+	ClassifyProbe(table string, col int, vals ...value.Value) storage.ProbeClass
 	Insert(table string, row storage.Row) (storage.Handle, error)
 	Delete(h storage.Handle) (table string, old storage.Row, err error)
 	Update(h storage.Handle, assign map[int]value.Value) (table string, old storage.Row, err error)
@@ -84,6 +91,18 @@ type Env struct {
 	// forcing heap scans. Used by the differential tests and the ablation
 	// benchmark; semantics are identical either way.
 	NoIndex bool
+	// NoPlanner disables the cost-based Volcano join planner (plan.go),
+	// leaving only the legacy two-relation hash fast path. Ablation flag
+	// for the differential tests and benchmarks; semantics are identical
+	// either way.
+	NoPlanner bool
+	// JoinBuildBudget caps the build-side row count of a planned hash
+	// join; larger build sides use a sort-merge join instead. 0 means the
+	// default (defaultJoinBuildBudget).
+	JoinBuildBudget int
+	// Counters, when non-nil, receives planner telemetry (shared across
+	// the engine's Envs; all fields are atomics).
+	Counters *PlanCounters
 }
 
 // boundRow is one variable binding in a scope: the relation's binding name,

@@ -1,0 +1,636 @@
+package exec
+
+// Cost-based Volcano-style join planning. The paper's premise is that
+// set-oriented rule processing inherits the full query optimizer: "queries
+// resulting from rule conditions and actions are processed by the query
+// optimizer just like user-submitted queries" (Section 6). This file is
+// that optimizer: multi-relation FROM lists whose WHERE carries equi-join
+// conjuncts are executed through a tree of iterator operators — scan at
+// the leaves, hash or sort-merge joins above — with the join order chosen
+// greedily from per-table cardinality and per-column distinct-value
+// statistics maintained incrementally by internal/storage.
+//
+// Semantics preservation follows the same contract as the access-path and
+// two-relation hash-join fast paths: a combination may be skipped only
+// when a null-rejecting top-level AND equi-conjunct (`a.x = b.y`) rules
+// it out — under three-valued logic a False or Unknown conjunct makes the
+// whole AND non-True — and the full WHERE is still evaluated on every
+// surviving combination. Surviving combinations are re-sorted into the
+// nested-loop odometer's emission order (lexicographic on the position
+// vector), so result order, select-observation, and residual-predicate
+// behavior are indistinguishable from the naive driver.
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"sopr/internal/sqlast"
+	"sopr/internal/storage"
+	"sopr/internal/value"
+)
+
+// PlanCounters is planner telemetry, shared by all Envs of one engine.
+type PlanCounters struct {
+	// Planned counts query blocks executed through the planned join path.
+	Planned atomic.Int64
+	// ProbeFallbacks counts index probes that were planned but declined at
+	// lookup time (storage.probeKey could not answer the probe exactly —
+	// the 2^53 integer-keyspace fallback), forcing a heap scan.
+	ProbeFallbacks atomic.Int64
+}
+
+// maxJoinKeyCols caps the composite join key width; equi-conjuncts beyond
+// the cap stay residual (still enforced by the full WHERE).
+const maxJoinKeyCols = 4
+
+// defaultJoinBuildBudget is the hash build-side row cap when
+// Env.JoinBuildBudget is 0.
+const defaultJoinBuildBudget = 1 << 20
+
+func (e *Env) joinBuildBudget() float64 {
+	if e.JoinBuildBudget > 0 {
+		return float64(e.JoinBuildBudget)
+	}
+	return float64(defaultJoinBuildBudget)
+}
+
+// equiCond is one top-level AND conjunct `a.x = b.y` whose two column
+// references resolve uniquely to two different FROM relations.
+type equiCond struct {
+	lrel, lcol int
+	rrel, rcol int
+	// exact selects the exact-integer keyspace: both columns are declared
+	// INTEGER, so int-int equality needs no float image (see joinKeysExact).
+	exact bool
+}
+
+// collectEquiConds walks the top-level AND tree of where and returns every
+// equi-join conjunct between two distinct relations of rels. A reference
+// that is ambiguous at this scope level, or does not resolve here at all
+// (it may be a correlated outer reference), never yields a conjunct.
+func (e *Env) collectEquiConds(where sqlast.Expr, rels []*relation) []equiCond {
+	var out []equiCond
+	var walk func(x sqlast.Expr)
+	walk = func(x sqlast.Expr) {
+		b, ok := x.(*sqlast.Binary)
+		if !ok {
+			return
+		}
+		if b.Op == sqlast.OpAnd {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		if b.Op != sqlast.OpEq {
+			return
+		}
+		lref, lok := b.L.(*sqlast.ColumnRef)
+		rref, rok := b.R.(*sqlast.ColumnRef)
+		if !lok || !rok {
+			return
+		}
+		lc, lr := resolveInRels(lref, rels)
+		rc, rr := resolveInRels(rref, rels)
+		if lr < 0 || rr < 0 || lr == rr {
+			return
+		}
+		out = append(out, equiCond{
+			lrel: lr, lcol: lc, rrel: rr, rcol: rc,
+			exact: e.condExact(rels, lr, lc, rr, rc),
+		})
+	}
+	walk(where)
+	return out
+}
+
+// resolveInRels resolves a column reference uniquely against the block's
+// relations, mirroring scope.lookup's innermost-level matching. Ambiguous
+// or unresolvable references return rel -1.
+func resolveInRels(ref *sqlast.ColumnRef, rels []*relation) (col, rel int) {
+	rel, col = -1, -1
+	for ri, r := range rels {
+		if ref.Qualifier != "" && ref.Qualifier != r.binding {
+			continue
+		}
+		for ci, c := range r.cols {
+			if c == ref.Column {
+				if rel >= 0 {
+					return -1, -1 // ambiguous
+				}
+				rel, col = ri, ci
+			}
+		}
+	}
+	return col, rel
+}
+
+func (e *Env) condExact(rels []*relation, lr, lc, rr, rc int) bool {
+	k0, ok0 := e.relColumnKind(rels[lr], lc)
+	k1, ok1 := e.relColumnKind(rels[rr], rc)
+	return ok0 && ok1 && k0 == value.KindInt && k1 == value.KindInt
+}
+
+// joinStep joins relation right into the set built so far.
+type joinStep struct {
+	right int
+	// conds are normalized so lrel is already joined and rrel == right.
+	// Empty conds means a cross-product step (no connecting conjunct).
+	conds []equiCond
+	// merge selects a sort-merge join (build side over budget) over the
+	// default hash join.
+	merge bool
+	// est is the estimated number of output combinations after this step.
+	est float64
+}
+
+// joinPlan is a left-deep join order: start, then each step's relation.
+type joinPlan struct {
+	start int
+	steps []joinStep
+}
+
+// planJoins builds the execution-time join plan for the block, or nil when
+// planning does not apply (no WHERE, or no equi-join conjunct).
+func (e *Env) planJoins(sel *sqlast.Select, rels []*relation) *joinPlan {
+	if sel.Where == nil {
+		return nil
+	}
+	conds := e.collectEquiConds(sel.Where, rels)
+	if len(conds) == 0 {
+		return nil
+	}
+	rows := make([]float64, len(rels))
+	for i, r := range rels {
+		rows[i] = float64(len(r.rows))
+	}
+	dist := e.distinctEstimator(rels, conds)
+	start, steps := orderJoins(rows, dist, conds, e.joinBuildBudget())
+	return &joinPlan{start: start, steps: steps}
+}
+
+// distinctEstimator returns a distinct-value estimator for the join
+// columns: base tables use the storage layer's incrementally-maintained
+// column statistics; transition tables (rule-local data with no stored
+// stats) are counted exactly over their materialized rows.
+func (e *Env) distinctEstimator(rels []*relation, conds []equiCond) func(rel, col int) float64 {
+	type rc struct{ rel, col int }
+	cache := make(map[rc]float64)
+	lookup := func(rel, col int) float64 {
+		r := rels[rel]
+		if !r.trans && r.table != "" {
+			if cs, err := e.Store.ColumnStats(r.table, col); err == nil {
+				return float64(cs.Distinct)
+			}
+		}
+		seen := make(map[value.Key]bool)
+		for _, tr := range r.rows {
+			if k, ok := value.KeyNumeric(tr.Values[col]); ok {
+				seen[k] = true
+			}
+		}
+		return float64(len(seen))
+	}
+	return func(rel, col int) float64 {
+		key := rc{rel, col}
+		if d, ok := cache[key]; ok {
+			return d
+		}
+		d := lookup(rel, col)
+		cache[key] = d
+		return d
+	}
+}
+
+// orderJoins picks a left-deep join order greedily: start from the
+// smallest relation, then repeatedly join the connected relation with the
+// lowest estimated output |S ⋈ R| = est(S)·|R|·∏ 1/max(d_S, d_R) over the
+// connecting equi-conjuncts; with no connected relation left, take the
+// smallest remaining as a cross-product step. Ties break to the lowest
+// FROM position, so the order is deterministic. Shared by the executor
+// (materialized row counts) and EXPLAIN (estimated row counts).
+func orderJoins(rows []float64, dist func(rel, col int) float64, conds []equiCond, budget float64) (int, []joinStep) {
+	n := len(rows)
+	start := 0
+	for i := 1; i < n; i++ {
+		if rows[i] < rows[start] {
+			start = i
+		}
+	}
+	joined := make([]bool, n)
+	joined[start] = true
+	est := rows[start]
+	var steps []joinStep
+	for len(steps) < n-1 {
+		best, bestEst := -1, 0.0
+		var bestConds []equiCond
+		for r := 0; r < n; r++ {
+			if joined[r] {
+				continue
+			}
+			cs := connectingConds(conds, joined, r)
+			if len(cs) == 0 {
+				continue
+			}
+			out := est * rows[r]
+			for _, c := range cs {
+				if d := maxf(dist(c.lrel, c.lcol), dist(c.rrel, c.rcol)); d > 1 {
+					out /= d
+				}
+			}
+			if best < 0 || out < bestEst {
+				best, bestEst, bestConds = r, out, cs
+			}
+		}
+		if best < 0 {
+			for r := 0; r < n; r++ {
+				if joined[r] {
+					continue
+				}
+				if best < 0 || rows[r] < rows[best] {
+					best = r
+				}
+			}
+			bestEst = est * rows[best]
+		}
+		steps = append(steps, joinStep{
+			right: best,
+			conds: bestConds,
+			merge: len(bestConds) > 0 && rows[best] > budget,
+			est:   bestEst,
+		})
+		joined[best] = true
+		est = bestEst
+	}
+	return start, steps
+}
+
+// connectingConds returns the conjuncts linking relation r to the joined
+// set, normalized so the right side is r, capped at maxJoinKeyCols (the
+// rest stay residual).
+func connectingConds(conds []equiCond, joined []bool, r int) []equiCond {
+	var out []equiCond
+	for _, c := range conds {
+		switch {
+		case joined[c.lrel] && c.rrel == r:
+			out = append(out, c)
+		case joined[c.rrel] && c.lrel == r:
+			out = append(out, equiCond{lrel: c.rrel, lcol: c.rcol, rrel: c.lrel, rcol: c.lcol, exact: c.exact})
+		}
+		if len(out) == maxJoinKeyCols {
+			break
+		}
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Volcano operators over position vectors
+// ---------------------------------------------------------------------------
+
+// A comboOp is a Volcano iterator producing position vectors ("combos"):
+// combo[i] is the row index bound for relation i (-1 while unbound).
+type comboOp interface {
+	open() error
+	next() ([]int32, bool, error)
+	close()
+}
+
+// joinKey is a composite hash/merge key of up to maxJoinKeyCols columns.
+type joinKey struct {
+	n int8
+	k [maxJoinKeyCols]value.Key
+}
+
+func joinKeyLess(a, b joinKey) bool {
+	for i := 0; i < int(a.n); i++ {
+		if a.k[i] != b.k[i] {
+			return value.KeyLess(a.k[i], b.k[i])
+		}
+	}
+	return false
+}
+
+func condKey(c equiCond, v value.Value) (value.Key, bool) {
+	if c.exact {
+		return value.KeyExact(v)
+	}
+	return value.KeyNumeric(v)
+}
+
+// rightKey keys a row of the step's right relation. ok is false when any
+// key column is NULL (a NULL join key matches nothing).
+func rightKey(st joinStep, row storage.Row) (joinKey, bool) {
+	var k joinKey
+	k.n = int8(len(st.conds))
+	for i, c := range st.conds {
+		key, ok := condKey(c, row[c.rcol])
+		if !ok {
+			return joinKey{}, false
+		}
+		k.k[i] = key
+	}
+	return k, true
+}
+
+// leftKey keys an input combo on the step's left-side columns.
+func leftKey(st joinStep, rels []*relation, combo []int32) (joinKey, bool) {
+	var k joinKey
+	k.n = int8(len(st.conds))
+	for i, c := range st.conds {
+		v := rels[c.lrel].rows[combo[c.lrel]].Values[c.lcol]
+		key, ok := condKey(c, v)
+		if !ok {
+			return joinKey{}, false
+		}
+		k.k[i] = key
+	}
+	return k, true
+}
+
+// scanOp emits one combo per row of the starting relation.
+type scanOp struct {
+	n, rel, rows int
+	i            int
+}
+
+func (s *scanOp) open() error { s.i = 0; return nil }
+func (s *scanOp) close()      {}
+
+func (s *scanOp) next() ([]int32, bool, error) {
+	if s.i >= s.rows {
+		return nil, false, nil
+	}
+	c := make([]int32, s.n)
+	for j := range c {
+		c[j] = -1
+	}
+	c[s.rel] = int32(s.i)
+	s.i++
+	return c, true, nil
+}
+
+// hashJoinOp joins the input stream with the step's right relation through
+// a hash table built on the right side. With no connecting conjuncts it
+// degenerates to a cross-product step.
+type hashJoinOp struct {
+	input comboOp
+	rels  []*relation
+	step  joinStep
+
+	table map[joinKey][]int32
+	all   []int32 // cross-product step: every right row
+
+	cur     []int32
+	matches []int32
+	mi      int
+}
+
+func (o *hashJoinOp) open() error {
+	if err := o.input.open(); err != nil {
+		return err
+	}
+	right := o.rels[o.step.right]
+	if len(o.step.conds) == 0 {
+		o.all = make([]int32, len(right.rows))
+		for i := range right.rows {
+			o.all[i] = int32(i)
+		}
+		return nil
+	}
+	o.table = make(map[joinKey][]int32, len(right.rows))
+	for i, tr := range right.rows {
+		if k, ok := rightKey(o.step, tr.Values); ok {
+			o.table[k] = append(o.table[k], int32(i))
+		}
+	}
+	return nil
+}
+
+func (o *hashJoinOp) close() { o.input.close() }
+
+func (o *hashJoinOp) next() ([]int32, bool, error) {
+	for {
+		if o.mi < len(o.matches) {
+			out := make([]int32, len(o.cur))
+			copy(out, o.cur)
+			out[o.step.right] = o.matches[o.mi]
+			o.mi++
+			return out, true, nil
+		}
+		c, ok, err := o.input.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if len(o.step.conds) == 0 {
+			o.cur, o.matches, o.mi = c, o.all, 0
+			continue
+		}
+		k, kok := leftKey(o.step, o.rels, c)
+		if !kok {
+			continue
+		}
+		o.cur, o.matches, o.mi = c, o.table[k], 0
+	}
+}
+
+// mergeJoinOp is the sort-merge alternative chosen when the hash build
+// side would exceed the join-build budget: both sides are sorted on the
+// composite key (value.KeyLess order) and merged group-wise. Output order
+// is arbitrary here; restoreOrderOp re-establishes the odometer order.
+type mergeJoinOp struct {
+	input comboOp
+	rels  []*relation
+	step  joinStep
+
+	out [][]int32
+	i   int
+}
+
+type keyedCombo struct {
+	key   joinKey
+	combo []int32
+}
+
+type keyedRow struct {
+	key joinKey
+	idx int32
+}
+
+func (o *mergeJoinOp) open() error {
+	if err := o.input.open(); err != nil {
+		return err
+	}
+	var left []keyedCombo
+	for {
+		c, ok, err := o.input.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if k, kok := leftKey(o.step, o.rels, c); kok {
+			left = append(left, keyedCombo{key: k, combo: c})
+		}
+	}
+	right := make([]keyedRow, 0, len(o.rels[o.step.right].rows))
+	for i, tr := range o.rels[o.step.right].rows {
+		if k, ok := rightKey(o.step, tr.Values); ok {
+			right = append(right, keyedRow{key: k, idx: int32(i)})
+		}
+	}
+	sortKeyed(left, right)
+	li, ri := 0, 0
+	for li < len(left) && ri < len(right) {
+		switch {
+		case joinKeyLess(left[li].key, right[ri].key):
+			li++
+		case joinKeyLess(right[ri].key, left[li].key):
+			ri++
+		default:
+			re := ri
+			for re < len(right) && right[re].key == right[ri].key {
+				re++
+			}
+			le := li
+			for le < len(left) && left[le].key == left[li].key {
+				le++
+			}
+			for ; li < le; li++ {
+				for j := ri; j < re; j++ {
+					c := make([]int32, len(left[li].combo))
+					copy(c, left[li].combo)
+					c[o.step.right] = right[j].idx
+					o.out = append(o.out, c)
+				}
+			}
+			ri = re
+		}
+	}
+	return nil
+}
+
+func (o *mergeJoinOp) close() { o.input.close() }
+
+func (o *mergeJoinOp) next() ([]int32, bool, error) {
+	if o.i >= len(o.out) {
+		return nil, false, nil
+	}
+	c := o.out[o.i]
+	o.i++
+	return c, true, nil
+}
+
+func sortKeyed(left []keyedCombo, right []keyedRow) {
+	sort.SliceStable(left, func(i, j int) bool { return joinKeyLess(left[i].key, left[j].key) })
+	sort.SliceStable(right, func(i, j int) bool { return joinKeyLess(right[i].key, right[j].key) })
+}
+
+func sortCombos(out [][]int32) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// restoreOrderOp drains its input and re-emits the combos sorted
+// lexicographically on the position vector — exactly the nested-loop
+// odometer's emission order (position 0 outermost).
+type restoreOrderOp struct {
+	input comboOp
+	out   [][]int32
+	i     int
+}
+
+func (o *restoreOrderOp) open() error {
+	if err := o.input.open(); err != nil {
+		return err
+	}
+	for {
+		c, ok, err := o.input.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		o.out = append(o.out, c)
+	}
+	sortCombos(o.out)
+	return nil
+}
+
+func (o *restoreOrderOp) close() { o.input.close() }
+
+func (o *restoreOrderOp) next() ([]int32, bool, error) {
+	if o.i >= len(o.out) {
+		return nil, false, nil
+	}
+	c := o.out[o.i]
+	o.i++
+	return c, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+// forEachComboPlanned executes the planned operator tree and drives the
+// same contract as forEachCombo: bind sc.vars, evaluate the full WHERE,
+// observe, and invoke fn — in odometer order.
+func (e *Env) forEachComboPlanned(sel *sqlast.Select, sc *scope, rels []*relation, plan *joinPlan, fn func() error) error {
+	if e.Counters != nil {
+		e.Counters.Planned.Add(1)
+	}
+	var op comboOp = &scanOp{n: len(rels), rel: plan.start, rows: len(rels[plan.start].rows)}
+	for _, st := range plan.steps {
+		if st.merge {
+			op = &mergeJoinOp{input: op, rels: rels, step: st}
+		} else {
+			op = &hashJoinOp{input: op, rels: rels, step: st}
+		}
+	}
+	root := &restoreOrderOp{input: op}
+	if err := root.open(); err != nil {
+		return err
+	}
+	defer root.close()
+	for {
+		c, ok, err := root.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		for i, rel := range rels {
+			sc.vars[i].row = rel.rows[c[i]].Values
+			sc.vars[i].handle = rel.rows[c[i]].Handle
+		}
+		hold, err := e.whereHolds(sel, sc)
+		if err != nil {
+			return err
+		}
+		if !hold {
+			continue
+		}
+		for _, b := range sc.vars {
+			e.observe(b)
+		}
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sopr/internal/sqlast"
+	"sopr/internal/sqlparse"
+	"sopr/internal/storage"
+	"sopr/internal/value"
+)
+
+// planEnv builds a three-table store sized so join order matters.
+func planEnv(t *testing.T) *Env {
+	t.Helper()
+	e := &Env{Store: storage.New()}
+	for _, src := range []string{
+		`create table emp (name varchar, emp_no int not null, salary float, dept_no int)`,
+		`create table dept (dept_no int, mgr_no int)`,
+		`create table proj (proj_no int, emp_no int, dept_no int)`,
+	} {
+		mustExecDDL(t, e, src)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		sal := "NULL"
+		if i%5 != 0 {
+			sal = fmt.Sprintf("%d", 1000+rng.Intn(5000))
+		}
+		dn := "NULL"
+		if i%7 != 0 {
+			dn = fmt.Sprintf("%d", rng.Intn(6))
+		}
+		mustOp(t, e, fmt.Sprintf(`insert into emp values ('e%d', %d, %s, %s)`, i, i, sal, dn))
+	}
+	for d := 0; d < 6; d++ {
+		mustOp(t, e, fmt.Sprintf(`insert into dept values (%d, %d)`, d, d%3))
+	}
+	for p := 0; p < 15; p++ {
+		mustOp(t, e, fmt.Sprintf(`insert into proj values (%d, %d, %d)`, p, rng.Intn(40), rng.Intn(6)))
+	}
+	return e
+}
+
+// runBoth evaluates the same query with the planner on and off and
+// requires byte-identical results (columns, rows, order).
+func runBoth(t *testing.T, e *Env, src string) {
+	t.Helper()
+	st, err := sqlparse.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	sel := st.(*sqlast.Select)
+	on := &Env{Store: e.Store}
+	off := &Env{Store: e.Store, NoPlanner: true}
+	naive := &Env{Store: e.Store, NoPlanner: true, NoHashJoin: true, NoIndex: true}
+	want, err := naive.Query(sel)
+	if err != nil {
+		t.Fatalf("naive %q: %v", src, err)
+	}
+	for name, env := range map[string]*Env{"planner": on, "noplanner": off} {
+		got, err := env.Query(sel)
+		if err != nil {
+			t.Fatalf("%s %q: %v", name, src, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s diverges on %q:\nplanned:\n%s\nnaive:\n%s", name, src, got, want)
+		}
+	}
+}
+
+// TestPlannerParity: the planned join path must be observationally
+// identical to the naive nested-loop driver — same rows, same order —
+// across joins of 2..4 relations, residual predicates, NULL join keys,
+// aggregates, and correlated subqueries.
+func TestPlannerParity(t *testing.T) {
+	e := planEnv(t)
+	for _, src := range []string{
+		`select e.name, d.mgr_no from emp e, dept d where e.dept_no = d.dept_no`,
+		`select e.name, d.mgr_no from emp e, dept d where d.dept_no = e.dept_no and e.salary > 2000`,
+		`select e.name, p.proj_no from emp e, dept d, proj p
+		   where e.dept_no = d.dept_no and p.emp_no = e.emp_no`,
+		`select count(*) from emp e, dept d, proj p
+		   where e.dept_no = d.dept_no and p.dept_no = d.dept_no and p.emp_no = e.emp_no`,
+		`select e.name from emp e, dept d where e.dept_no = d.dept_no and d.mgr_no = 1 order by e.name`,
+		`select d.dept_no, count(*) from emp e, dept d where e.dept_no = d.dept_no group by d.dept_no`,
+		`select e1.name, e2.name from emp e1, emp e2, dept d
+		   where e1.dept_no = e2.dept_no and e2.dept_no = d.dept_no and e1.emp_no < e2.emp_no`,
+		`select e.name from emp e, dept d
+		   where e.dept_no = d.dept_no
+		     and exists (select * from proj p where p.dept_no = d.dept_no)`,
+		`select e.name, d.mgr_no, p.proj_no from emp e, dept d, proj p
+		   where e.dept_no = d.dept_no and p.dept_no = d.dept_no limit 7`,
+		// Cross-product component: emp-dept connected, proj unconnected.
+		`select count(*) from emp e, dept d, proj p where e.dept_no = d.dept_no`,
+	} {
+		runBoth(t, e, src)
+	}
+}
+
+// TestPlannerParityRandom fuzzes equi-join queries over random data.
+func TestPlannerParityRandom(t *testing.T) {
+	e := planEnv(t)
+	rng := rand.New(rand.NewSource(11))
+	cols := []string{"emp_no", "dept_no"}
+	for i := 0; i < 60; i++ {
+		c1 := cols[rng.Intn(2)]
+		c2 := cols[rng.Intn(2)]
+		extra := ""
+		if rng.Intn(2) == 0 {
+			extra = fmt.Sprintf(" and e.salary > %d", 1000+rng.Intn(5000))
+		}
+		src := fmt.Sprintf(
+			`select e.name, p.proj_no from emp e, dept d, proj p where e.%s = p.%s and d.dept_no = e.dept_no%s`,
+			c1, c2, extra)
+		runBoth(t, e, src)
+	}
+}
+
+// TestPlannerCounters: the planned path reports itself through
+// PlanCounters.
+func TestPlannerCounters(t *testing.T) {
+	e := planEnv(t)
+	var pc PlanCounters
+	env := &Env{Store: e.Store, Counters: &pc}
+	mustQuery(t, env, `select e.name from emp e, dept d where e.dept_no = d.dept_no`)
+	if got := pc.Planned.Load(); got != 1 {
+		t.Fatalf("Planned = %d, want 1", got)
+	}
+	env.NoPlanner = true
+	mustQuery(t, env, `select e.name from emp e, dept d where e.dept_no = d.dept_no`)
+	if got := pc.Planned.Load(); got != 1 {
+		t.Fatalf("Planned after NoPlanner query = %d, want still 1", got)
+	}
+}
+
+// TestMergeJoinBudget forces the sort-merge join by shrinking the hash
+// build budget and checks parity plus plan visibility.
+func TestMergeJoinBudget(t *testing.T) {
+	e := planEnv(t)
+	src := `select e.name, d.mgr_no from emp e, dept d where e.dept_no = d.dept_no order by 1`
+	st, _ := sqlparse.ParseStatement(src)
+	sel := st.(*sqlast.Select)
+	tiny := &Env{Store: e.Store, JoinBuildBudget: 1}
+	naive := &Env{Store: e.Store, NoPlanner: true, NoHashJoin: true}
+	got, err := tiny.Query(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := naive.Query(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("merge join diverges:\n%s\nvs\n%s", got, want)
+	}
+	res, err := tiny.Explain(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resultText(res), "merge join") {
+		t.Fatalf("explain under tiny budget should choose merge join:\n%s", resultText(res))
+	}
+	res, err = (&Env{Store: e.Store}).Explain(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resultText(res), "hash join") {
+		t.Fatalf("explain under default budget should choose hash join:\n%s", resultText(res))
+	}
+}
+
+func resultText(r *Result) string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		b.WriteString(row[0].Str())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestPlannerProbeFallbackCosted pins the 2^53 regression end to end: a
+// float probe ≥ 2^53 on an INTEGER index cannot be answered exactly, so
+// (a) EXPLAIN costs the access as a scan and says why, (b) execution
+// falls back to the heap scan, counts the fallback, and still returns the
+// right rows.
+func TestPlannerProbeFallbackCosted(t *testing.T) {
+	e := &Env{Store: storage.New()}
+	mustExecDDL(t, e, `create table big (id int, tag varchar)`)
+	if err := e.Store.(*storage.Store).CreateIndex("big_id", "big", "id"); err != nil {
+		t.Fatal(err)
+	}
+	huge := int64(1) << 60 // integral, exceeds 2^53: float image is ambiguous
+	mustOp(t, e, fmt.Sprintf(`insert into big values (%d, 'hit'), (%d, 'near'), (1, 'small')`, huge, huge+1))
+
+	src := fmt.Sprintf(`select tag from big where id = %d.0`, huge)
+	st, err := sqlparse.ParseStatement(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*sqlast.Select)
+
+	exp, err := e.Explain(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := resultText(exp)
+	if !strings.Contains(text, "cannot answer probe exactly, costed as scan") {
+		t.Fatalf("explain must cost the 2^53 fallback as a scan:\n%s", text)
+	}
+
+	var pc PlanCounters
+	env := &Env{Store: e.Store, Counters: &pc}
+	res, err := env.Query(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// float64(2^60) == float64(2^60+1): under float comparison semantics
+	// both rows match (value.Compare converts mixed int/float to float64).
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (float-image equality)\n%s", len(res.Rows), res)
+	}
+	if got := pc.ProbeFallbacks.Load(); got != 1 {
+		t.Fatalf("ProbeFallbacks = %d, want 1", got)
+	}
+
+	// An in-range probe stays indexed and is costed as a probe.
+	exp, err = e.Explain(mustParseSelect(t, `select tag from big where id = 1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resultText(exp), "index probe big (id = 1)") {
+		t.Fatalf("in-range probe should stay indexed:\n%s", resultText(exp))
+	}
+}
+
+func mustParseSelect(t *testing.T, src string) *sqlast.Select {
+	t.Helper()
+	st, err := sqlparse.ParseStatement(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.(*sqlast.Select)
+}
+
+// TestLimit pins LIMIT semantics: applied after DISTINCT and ORDER BY,
+// zero allowed, over-long limits are no-ops, negative/non-integer reject.
+func TestLimit(t *testing.T) {
+	e := testEnv(t)
+	res := mustQuery(t, e, `select name from emp order by salary desc limit 2`)
+	if len(res.Rows) != 2 || res.Rows[0][0].Str() != "jane" || res.Rows[1][0].Str() != "mary" {
+		t.Fatalf("limit 2 after order by: %s", res)
+	}
+	if res := mustQuery(t, e, `select distinct dept_no from emp order by 1 limit 2`); len(res.Rows) != 2 {
+		t.Fatalf("limit after distinct: %s", res)
+	}
+	if res := mustQuery(t, e, `select name from emp limit 0`); len(res.Rows) != 0 {
+		t.Fatalf("limit 0: %s", res)
+	}
+	if res := mustQuery(t, e, `select name from emp limit 100`); len(res.Rows) != 6 {
+		t.Fatalf("limit beyond rows: %s", res)
+	}
+	if res := mustQuery(t, e, `select name from emp limit 1 + 1`); len(res.Rows) != 2 {
+		t.Fatalf("limit expression: %s", res)
+	}
+	if err := queryErr(t, e, `select name from emp limit -1`); err == nil {
+		t.Fatal("negative limit must error")
+	}
+	if err := queryErr(t, e, `select name from emp limit 'x'`); err == nil {
+		t.Fatal("non-integer limit must error")
+	}
+}
+
+// TestExplainShapes sanity-checks the EXPLAIN renderer across statement
+// kinds (goldens live in the engine package).
+func TestExplainShapes(t *testing.T) {
+	e := testEnv(t)
+	sel := mustParseSelect(t, `select name from emp where dept_no = 1 order by name limit 3`)
+	res, err := e.Explain(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := resultText(res)
+	for _, want := range []string{"select (cost-based planner)", "limit 3", "order by name", "filter", "seq scan emp (rows 6)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain select missing %q:\n%s", want, text)
+		}
+	}
+	off := &Env{Store: e.Store, NoPlanner: true}
+	res, err = off.Explain(mustParseSelect(t, `select e.name from emp e, dept d where e.dept_no = d.dept_no`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resultText(res), "planner disabled") {
+		t.Errorf("NoPlanner explain must say so:\n%s", resultText(res))
+	}
+	for src, want := range map[string]string{
+		`explain delete from emp where emp_no = 3`:                   "delete from emp",
+		`explain update emp set salary = 0 where name = 'sam'`:       "update emp",
+		`explain insert into dept values (9, 9)`:                     "insert into dept (1 rows)",
+		`explain insert into dept (select dept_no, emp_no from emp)`: "insert into dept (from select)",
+	} {
+		st, err := sqlparse.ParseStatement(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		res, err := e.Explain(st.(*sqlast.Explain).Stmt)
+		if err != nil {
+			t.Fatalf("explain %q: %v", src, err)
+		}
+		if !strings.Contains(resultText(res), want) {
+			t.Errorf("explain %q missing %q:\n%s", src, want, resultText(res))
+		}
+	}
+	if _, err := e.Explain(&sqlast.ProcessRules{}); err == nil {
+		t.Error("explaining PROCESS RULES must error")
+	}
+	_ = value.Null
+}

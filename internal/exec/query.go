@@ -138,6 +138,15 @@ func (e *Env) evalSelect(sel *sqlast.Select, parent *scope) (*Result, error) {
 	if len(sel.OrderBy) > 0 {
 		sortRows(out, sel.OrderBy)
 	}
+	if sel.Limit != nil {
+		n, err := e.limitCount(sel.Limit, parent)
+		if err != nil {
+			return nil, err
+		}
+		if n < len(out) {
+			out = out[:n]
+		}
+	}
 
 	res := &Result{Columns: make([]string, len(cols)), Rows: make([]storage.Row, len(out))}
 	for i, c := range cols {
@@ -211,7 +220,17 @@ func (e *Env) forEachCombo(sel *sqlast.Select, sc *scope, rels []*relation, fn f
 			return nil // empty cross product
 		}
 	}
-	// Hash equi-join fast path for two-relation joins (see hashjoin.go).
+	// Cost-based planned join execution for multi-relation blocks with
+	// equi-join conjuncts (see plan.go). NoHashJoin also disables it: the
+	// planner's operators are hash/merge join machinery, and the ablation
+	// configurations want true nested loops.
+	if !e.NoPlanner && !e.NoHashJoin && sel.Where != nil {
+		if plan := e.planJoins(sel, rels); plan != nil {
+			return e.forEachComboPlanned(sel, sc, rels, plan, fn)
+		}
+	}
+	// Legacy hash equi-join fast path for two-relation joins (see
+	// hashjoin.go); reached only with the planner disabled.
 	if n == 2 && !e.NoHashJoin && sel.Where != nil {
 		if c0, c1, ok := equiJoinConjunct(sel.Where, rels[0], rels[1]); ok {
 			return e.forEachComboHash(sel, sc, rels, c0, c1, fn)
@@ -249,6 +268,23 @@ func (e *Env) forEachCombo(sel *sqlast.Select, sc *scope, rels []*relation, fn f
 			return nil
 		}
 	}
+}
+
+// limitCount evaluates a LIMIT expression, which must be independent of
+// the block's rows: it is evaluated once, in the enclosing scope, and must
+// yield a non-negative integer.
+func (e *Env) limitCount(expr sqlast.Expr, parent *scope) (int, error) {
+	if parent == nil {
+		parent = &scope{}
+	}
+	v, err := e.evalExpr(parent, expr)
+	if err != nil {
+		return 0, err
+	}
+	if v.Kind() != value.KindInt || v.Int() < 0 {
+		return 0, fmt.Errorf("exec: LIMIT must be a non-negative integer, got %s", v)
+	}
+	return int(v.Int()), nil
 }
 
 func (e *Env) whereHolds(sel *sqlast.Select, sc *scope) (bool, error) {

@@ -146,15 +146,47 @@ type Where struct {
 	Not  *Where   `json:"not,omitempty"`
 }
 
-// Cond is a rule condition. Kind is "exists", "notexists" or "agg"; for
-// "agg", Agg is "count", "sum", "min" or "max" and the condition is
-// `(select agg(...) from sub) Op Lit`.
+// JoinSrc is one aliased FROM source of a join condition.
+type JoinSrc struct {
+	Src   Source `json:"src"`
+	Alias string `json:"alias"`
+}
+
+// JoinOn is one equi-join conjunct between two join sources, addressed by
+// their index in Cond.Srcs: `Srcs[LSrc].LCol = Srcs[RSrc].RCol`.
+type JoinOn struct {
+	LSrc int    `json:"lsrc"`
+	LCol string `json:"lcol"`
+	RSrc int    `json:"rsrc"`
+	RCol string `json:"rcol"`
+}
+
+// JoinAtom is one literal comparison against a single join source. Op is
+// one of "=", "<>", "<", "<=", ">", ">=", "isnull", "notnull".
+type JoinAtom struct {
+	Src int    `json:"src"`
+	Col string `json:"col"`
+	Op  string `json:"op"`
+	Lit Lit    `json:"lit,omitempty"`
+}
+
+// Cond is a rule condition. Kind is "exists", "notexists", "agg", "join"
+// or "notjoin". For "agg", Agg is "count", "sum", "min" or "max" and the
+// condition is `(select agg(...) from sub) Op Lit`. For "join"/"notjoin"
+// the condition is `[not] exists (select * from Srcs... where On... and
+// Atoms...)` — a multi-source join over transition and base tables that
+// exercises the engine's cost-based join planner inside rule conditions
+// (Sub is unused).
 type Cond struct {
 	Kind string   `json:"kind"`
 	Sub  SubQuery `json:"sub"`
 	Agg  string   `json:"agg,omitempty"`
 	Op   string   `json:"op,omitempty"`
 	Lit  Lit      `json:"lit,omitempty"`
+
+	Srcs  []JoinSrc  `json:"srcs,omitempty"`
+	On    []JoinOn   `json:"on,omitempty"`
+	Atoms []JoinAtom `json:"atoms,omitempty"`
 }
 
 // SetItem is one assignment of an UPDATE: Col = expr, where expr is a
@@ -324,7 +356,7 @@ func (w *Workload) Validate() error {
 			return fmt.Errorf("rule %q has no action", r.Name)
 		}
 		if r.Cond != nil {
-			if err := w.validateSub(&r.Cond.Sub, r); err != nil {
+			if err := w.validateCond(r.Cond, r); err != nil {
 				return fmt.Errorf("rule %q condition: %w", r.Name, err)
 			}
 		}
@@ -396,6 +428,86 @@ func (w *Workload) validateSub(sub *SubQuery, r *Rule) error {
 		return fmt.Errorf("unknown column %s.%s", sub.Src.Table, sub.Src.Column)
 	}
 	return w.validateWhere(sub.Where, t, r)
+}
+
+func (w *Workload) validateCond(c *Cond, r *Rule) error {
+	switch c.Kind {
+	case "exists", "notexists", "agg":
+		return w.validateSub(&c.Sub, r)
+	case "join", "notjoin":
+		return w.validateJoinCond(c, r)
+	default:
+		return fmt.Errorf("unknown condition kind %q", c.Kind)
+	}
+}
+
+// joinComparable reports whether two column kinds can be equi-joined
+// without an evaluation error: both numeric, or the same kind. The
+// restriction keeps join conditions error-free, so a hash or merge join
+// that never compares non-matching rows pairwise cannot diverge from a
+// nested loop that compares every pair.
+func joinComparable(a, b string) bool {
+	num := func(k string) bool { return k == "int" || k == "float" }
+	return a == b || (num(a) && num(b))
+}
+
+func (w *Workload) validateJoinCond(c *Cond, r *Rule) error {
+	if len(c.Srcs) < 2 {
+		return fmt.Errorf("join condition needs at least two sources")
+	}
+	seen := map[string]bool{}
+	for i, s := range c.Srcs {
+		t := w.Table(s.Src.Table)
+		if t == nil {
+			return fmt.Errorf("unknown table %q", s.Src.Table)
+		}
+		if !licensed(&s.Src, r) {
+			return fmt.Errorf("unlicensed transition source %s %s", s.Src.Trans, s.Src.Table)
+		}
+		if s.Src.Column != "" && t.ColIndex(s.Src.Column) < 0 {
+			return fmt.Errorf("unknown column %s.%s", s.Src.Table, s.Src.Column)
+		}
+		if s.Alias == "" || seen[s.Alias] {
+			return fmt.Errorf("join source %d has missing or duplicate alias %q", i, s.Alias)
+		}
+		seen[s.Alias] = true
+	}
+	if len(c.On) == 0 {
+		return fmt.Errorf("join condition has no ON conjuncts")
+	}
+	for _, on := range c.On {
+		if on.LSrc < 0 || on.LSrc >= len(c.Srcs) || on.RSrc < 0 || on.RSrc >= len(c.Srcs) || on.LSrc == on.RSrc {
+			return fmt.Errorf("ON conjunct references bad sources %d, %d", on.LSrc, on.RSrc)
+		}
+		lt := w.Table(c.Srcs[on.LSrc].Src.Table)
+		rt := w.Table(c.Srcs[on.RSrc].Src.Table)
+		li, ri := lt.ColIndex(on.LCol), rt.ColIndex(on.RCol)
+		if li < 0 || ri < 0 {
+			return fmt.Errorf("ON conjunct references unknown column %s.%s or %s.%s", lt.Name, on.LCol, rt.Name, on.RCol)
+		}
+		if !joinComparable(lt.Cols[li].Kind, rt.Cols[ri].Kind) {
+			return fmt.Errorf("ON conjunct joins incomparable kinds %s and %s", lt.Cols[li].Kind, rt.Cols[ri].Kind)
+		}
+	}
+	for _, a := range c.Atoms {
+		if a.Src < 0 || a.Src >= len(c.Srcs) {
+			return fmt.Errorf("join atom references bad source %d", a.Src)
+		}
+		t := w.Table(c.Srcs[a.Src].Src.Table)
+		if t.ColIndex(a.Col) < 0 {
+			return fmt.Errorf("join atom references unknown column %s.%s", t.Name, a.Col)
+		}
+		switch a.Op {
+		case "=", "<>", "<", "<=", ">", ">=":
+			if err := checkLit(a.Lit); err != nil {
+				return err
+			}
+		case "isnull", "notnull":
+		default:
+			return fmt.Errorf("unknown join atom op %q", a.Op)
+		}
+	}
+	return nil
 }
 
 func (w *Workload) validateWhere(wh *Where, t *Table, r *Rule) error {

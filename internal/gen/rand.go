@@ -328,8 +328,14 @@ func (g *genctx) rule(ri, nRules int) Rule {
 
 // cond generates a rule condition over either a licensed transition table
 // (common: the paper's rules are usually about "the rows just changed") or
-// a base table.
+// a base table; ~30% of the time it is a multi-source join condition that
+// routes the rule's consideration through the cost-based join planner.
 func (g *genctx) cond(r *Rule) *Cond {
+	if g.pct(30) {
+		if jc := g.joinCond(r); jc != nil {
+			return jc
+		}
+	}
 	var src Source
 	ts := transSources(r)
 	if len(ts) > 0 && g.pct(65) {
@@ -368,6 +374,93 @@ func (g *genctx) cond(r *Rule) *Cond {
 		}
 	}
 	return c
+}
+
+// joinCond generates a 2- or 3-source join condition: a chain of equi-join
+// conjuncts over transition tables (mostly) and at most one base table (so
+// the oracle's naive nested-loop evaluation stays bounded by the small
+// transition-table sizes), plus occasional literal atoms. Returns nil when
+// the rule licenses no transition source or a consecutive source pair has
+// no join-comparable column pair; the caller falls back to a single-source
+// condition.
+func (g *genctx) joinCond(r *Rule) *Cond {
+	ts := transSources(r)
+	if len(ts) == 0 {
+		return nil
+	}
+	n := 2
+	if g.pct(30) {
+		n = 3
+	}
+	c := &Cond{Kind: "join"}
+	if g.pct(40) {
+		c.Kind = "notjoin"
+	}
+	baseUsed := false
+	for i := 0; i < n; i++ {
+		var src Source
+		if baseUsed || g.pct(70) {
+			src = ts[g.pick(len(ts))]
+		} else {
+			src = Source{Table: g.w.Tables[g.pick(len(g.w.Tables))].Name}
+			baseUsed = true
+		}
+		c.Srcs = append(c.Srcs, JoinSrc{Src: src, Alias: fmt.Sprintf("j%d", i)})
+	}
+	for i := 1; i < n; i++ {
+		on, ok := g.joinOn(c, i-1, i)
+		if !ok {
+			return nil
+		}
+		c.On = append(c.On, on)
+	}
+	// Occasionally close the chain into a cycle (extra selectivity, and a
+	// join graph that is not a pure path).
+	if n == 3 && g.pct(25) {
+		if on, ok := g.joinOn(c, 0, 2); ok {
+			c.On = append(c.On, on)
+		}
+	}
+	if g.pct(40) {
+		si := g.pick(n)
+		t := g.w.Table(c.Srcs[si].Src.Table)
+		col := t.Cols[g.pick(len(t.Cols))]
+		a := JoinAtom{Src: si, Col: col.Name}
+		roll := g.pick(100)
+		switch {
+		case roll < 15:
+			a.Op = "isnull"
+		case roll < 30:
+			a.Op = "notnull"
+		default:
+			ops := atomOps(col.Kind)
+			a.Op = ops[g.pick(len(ops))]
+			a.Lit = g.litNoNull(col.Kind)
+		}
+		c.Atoms = append(c.Atoms, a)
+	}
+	return c
+}
+
+// joinOn picks a join-comparable column pair between sources li and ri of
+// the condition under construction.
+func (g *genctx) joinOn(c *Cond, li, ri int) (JoinOn, bool) {
+	lt := g.w.Table(c.Srcs[li].Src.Table)
+	rt := g.w.Table(c.Srcs[ri].Src.Table)
+	type pair struct{ l, r string }
+	var pairs []pair
+	for _, lc := range lt.Cols {
+		for _, rc := range rt.Cols {
+			if joinComparable(lc.Kind, rc.Kind) {
+				pairs = append(pairs, pair{lc.Name, rc.Name})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return JoinOn{}, false
+	}
+	p := pairs[g.pick(len(pairs))]
+	return JoinOn{LSrc: li, LCol: p.l, RSrc: ri, RCol: p.r}, true
 }
 
 // actionTarget picks the target table for rule r's action statement:
@@ -613,6 +706,11 @@ func (w *Workload) markOrder() bool {
 			return false
 		}
 		if r.Cond != nil {
+			if len(r.Cond.Srcs) > 0 {
+				// Join conditions may read base tables and see other rules'
+				// writes; certify nothing about them.
+				return false
+			}
 			if r.Cond.Sub.Src.Trans == "" {
 				return false
 			}

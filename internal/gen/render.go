@@ -99,6 +99,34 @@ func (c *Cond) sql() string {
 		return "exists (" + c.Sub.sql() + ")"
 	case "notexists":
 		return "not exists (" + c.Sub.sql() + ")"
+	case "join", "notjoin":
+		from := make([]string, len(c.Srcs))
+		for i, s := range c.Srcs {
+			from[i] = s.Src.sql() + " " + s.Alias
+		}
+		var conj []string
+		for _, on := range c.On {
+			conj = append(conj, c.Srcs[on.LSrc].Alias+"."+on.LCol+" = "+c.Srcs[on.RSrc].Alias+"."+on.RCol)
+		}
+		for _, a := range c.Atoms {
+			q := c.Srcs[a.Src].Alias + "." + a.Col
+			switch a.Op {
+			case "isnull":
+				conj = append(conj, q+" is null")
+			case "notnull":
+				conj = append(conj, q+" is not null")
+			default:
+				conj = append(conj, q+" "+a.Op+" "+a.Lit.SQL())
+			}
+		}
+		q := "select * from " + strings.Join(from, ", ")
+		if len(conj) > 0 {
+			q += " where " + strings.Join(conj, " and ")
+		}
+		if c.Kind == "notjoin" {
+			return "not exists (" + q + ")"
+		}
+		return "exists (" + q + ")"
 	default: // "agg"
 		inner := c.Agg + "("
 		if c.Sub.Col == "" {

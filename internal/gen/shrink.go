@@ -130,6 +130,49 @@ func Shrink(w *Workload, fails func(*Workload) bool, budget int) *Workload {
 			}
 		}
 
+		// Simplify join conditions: drop literal atoms, then trailing
+		// sources (with every ON conjunct and atom that references them).
+		for ri := 0; ri < len(cur.Rules) && budget > 0; ri++ {
+			c := cur.Rules[ri].Cond
+			if c == nil || len(c.Srcs) == 0 {
+				continue
+			}
+			for ai := len(c.Atoms) - 1; ai >= 0 && budget > 0; ai-- {
+				cand := clone(cur)
+				cc := cand.Rules[ri].Cond
+				cc.Atoms = append(cc.Atoms[:ai:ai], cc.Atoms[ai+1:]...)
+				if try(cand) {
+					progress = true
+				}
+				c = cur.Rules[ri].Cond
+			}
+			for len(c.Srcs) > 2 && budget > 0 {
+				last := len(c.Srcs) - 1
+				cand := clone(cur)
+				cc := cand.Rules[ri].Cond
+				cc.Srcs = cc.Srcs[:last]
+				var on []JoinOn
+				for _, o := range cc.On {
+					if o.LSrc != last && o.RSrc != last {
+						on = append(on, o)
+					}
+				}
+				cc.On = on
+				var atoms []JoinAtom
+				for _, a := range cc.Atoms {
+					if a.Src != last {
+						atoms = append(atoms, a)
+					}
+				}
+				cc.Atoms = atoms
+				if !try(cand) {
+					break
+				}
+				progress = true
+				c = cur.Rules[ri].Cond
+			}
+		}
+
 		// Simplify statements everywhere: drop WHERE clauses and spare
 		// insert rows.
 		forEachStmt(cur, func(loc stmtLoc) {

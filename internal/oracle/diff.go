@@ -65,16 +65,21 @@ type Options struct {
 	SkipMetamorphic bool
 }
 
-// RunDiff executes the workload through the real engine and the reference
-// oracle under the same rule-selection order and compares them after every
+// RunDiff executes the workload through the real engine (cost-based
+// planner on), a planner-off engine, and the reference oracle, all under
+// the same rule-selection order, and compares the three after every
 // transaction: outcome (committed / rolled back by which rule / error,
-// runaway or not) and exact database state, handles included.
+// runaway or not), firing sequence, and exact database state, handles
+// included. The planner-off twin runs even under SkipMetamorphic — plan
+// choice must be a pure optimization, so it is part of the lockstep core,
+// not a metamorphic extra.
 //
 // Unless SkipMetamorphic is set it then runs the metamorphic checks:
 //
-//   - index ablation: an engine with NoIndex+NoHashJoin must track the
-//     primary engine transaction by transaction (access paths must not
-//     change semantics);
+//   - index ablation: an engine with NoIndex+NoHashJoin+NoPlanner (every
+//     access-path and join fast path off) must track the primary engine
+//     transaction by transaction (access paths must not change
+//     semantics);
 //   - dump→reload: loading the primary engine's dump into a fresh engine
 //     must reproduce every table's contents up to handle renaming;
 //   - WAL crash-replay: recovering the log (MemFS, fsync-always, unsynced
@@ -105,10 +110,18 @@ func RunDiff(w *gen.Workload, opts Options) *Divergence {
 		return diverge("setup", -1, "engine rejected setup: %v\n%s", err, w.SetupSQL())
 	}
 
+	// Planner-off twin: identical configuration except the cost-based
+	// planner is disabled, so every query runs the naive FROM-order nested
+	// loop (with the legacy two-way hash fast path).
+	nop := engine.New(engine.Config{MaxRuleTransitions: w.Cap, SelectHook: choose, NoPlanner: true})
+	if _, err := nop.Exec(w.SetupSQL()); err != nil {
+		return diverge("setup", -1, "noplanner engine rejected setup: %v", err)
+	}
+
 	// Ablation engine: all access-path fast paths off.
 	var slow *engine.Engine
 	if !opts.SkipMetamorphic {
-		slow = engine.New(engine.Config{MaxRuleTransitions: w.Cap, SelectHook: choose, NoIndex: true, NoHashJoin: true})
+		slow = engine.New(engine.Config{MaxRuleTransitions: w.Cap, SelectHook: choose, NoIndex: true, NoHashJoin: true, NoPlanner: true})
 		if _, err := slow.Exec(w.SetupSQL()); err != nil {
 			return diverge("setup", -1, "ablation engine rejected setup: %v", err)
 		}
@@ -128,6 +141,17 @@ func RunDiff(w *gen.Workload, opts Options) *Divergence {
 		}
 		if msg := statesDiffer(engState, odb.State()); msg != "" {
 			return diverge("lockstep", i, "%s", msg)
+		}
+		nopOut := engineOutcome(nop.Exec(w.TxnSQL(i)))
+		if msg := outcomesDiffer(nopOut, oraOut); msg != "" {
+			return diverge("noplanner", i, "%s", msg)
+		}
+		nopState, err := engineState(nop, w)
+		if err != nil {
+			return diverge("noplanner", i, "engine state: %v", err)
+		}
+		if msg := statesDiffer(engState, nopState); msg != "" {
+			return diverge("noplanner", i, "%s", msg)
 		}
 		if slow != nil {
 			slowOut := engineOutcome(slow.Exec(w.TxnSQL(i)))
@@ -237,7 +261,7 @@ func Minimize(w *gen.Workload, opts Options, budget int) *gen.Workload {
 	if orig == nil {
 		return w
 	}
-	lockstepOnly := orig.Check == "lockstep" || orig.Check == "setup"
+	lockstepOnly := orig.Check == "lockstep" || orig.Check == "noplanner" || orig.Check == "setup"
 	shrinkOpts := opts
 	shrinkOpts.SkipMetamorphic = lockstepOnly
 	return gen.Shrink(w, func(c *gen.Workload) bool {

@@ -85,9 +85,14 @@ func TestCorpusReplays(t *testing.T) {
 // order-independent instances — otherwise the differential comparisons
 // stop proving anything about rule processing.
 func TestHarnessCoverage(t *testing.T) {
-	var firings, rollbacks, runaways, committed int
+	var firings, rollbacks, runaways, committed, joinConds int
 	for seed := int64(0); seed < 300; seed++ {
 		w := gen.Generate(seed)
+		for _, r := range w.Rules {
+			if r.Cond != nil && len(r.Cond.Srcs) > 0 {
+				joinConds++
+			}
+		}
 		odb := New(w, Chooser(uint64(seed)))
 		for _, txn := range w.Txns {
 			out := odb.RunTxn(txn)
@@ -102,8 +107,11 @@ func TestHarnessCoverage(t *testing.T) {
 			}
 		}
 	}
-	t.Logf("coverage over 300 seeds: %d firings, %d commits, %d rollbacks, %d runaways",
-		firings, committed, rollbacks, runaways)
+	t.Logf("coverage over 300 seeds: %d firings, %d commits, %d rollbacks, %d runaways, %d join conditions",
+		firings, committed, rollbacks, runaways, joinConds)
+	if joinConds < 20 {
+		t.Errorf("only %d multi-source join conditions across 300 seeds; the planner is barely exercised in rule conditions", joinConds)
+	}
 	if firings < 100 {
 		t.Errorf("only %d rule firings across 300 seeds; rule processing is barely exercised", firings)
 	}

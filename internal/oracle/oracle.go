@@ -549,11 +549,77 @@ func (db *DB) evalAtom(a *gen.Atom, t *gen.Table, row []value.Value, ti *eff) (v
 	}
 }
 
+// evalJoin evaluates a multi-source join condition by brute force: a
+// nested loop over the cross product of the sources in declared order,
+// stopping at the first combination where every ON conjunct and atom is
+// True. No join ordering, no hashing — the planner in the system under
+// test must be observationally equivalent to this.
+func (db *DB) evalJoin(c *gen.Cond, ti *eff) (bool, error) {
+	rowsets := make([][][]value.Value, len(c.Srcs))
+	defs := make([]*gen.Table, len(c.Srcs))
+	for i, s := range c.Srcs {
+		rows, err := db.srcRows(s.Src, ti)
+		if err != nil {
+			return false, err
+		}
+		rowsets[i] = rows
+		defs[i] = db.w.Table(s.Src.Table)
+	}
+	combo := make([][]value.Value, len(c.Srcs))
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(c.Srcs) {
+			for _, on := range c.On {
+				l := combo[on.LSrc][defs[on.LSrc].ColIndex(on.LCol)]
+				r := combo[on.RSrc][defs[on.RSrc].ColIndex(on.RCol)]
+				tb, err := cmpTri(l, r, "=")
+				if err != nil || !tb.IsTrue() {
+					return false, err
+				}
+			}
+			for ai := range c.Atoms {
+				a := &c.Atoms[ai]
+				v := combo[a.Src][defs[a.Src].ColIndex(a.Col)]
+				var tb value.Tribool
+				var err error
+				switch a.Op {
+				case "isnull":
+					tb = value.FromBool(v.IsNull())
+				case "notnull":
+					tb = value.FromBool(!v.IsNull())
+				default:
+					tb, err = cmpTri(v, a.Lit.Value(), a.Op)
+				}
+				if err != nil || !tb.IsTrue() {
+					return false, err
+				}
+			}
+			return true, nil
+		}
+		for _, row := range rowsets[i] {
+			combo[i] = row
+			ok, err := rec(i + 1)
+			if err != nil || ok {
+				return ok, err
+			}
+		}
+		return false, nil
+	}
+	return rec(0)
+}
+
 // evalCond evaluates a rule condition (IF TRUE when nil); only a True
 // result lets the rule fire.
 func (db *DB) evalCond(c *gen.Cond, ti *eff) (bool, error) {
 	if c == nil {
 		return true, nil
+	}
+	if c.Kind == "join" || c.Kind == "notjoin" {
+		match, err := db.evalJoin(c, ti)
+		if err != nil {
+			return false, err
+		}
+		return match == (c.Kind == "join"), nil
 	}
 	rows, err := db.subRows(&c.Sub, ti)
 	if err != nil {

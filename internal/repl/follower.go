@@ -878,6 +878,8 @@ func (f *Follower) Stats() sopr.Stats {
 		Checkpoints:         s.Checkpoints,
 		GroupCommits:        s.WALGroupCommits,
 		GroupedTxns:         s.WALGroupedTxns,
+		PlannedQueries:      s.PlannedQueries,
+		PlanProbeFallbacks:  s.PlanProbeFallbacks,
 	}
 }
 

@@ -553,6 +553,8 @@ func (s *Server) handle(c *conn, typ byte, payload []byte) bool {
 				Checkpoints:         es.Checkpoints,
 				GroupCommits:        es.GroupCommits,
 				GroupedTxns:         es.GroupedTxns,
+				PlannedQueries:      es.PlannedQueries,
+				PlanProbeFallbacks:  es.PlanProbeFallbacks,
 			},
 			Server: s.Stats(),
 		})

@@ -242,9 +242,19 @@ type Select struct {
 	GroupBy  []Expr
 	Having   Expr
 	OrderBy  []OrderItem
+	Limit    Expr // nil means no LIMIT; must evaluate to a non-negative integer
 }
 
 func (*Select) stmtNode() {}
+
+// Explain is `EXPLAIN <statement>`: render the executor's chosen plan
+// (access paths, join order, cost estimates) for a SELECT or DML statement
+// without executing it.
+type Explain struct {
+	Stmt Statement
+}
+
+func (*Explain) stmtNode() {}
 
 // ---------------------------------------------------------------------------
 // DML statements (the operations of an operation block, Section 2.1)

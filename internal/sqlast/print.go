@@ -245,8 +245,14 @@ func (s *Select) String() string {
 			}
 		}
 	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT ")
+		b.WriteString(s.Limit.String())
+	}
 	return b.String()
 }
+
+func (s *Explain) String() string { return "EXPLAIN " + s.Stmt.String() }
 
 func (s *Insert) String() string {
 	var b strings.Builder

@@ -162,6 +162,18 @@ func (p *parser) parseStatement() (sqlast.Statement, error) {
 		return p.parseUpdate()
 	case "select":
 		return p.parseSelect()
+	case "explain":
+		p.pos++
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		switch inner.(type) {
+		case *sqlast.Select, *sqlast.Insert, *sqlast.Delete, *sqlast.Update:
+			return &sqlast.Explain{Stmt: inner}, nil
+		default:
+			return nil, p.errorf("EXPLAIN supports SELECT, INSERT, DELETE and UPDATE only")
+		}
 	case "activate", "deactivate":
 		p.pos++
 		if err := p.expectKw("rule"); err != nil {
@@ -602,6 +614,13 @@ func (p *parser) parseSelect() (*sqlast.Select, error) {
 			}
 			break
 		}
+	}
+	if p.acceptKw("limit") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
 	}
 	return sel, nil
 }

@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"sopr/internal/value"
+)
+
+// TestStatsMaintenanceProperty: after any randomized sequence of inserts,
+// updates, deletes, rollbacks and commits, every column's incremental
+// cardinality statistics are identical to a from-scratch recount of the
+// heap — the planner's inputs can never drift from the data. Mirrors
+// TestIndexMaintenanceProperty, plus replay-primitive and
+// snapshot-publication legs.
+func TestStatsMaintenanceProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(seed))
+		s := newIndexedStore(t)
+		var live []Handle
+		randRow := func() Row {
+			r := emp("e", rng.Int63n(50), float64(rng.Intn(10)), rng.Int63n(5))
+			if rng.Intn(8) == 0 {
+				r[3] = value.Null
+			}
+			if rng.Intn(8) == 0 {
+				r[0] = value.Null
+			}
+			return r
+		}
+		step := func() {
+			switch {
+			case len(live) == 0 || rng.Intn(3) == 0:
+				h, err := s.Insert("emp", randRow())
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, h)
+			case rng.Intn(2) == 0:
+				h := live[rng.Intn(len(live))]
+				assign := map[int]value.Value{1: value.NewInt(rng.Int63n(50))}
+				if rng.Intn(2) == 0 {
+					assign[3] = value.Null
+				}
+				if _, _, err := s.Update(h, assign); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				i := rng.Intn(len(live))
+				if _, _, err := s.Delete(live[i]); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		for round := 0; round < 30; round++ {
+			inTxn := rng.Intn(2) == 0
+			var before []Handle
+			if inTxn {
+				before = append([]Handle(nil), live...)
+				if err := s.Begin(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				step()
+			}
+			if inTxn {
+				if rng.Intn(2) == 0 {
+					if err := s.Rollback(); err != nil {
+						t.Fatal(err)
+					}
+					live = before
+				} else if err := s.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.CheckStats(); err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+		}
+
+		// WAL-replay primitives route through the same mutation paths, so
+		// stats must stay exact under them too.
+		h := s.NextHandle() + 7 // gaps are legal: handles are monotone, not dense
+		if err := s.ReplayInsert("emp", h, randRow()); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ReplaySet(h, emp("r", 3, 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckStats(); err != nil {
+			t.Fatalf("seed %d after replay insert+set: %v", seed, err)
+		}
+		if err := s.ReplayDelete(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckStats(); err != nil {
+			t.Fatalf("seed %d after replay delete: %v", seed, err)
+		}
+
+		// Snapshot publication freezes stats with the data: the snapshot
+		// keeps reporting the published counts while the writer moves on.
+		snap := s.PublishSnapshot()
+		pubRows, err := snap.Count("emp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub, err := snap.ColumnStats("emp", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pub.Rows != pubRows {
+			t.Fatalf("seed %d: snapshot stats rows %d vs count %d", seed, pub.Rows, pubRows)
+		}
+		nh, err := s.Insert("emp", emp("post-publish", 77, 0, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Update(nh, map[int]value.Value{3: value.Null}); err != nil {
+			t.Fatal(err)
+		}
+		after, err := snap.ColumnStats("emp", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after != pub {
+			t.Fatalf("seed %d: published snapshot stats moved: %+v vs %+v", seed, after, pub)
+		}
+		liveStats, err := s.ColumnStats("emp", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if liveStats.Rows != pub.Rows+1 || liveStats.Nulls != pub.Nulls+1 {
+			t.Fatalf("seed %d: live stats %+v did not track post-publish writes (published %+v)", seed, liveStats, pub)
+		}
+		if err := s.CheckStats(); err != nil {
+			t.Fatalf("seed %d after publish+mutate: %v", seed, err)
+		}
+
+		// Clone rebuilds stats through applyInsert; mutating the clone must
+		// not disturb the original.
+		c := s.Clone()
+		if err := c.CheckStats(); err != nil {
+			t.Fatalf("seed %d clone: %v", seed, err)
+		}
+		if _, err := c.Insert("emp", emp("c", 99, 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckStats(); err != nil {
+			t.Fatalf("seed %d original after clone mutation: %v", seed, err)
+		}
+	}
+}
+
+// TestClassifyProbe pins the planner's plan-time access classification,
+// including the 2^53 integer-keyspace fallback that must be costed as a
+// scan rather than silently degrading at execution time.
+func TestClassifyProbe(t *testing.T) {
+	s := newIndexedStore(t) // indexes on emp_no (col 1, INTEGER) and dept_no (col 3, INTEGER)
+	if got := s.ClassifyProbe("emp", 2, value.NewFloat(1)); got != ProbeNoIndex {
+		t.Errorf("unindexed column: %v, want %v", got, ProbeNoIndex)
+	}
+	if got := s.ClassifyProbe("emp", 1, value.NewInt(7)); got != ProbeIndexed {
+		t.Errorf("int probe: %v, want %v", got, ProbeIndexed)
+	}
+	if got := s.ClassifyProbe("emp", 1, value.NewFloat(7.5)); got != ProbeIndexed {
+		t.Errorf("provably-empty probe: %v, want %v (index answers it exactly)", got, ProbeIndexed)
+	}
+	if got := s.ClassifyProbe("emp", 1, value.NewFloat(1<<60)); got != ProbeFallback {
+		t.Errorf("2^60 float probe on INTEGER index: %v, want %v", got, ProbeFallback)
+	}
+	if got := s.ClassifyProbe("emp", 1, value.NewInt(1), value.NewFloat(1<<60)); got != ProbeFallback {
+		t.Errorf("mixed IN with one unanswerable probe: %v, want %v", got, ProbeFallback)
+	}
+	snap := s.PublishSnapshot()
+	if got := snap.ClassifyProbe("emp", 1, value.NewFloat(1<<60)); got != ProbeFallback {
+		t.Errorf("snapshot 2^60 probe: %v, want %v", got, ProbeFallback)
+	}
+}

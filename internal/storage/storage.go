@@ -90,6 +90,7 @@ type tableData struct {
 	rows    []*Tuple
 	index   map[Handle]int
 	indexes []*secondaryIndex
+	stats   []*colStats // per-column cardinality stats (see stats.go)
 	frozen  bool
 }
 
@@ -110,7 +111,11 @@ func (td *tableData) clone() *tableData {
 			indexes[i] = ix.clone()
 		}
 	}
-	return &tableData{schema: td.schema, rows: rows, index: index, indexes: indexes}
+	stats := make([]*colStats, len(td.stats))
+	for i, cs := range td.stats {
+		stats[i] = cs.clone()
+	}
+	return &tableData{schema: td.schema, rows: rows, index: index, indexes: indexes, stats: stats}
 }
 
 // undoKind discriminates undo-log records.
@@ -188,7 +193,7 @@ func (s *Store) CreateTable(t *catalog.Table) error {
 		return err
 	}
 	s.cat = cat
-	s.tables[t.Name] = &tableData{schema: t, index: make(map[Handle]int)}
+	s.tables[t.Name] = &tableData{schema: t, index: make(map[Handle]int), stats: newTableStats(len(t.Columns))}
 	s.publish()
 	return nil
 }
@@ -305,6 +310,7 @@ func (s *Store) applyInsert(td *tableData, t *Tuple) {
 	for _, ix := range td.indexes {
 		ix.add(t.Values, t.Handle)
 	}
+	td.statsAdd(t.Values)
 	s.owner[t.Handle] = td.schema.Name
 }
 
@@ -329,6 +335,7 @@ func (s *Store) applyRemove(td *tableData, h Handle) (Row, error) {
 	for _, ix := range td.indexes {
 		ix.remove(t.Values, h)
 	}
+	td.statsRemove(t.Values)
 	delete(s.owner, h)
 	return t.Values, nil
 }
@@ -349,6 +356,8 @@ func (s *Store) applySet(td *tableData, h Handle, next Row) error {
 		ix.remove(t.Values, h)
 		ix.add(next, h)
 	}
+	td.statsRemove(t.Values)
+	td.statsAdd(next)
 	td.rows[pos] = &Tuple{Handle: h, Table: t.Table, Values: next}
 	return nil
 }

@@ -175,6 +175,8 @@ type EngineStats struct {
 	Checkpoints         int64 `json:"checkpoints"`
 	GroupCommits        int64 `json:"group_commits,omitempty"`
 	GroupedTxns         int64 `json:"grouped_txns,omitempty"`
+	PlannedQueries      int64 `json:"planned_queries,omitempty"`
+	PlanProbeFallbacks  int64 `json:"plan_probe_fallbacks,omitempty"`
 }
 
 // ServerStats are the network front-end's own counters, kept separately

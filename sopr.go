@@ -393,7 +393,10 @@ func (db *DB) MustExec(src string) *Result {
 	return res
 }
 
-// Query evaluates a single SELECT statement outside any transaction.
+// Query evaluates a single SELECT statement outside any transaction. An
+// EXPLAIN statement is accepted too: it returns the executor's chosen
+// plan (access paths, join order, cost estimates) as a one-column result
+// without executing the statement.
 func (db *DB) Query(src string) (*Rows, error) {
 	res, err := db.eng.QueryString(src)
 	if err != nil {
@@ -505,6 +508,11 @@ type Stats struct {
 	GroupCommits int64
 	GroupedTxns  int64
 	TxnsPerSync  float64
+	// Planner counters: query blocks executed through the cost-based join
+	// planner, and planned index probes that fell back to a heap scan at
+	// lookup time (the 2^53 integer-keyspace fallback).
+	PlannedQueries     int64
+	PlanProbeFallbacks int64
 }
 
 // Stats returns a snapshot of the database's cumulative counters.
@@ -524,6 +532,8 @@ func (db *DB) Stats() Stats {
 		Checkpoints:         s.Checkpoints,
 		GroupCommits:        s.WALGroupCommits,
 		GroupedTxns:         s.WALGroupedTxns,
+		PlannedQueries:      s.PlannedQueries,
+		PlanProbeFallbacks:  s.PlanProbeFallbacks,
 	}
 	if out.GroupCommits > 0 {
 		out.TxnsPerSync = float64(out.GroupedTxns) / float64(out.GroupCommits)
